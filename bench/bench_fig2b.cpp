@@ -1,0 +1,57 @@
+// Figure 2b — ERNG termination time vs number of peers.
+//
+// Paper: honest-case ERNG termination is nearly constant up to ~2^7 and then
+// rises — the rise being their shared 128 MB/s DeterLab link saturating
+// under the protocol's (near-)cubic traffic, not a protocol property. We
+// report both the pure-protocol virtual time (constant, per the early-output
+// rule) and a bandwidth-adjusted time that reinstates the testbed artifact
+// by serializing each round's bytes through a 128 MB/s bottleneck.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sgxp2p;
+  int max_exp = bench::flag_int(argc, argv, "--max-exp", 7);
+  const double kLinkBytesPerSec = 128.0 * 1024 * 1024;
+  const double kRoundSec = 2.0;
+
+  std::printf("=== Figure 2b: ERNG termination vs N ===\n");
+  std::printf("basic = Algorithm 3; optimized = Algorithm 6 (2N/3 fallback "
+              "cluster, as the paper used at these sizes)\n\n");
+
+  stats::Table table({"N", "variant", "rounds", "term (s)",
+                      "term w/ 128MB/s link (s)", "MB"});
+  for (int e = 2; e <= max_exp; ++e) {
+    std::uint32_t n = 1u << e;
+    for (int variant = 0; variant < 2; ++variant) {
+      bench::RunStats r =
+          variant == 0
+              ? bench::run_erng_basic(n, protocol::ChannelMode::kAccounted,
+                                      11 + e)
+              : bench::run_erng_opt(n, /*force_fallback=*/true,
+                                    protocol::ChannelMode::kAccounted, 11 + e,
+                                    /*one_phase=*/true);
+      // Bandwidth model: all traffic ultimately serializes through the
+      // shared testbed link, so termination cannot beat bytes / bandwidth.
+      double adjusted = std::max(
+          r.termination_s, static_cast<double>(r.bytes) / kLinkBytesPerSec);
+      (void)kRoundSec;
+      table.add_row({std::to_string(n),
+                     variant == 0 ? "ERNG-basic" : "ERNG-opt",
+                     std::to_string(r.rounds), stats::fmt(r.termination_s),
+                     stats::fmt(adjusted),
+                     stats::fmt(static_cast<double>(r.bytes) / (1024 * 1024),
+                                3)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\npaper reference: flat until ~2^7, then bandwidth-bound growth to "
+      "~10^3 s; the pure-protocol column stays flat, the link-adjusted "
+      "column reproduces the bend. Use --max-exp 8 for the next point "
+      "(minutes of CPU, ~4 GB RAM).\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark): the primitive costs behind the
+// implementation-level remarks in Section 6 — channel seal/open on ~100 B
+// protocol messages, the crypto kernels, attestation verification, and the
+// signature costs that RBsig pays but ERB avoids (Appendix B).
+#include <benchmark/benchmark.h>
+
+#include "channel/handshake.hpp"
+#include "channel/secure_link.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/wots.hpp"
+#include "crypto/x25519.hpp"
+
+namespace {
+
+using namespace sgxp2p;
+using namespace sgxp2p::crypto;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  Bytes data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_HmacSha256_100B(benchmark::State& state) {
+  Bytes key(32, 0x11), data(100, 0x22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256::mac(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256_100B);
+
+void BM_ChaCha20_1KiB(benchmark::State& state) {
+  Bytes key(32, 0x01), nonce(12, 0x02), data(1024, 0x03);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chacha20_crypt(key, nonce, 1, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_ChaCha20_1KiB);
+
+void BM_AeadSeal_100B(benchmark::State& state) {
+  Bytes key(kAeadKeySize, 0x42), nonce(kAeadNonceSize, 0), msg(100, 0x55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead_seal(key, nonce, {}, msg));
+  }
+}
+BENCHMARK(BM_AeadSeal_100B);
+
+void BM_AeadOpen_100B(benchmark::State& state) {
+  Bytes key(kAeadKeySize, 0x42), nonce(kAeadNonceSize, 0), msg(100, 0x55);
+  Bytes sealed = aead_seal(key, nonce, {}, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead_open(key, {}, sealed));
+  }
+}
+BENCHMARK(BM_AeadOpen_100B);
+
+void BM_X25519_SharedSecret(benchmark::State& state) {
+  Drbg d(to_bytes("bench"));
+  Bytes a = d.generate(32);
+  Bytes b_pub = x25519_public(d.generate(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x25519_shared(a, b_pub));
+  }
+}
+BENCHMARK(BM_X25519_SharedSecret);
+
+void BM_Drbg_32B(benchmark::State& state) {
+  Drbg d(to_bytes("drbg-bench"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.generate(32));
+  }
+}
+BENCHMARK(BM_Drbg_32B);
+
+void BM_WotsSign(benchmark::State& state) {
+  Bytes seed = Sha256::hash_bytes(to_bytes("wots-bench"));
+  WotsKeyPair kp = wots_keygen(seed, 0);
+  Bytes msg(100, 0x77);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wots_sign(kp, 0, msg));
+  }
+}
+BENCHMARK(BM_WotsSign);
+
+void BM_WotsVerify(benchmark::State& state) {
+  Bytes seed = Sha256::hash_bytes(to_bytes("wots-bench"));
+  WotsKeyPair kp = wots_keygen(seed, 0);
+  Bytes msg(100, 0x77);
+  Bytes sig = wots_sign(kp, 0, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wots_verify(kp.public_key, 0, msg, sig));
+  }
+}
+BENCHMARK(BM_WotsVerify);
+
+// The per-message channel cost ERB pays (symmetric) vs the signature
+// verification RBsig pays — the Appendix B "significant computation cost"
+// comparison.
+void BM_SecureLink_RoundTrip(benchmark::State& state) {
+  channel::LinkKeys keys;
+  Drbg d(to_bytes("link-bench"));
+  keys.send_key = d.generate(kAeadKeySize);
+  keys.recv_key = keys.send_key;
+  keys.send_seq0 = 0;
+  keys.recv_seq0 = 0;
+  sgx::Measurement m = sgx::measure({"bench", "1.0"});
+  // A sends with its send_key; B receives with recv_key == A's send_key and
+  // the AAD of the A→B direction.
+  channel::SecureLink a(0, 1, keys, m);
+  Bytes msg(100, 0x12);
+  for (auto _ : state) {
+    Bytes sealed = a.seal(msg);
+    benchmark::DoNotOptimize(sealed);
+  }
+}
+BENCHMARK(BM_SecureLink_RoundTrip);
+
+void BM_MerkleSign(benchmark::State& state) {
+  MerkleSigner signer(Sha256::hash_bytes(to_bytes("ms-bench")), 10);
+  Bytes msg(100, 0x34);
+  for (auto _ : state) {
+    if (signer.remaining() == 0) {
+      state.SkipWithError("one-time keys exhausted");
+      break;
+    }
+    benchmark::DoNotOptimize(signer.sign(msg));
+  }
+}
+BENCHMARK(BM_MerkleSign)->Iterations(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

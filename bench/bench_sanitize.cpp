@@ -1,0 +1,45 @@
+// Appendix D — network sanitization across repeated instances.
+//
+// Reproduces the two analytical claims with Monte Carlo:
+//   Theorem D.1: Pr[F_r ≥ 1] ≤ t(1 − p/2)^r — the byzantine population is
+//   gone w.h.p. after r ≈ (2/p)·ln t instances (paper example: N = 2^10,
+//   p = 2^-5, λ = 30 → r ≈ 2500).
+//   Theorem D.2: the average round cost per instance converges to the
+//   constant 2 as the network sanitizes.
+#include <cstdio>
+
+#include "protocol/sanitizer.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace sgxp2p;
+
+  protocol::SanitizeConfig cfg;
+  cfg.n = 1024;
+  cfg.t0 = 511;
+  cfg.p = 1.0 / 32;
+  cfg.instances = 4000;
+  cfg.trials = 100;
+
+  std::printf("=== Appendix D: sanitization (N=%u, t0=%u, p=1/32) ===\n\n",
+              cfg.n, cfg.t0);
+  auto curves = protocol::simulate_sanitization(cfg);
+
+  stats::Table table({"instances r", "MC Pr[F_r>=1]", "bound t(1-p/2)^r",
+                      "E[F_r]", "avg rounds/instance"});
+  for (std::uint32_t r : {50u, 100u, 250u, 500u, 1000u, 1500u, 2000u, 2500u,
+                          3000u, 4000u}) {
+    std::uint32_t i = r - 1;
+    table.add_row({std::to_string(r), stats::fmt(curves.pr_byz_remaining[i], 3),
+                   stats::fmt(curves.pr_bound[i], 3),
+                   stats::fmt(curves.mean_byzantine[i], 2),
+                   stats::fmt(curves.mean_rounds[i], 3)});
+  }
+  table.print();
+  std::printf(
+      "\npaper reference: with λ=30, t=511, p=2^-5 the bound gives r ≈ 2500 "
+      "for full sanitization; the Monte-Carlo probability above should reach "
+      "~0 by then, and the average per-instance round cost should approach "
+      "the constant 2 (Theorem D.2).\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Attack demo — the paper's Section 2.3 story, executable.
+//
+// Launches the same byzantine behaviors against (a) the strawman protocol
+// of Algorithm 1 and (b) ERB, and prints what happened:
+//   A2 equivocation  → splits the strawman; impossible against ERB (the
+//                      enclave is the only signer of its channel).
+//   A3 omission      → the strawman can be starved silently; ERB's
+//                      halt-on-divergence churns the omitter out.
+//   A4 delay         → stale rounds are rejected by lockstep execution.
+//   A5 replay        → duplicate ciphertexts die in the channel's window.
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "adversary/strategies.hpp"
+#include "net/testbed.hpp"
+#include "protocol/erb_node.hpp"
+#include "protocol/strawman.hpp"
+
+using namespace sgxp2p;
+
+namespace {
+
+sim::NetworkConfig net_cfg() {
+  sim::NetworkConfig cfg;
+  cfg.base_delay = milliseconds(100);
+  cfg.max_jitter = milliseconds(100);
+  return cfg;
+}
+
+void demo_equivocation_strawman() {
+  std::printf("--- A2 (equivocation) vs strawman ---\n");
+  const std::uint32_t n = 9, t = 4;
+  sim::PlainBed bed(n, net_cfg());
+  bed.build([&](NodeId id) -> std::unique_ptr<protocol::PlainNode> {
+    if (id == 0) {
+      return std::make_unique<protocol::EquivocatingStrawmanInitiator>(
+          id, n, t, to_bytes("ALPHA"), to_bytes("BRAVO"));
+    }
+    return std::make_unique<protocol::StrawmanNode>(id, n, t, false);
+  });
+  bed.start();
+  bed.run_rounds(t + 2);
+  std::set<std::string> outcomes;
+  for (NodeId id = 1; id < n; ++id) {
+    const auto& r = bed.node_as<protocol::StrawmanNode>(id).result();
+    std::string v = r.value ? to_string(*r.value) : "⊥";
+    outcomes.insert(v);
+    std::printf("  node %u decided %s\n", id, v.c_str());
+  }
+  std::printf("  => %zu distinct outcomes — agreement BROKEN\n\n",
+              outcomes.size());
+}
+
+void demo_erb_under_attack() {
+  std::printf("--- A2+A5 (forgery, replay) vs ERB ---\n");
+  const std::uint32_t n = 9;
+  sim::TestbedConfig cfg;
+  cfg.n = n;
+  cfg.net = net_cfg();
+  cfg.seed = 99;
+  sim::Testbed bed(cfg);
+  Bytes msg = to_bytes("the only possible value");
+  bed.build(
+      [&](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+          protocol::PeerConfig pc,
+          const sgx::SimIAS& ias) -> std::unique_ptr<protocol::PeerEnclave> {
+        return std::make_unique<protocol::ErbNode>(
+            platform, id, host, pc, ias, NodeId{0}, id == 0 ? msg : Bytes{});
+      },
+      [&](NodeId id) -> std::unique_ptr<adversary::Strategy> {
+        // Hosts 1,2 flip bits & inject junk; hosts 3,4 replay everything.
+        if (id == 1 || id == 2) {
+          return std::make_unique<adversary::CorruptStrategy>(0.6, n);
+        }
+        if (id == 3 || id == 4) {
+          return std::make_unique<adversary::ReplayStrategy>(milliseconds(60));
+        }
+        return nullptr;
+      });
+  bed.start();
+  bed.run_rounds(cfg.effective_t() + 4, [&]() {
+    for (NodeId id : bed.honest_nodes()) {
+      if (!bed.enclave_as<protocol::ErbNode>(id).result().decided) {
+        return false;
+      }
+    }
+    return true;
+  });
+  std::set<std::string> outcomes;
+  for (NodeId id : bed.honest_nodes()) {
+    const auto& r = bed.enclave_as<protocol::ErbNode>(id).result();
+    outcomes.insert(r.value ? to_string(*r.value) : "⊥");
+  }
+  std::printf("  honest outcomes: %zu distinct value(s): \"%s\"\n",
+              outcomes.size(), outcomes.begin()->c_str());
+  std::printf("  => forged blobs failed the MAC, replays died in the replay\n"
+              "     window — agreement HELD\n\n");
+}
+
+void demo_halt_on_divergence() {
+  std::printf("--- A3 (selective omission) vs ERB: P4 sanitization ---\n");
+  const std::uint32_t n = 9;
+  sim::TestbedConfig cfg;
+  cfg.n = n;
+  cfg.net = net_cfg();
+  cfg.seed = 7;
+  sim::Testbed bed(cfg);
+  Bytes msg = to_bytes("m");
+  std::set<NodeId> victims = {3, 4, 5, 6, 7, 8};  // initiator omits to these
+  bed.build(
+      [&](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+          protocol::PeerConfig pc,
+          const sgx::SimIAS& ias) -> std::unique_ptr<protocol::PeerEnclave> {
+        return std::make_unique<protocol::ErbNode>(
+            platform, id, host, pc, ias, NodeId{0}, id == 0 ? msg : Bytes{});
+      },
+      [&](NodeId id) -> std::unique_ptr<adversary::Strategy> {
+        if (id == 0) {
+          return std::make_unique<adversary::SelectiveOmissionStrategy>(
+              victims);
+        }
+        return nullptr;
+      });
+  bed.start();
+  bed.run_rounds(cfg.effective_t() + 4);
+  std::printf("  initiator omitted INIT to %zu of %u peers → got < t ACKs\n",
+              victims.size(), n - 1);
+  std::printf("  initiator halted itself: %s; still attached to network: %s\n",
+              bed.enclave(0).halted() ? "yes" : "no",
+              bed.network().attached(0) ? "yes" : "no");
+  std::set<std::string> outcomes;
+  for (NodeId id = 1; id < n; ++id) {
+    const auto& r = bed.enclave_as<protocol::ErbNode>(id).result();
+    outcomes.insert(r.value ? to_string(*r.value) : "⊥");
+  }
+  std::printf("  honest outcomes agree: %s (%zu distinct)\n\n",
+              outcomes.begin()->c_str(), outcomes.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== byzantine attack demo: strawman vs ERB ===\n\n");
+  demo_equivocation_strawman();
+  demo_erb_under_attack();
+  demo_halt_on_divergence();
+  std::printf("summary: the attacks that break Algorithm 1 reduce to plain\n"
+              "omissions against the enclaved protocol — the paper's R1.\n");
+  return 0;
+}

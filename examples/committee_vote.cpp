@@ -1,0 +1,109 @@
+// Committee voting (Appendix H, "voting schemes"): N members each submit a
+// ballot; Enclaved Byzantine Agreement delivers the identical ballot vector
+// everywhere, the majority wins, and a beacon coin breaks exact ties — so
+// even the tie-break is unbiased and common.
+//
+// Byzantine members can only withhold their ballots (the usual reduction);
+// they cannot forge others' ballots, vote twice, or show different ballots
+// to different counters.
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "adversary/strategies.hpp"
+#include "apps/beacon.hpp"
+#include "net/testbed.hpp"
+#include "protocol/eba.hpp"
+
+using namespace sgxp2p;
+
+namespace {
+
+struct Election {
+  std::optional<Bytes> decision;
+  std::size_t support = 0;
+  std::size_t delivered = 0;
+  bool unanimous_across_nodes = true;
+};
+
+Election run_election(const std::vector<std::string>& ballots,
+                      std::uint32_t byzantine, std::uint64_t seed) {
+  const auto n = static_cast<std::uint32_t>(ballots.size());
+  sim::TestbedConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.net.base_delay = milliseconds(100);
+  cfg.net.max_jitter = milliseconds(100);
+  sim::Testbed bed(cfg);
+  bed.build(
+      [&](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+          protocol::PeerConfig pc,
+          const sgx::SimIAS& ias) -> std::unique_ptr<protocol::PeerEnclave> {
+        return std::make_unique<protocol::EbaNode>(platform, id, host, pc, ias,
+                                                   to_bytes(ballots[id]));
+      },
+      [&](NodeId id) -> std::unique_ptr<adversary::Strategy> {
+        if (id >= n - byzantine) {
+          return std::make_unique<adversary::RandomOmissionStrategy>(0.6, 0.4);
+        }
+        return nullptr;
+      });
+  bed.start();
+  bed.run_rounds(cfg.effective_t() + 4, [&]() {
+    for (NodeId id : bed.honest_nodes()) {
+      if (!bed.enclave_as<protocol::EbaNode>(id).result().done) return false;
+    }
+    return true;
+  });
+
+  Election out;
+  bool first = true;
+  for (NodeId id : bed.honest_nodes()) {
+    const auto& r = bed.enclave_as<protocol::EbaNode>(id).result();
+    if (first) {
+      out.decision = r.decision;
+      out.support = r.support;
+      out.delivered = r.delivered;
+      first = false;
+    } else if (r.decision != out.decision) {
+      out.unanimous_across_nodes = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== committee vote over EBA (9 members, 2 byzantine) ===\n\n");
+
+  std::vector<std::string> ballots = {"approve", "approve", "reject",
+                                      "approve", "reject", "approve",
+                                      "approve", "reject", "reject"};
+  Election e = run_election(ballots, /*byzantine=*/2, /*seed=*/11);
+  std::printf("ballots: 5x approve, 4x reject (two byzantine members "
+              "randomly withhold traffic)\n");
+  std::printf("result : %s with %zu of %zu delivered ballots — counters "
+              "agree: %s\n\n",
+              e.decision ? to_string(*e.decision).c_str() : "⊥", e.support,
+              e.delivered, e.unanimous_across_nodes ? "yes" : "NO (!)");
+
+  // Exact tie: deterministic lexicographic tie-break would always favor the
+  // same side, so stake the tie on a beacon coin instead — common and
+  // unbiased by Theorem 5.1.
+  std::vector<std::string> tied = {"blue", "blue", "blue", "blue",
+                                   "gold", "gold", "gold", "gold"};
+  Election t = run_election(tied, 0, 13);
+  std::printf("tie election: 4x blue vs 4x gold → EBA majority support = "
+              "%zu (a tie)\n",
+              t.support);
+  apps::BeaconLog log = apps::run_beacon(/*n=*/7, /*epochs=*/1,
+                                         /*byzantine_omitters=*/1,
+                                         /*seed=*/13);
+  bool blue_wins = (log.entry(0).value[0] & 1) == 0;
+  std::printf("beacon coin %02x… → tie broken for: %s\n",
+              log.entry(0).value[0], blue_wins ? "blue" : "gold");
+  std::printf("(every member derives the same winner from the same epoch "
+              "value; no member could bias or predict it)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Quickstart — the two primitives in ~60 lines each.
+//
+//   1. ERB: node 0 reliably broadcasts a message to a 7-node network; every
+//      node decides the same value within two rounds.
+//   2. ERNG: the same deployment generates a common unbiased 256-bit random
+//      number nobody (host OSes included) could predict or bias.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "net/testbed.hpp"
+#include "protocol/erb_node.hpp"
+#include "protocol/erng_basic.hpp"
+
+using namespace sgxp2p;
+
+namespace {
+
+void run_erb_quickstart() {
+  std::printf("--- ERB: enclaved reliable broadcast (N=7, t=3) ---\n");
+
+  sim::TestbedConfig cfg;
+  cfg.n = 7;                                // N = 2t+1 with t = 3
+  cfg.net.base_delay = milliseconds(100);   // Δ covers base+jitter
+  cfg.net.max_jitter = milliseconds(100);
+  cfg.seed = 2020;
+
+  sim::Testbed bed(cfg);
+  Bytes message = to_bytes("hello, robust world");
+  // One factory call per node: node 0 is the broadcast initiator.
+  bed.build([&](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+                protocol::PeerConfig pc, const sgx::SimIAS& ias)
+                -> std::unique_ptr<protocol::PeerEnclave> {
+    return std::make_unique<protocol::ErbNode>(platform, id, host, pc, ias,
+                                               NodeId{0},
+                                               id == 0 ? message : Bytes{});
+  });
+  bed.start();
+  bed.run_rounds(cfg.effective_t() + 4, [&]() {
+    for (NodeId id = 0; id < cfg.n; ++id) {
+      if (!bed.enclave_as<protocol::ErbNode>(id).result().decided) {
+        return false;
+      }
+    }
+    return true;
+  });
+
+  for (NodeId id = 0; id < cfg.n; ++id) {
+    const auto& r = bed.enclave_as<protocol::ErbNode>(id).result();
+    std::printf("  node %u: accepted \"%s\" in round %u (t+2 deadline: %u)\n",
+                id, r.value ? to_string(*r.value).c_str() : "⊥", r.round,
+                cfg.effective_t() + 2);
+  }
+  std::printf("  wire traffic: %llu messages, %.1f KiB\n\n",
+              static_cast<unsigned long long>(bed.network().meter().messages()),
+              static_cast<double>(bed.network().meter().bytes()) / 1024.0);
+}
+
+void run_erng_quickstart() {
+  std::printf("--- ERNG: common unbiased random number (N=7) ---\n");
+
+  sim::TestbedConfig cfg;
+  cfg.n = 7;
+  cfg.net.base_delay = milliseconds(100);
+  cfg.net.max_jitter = milliseconds(100);
+  cfg.seed = 4040;
+
+  sim::Testbed bed(cfg);
+  bed.build([](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+               protocol::PeerConfig pc, const sgx::SimIAS& ias)
+                -> std::unique_ptr<protocol::PeerEnclave> {
+    return std::make_unique<protocol::ErngBasicNode>(platform, id, host, pc,
+                                                     ias);
+  });
+  bed.start();
+  bed.run_rounds(cfg.effective_t() + 4, [&]() {
+    for (NodeId id = 0; id < cfg.n; ++id) {
+      if (!bed.enclave_as<protocol::ErngBasicNode>(id).result().done) {
+        return false;
+      }
+    }
+    return true;
+  });
+
+  for (NodeId id = 0; id < cfg.n; ++id) {
+    const auto& r = bed.enclave_as<protocol::ErngBasicNode>(id).result();
+    std::printf("  node %u: r = %s… (%zu contributions, round %u)\n", id,
+                hex_encode(ByteView(r.value.data(), 8)).c_str(), r.set_size,
+                r.round);
+  }
+  std::printf("  every node holds the same 256-bit value — XOR of all %u\n"
+              "  enclave-generated contributions, none of which any host OS\n"
+              "  could read (P3) or withhold after seeing the others (P5).\n",
+              cfg.n);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== sgxp2p quickstart ===\n\n");
+  run_erb_quickstart();
+  run_erng_quickstart();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Random beacon service (Appendix H): periodic common randomness with a
+// verifiable log, surviving active byzantine omission nodes.
+#include <cstdio>
+
+#include "apps/beacon.hpp"
+
+using namespace sgxp2p;
+
+int main() {
+  std::printf("=== random beacon: 8 epochs over an 11-node deployment ===\n");
+  std::printf("3 nodes run a random-omission byzantine OS throughout\n\n");
+
+  apps::BeaconLog log = apps::run_beacon(/*n=*/11, /*epochs=*/8,
+                                         /*byzantine_omitters=*/3,
+                                         /*seed=*/2026);
+
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& e = log.entry(i);
+    std::printf("  epoch %llu: %s…  (%zu contributions)\n",
+                static_cast<unsigned long long>(e.epoch),
+                hex_encode(ByteView(e.value.data(), 12)).c_str(),
+                e.contributors);
+  }
+
+  Bytes root = log.root();
+  std::printf("\nbeacon log Merkle root: %s\n", hex_encode(root).c_str());
+  std::printf("hash-chain audit: %s\n", log.audit_chain() ? "OK" : "BROKEN");
+
+  // A light client verifies epoch 5 with an inclusion proof only.
+  auto proof = log.proof(5);
+  bool ok = apps::BeaconLog::verify(root, log.entry(5), 5, log.size(), proof);
+  std::printf("light-client proof for epoch 5 (%zu siblings): %s\n",
+              proof.size(), ok ? "VALID" : "INVALID");
+
+  // Tampered entry must fail.
+  apps::BeaconEntry forged = log.entry(5);
+  forged.value[0] ^= 1;
+  bool bad = apps::BeaconLog::verify(root, forged, 5, log.size(), proof);
+  std::printf("tampered-entry proof rejected: %s\n", bad ? "NO (!)" : "yes");
+  return 0;
+}

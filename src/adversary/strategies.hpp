@@ -1,0 +1,205 @@
+// Concrete byzantine host strategies.
+//
+// Each class realizes one of the paper's attack families (Section 2.3) at
+// the only surface left to the adversary after the SGX reduction — the
+// opaque-blob transfer layer:
+//   A2 (forgery)            → CorruptStrategy (must be absorbed by P2)
+//   A3 (selective omission) → SelectiveOmission / RandomOmission / Crash /
+//                             CiphertextSelective (shows P3 blinds content)
+//   A4 (delay)              → DelayStrategy (must be rejected by P5)
+//   A5 (replay)             → ReplayStrategy (must be rejected by P6)
+//   §6.3 worst case         → ChainStrategy (colluding chain that maximizes
+//                             rounds while P4 eliminates each link)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "adversary/strategy.hpp"
+
+namespace sgxp2p::adversary {
+
+/// Stops all communication (both directions) permanently from construction.
+/// The classic crash fault; also models a node whose enclave was killed.
+class CrashStrategy final : public Strategy {
+ public:
+  void on_send(HostContext&, NodeId, Bytes) override {}
+  void on_receive(HostContext&, NodeId, Bytes) override {}
+};
+
+/// Drops each outbound / inbound blob independently with fixed probability.
+class RandomOmissionStrategy final : public Strategy {
+ public:
+  RandomOmissionStrategy(double drop_send, double drop_recv)
+      : drop_send_(drop_send), drop_recv_(drop_recv) {}
+
+  void on_send(HostContext& ctx, NodeId to, Bytes blob) override {
+    if (!ctx.rng().chance(drop_send_)) ctx.forward(to, std::move(blob));
+  }
+  void on_receive(HostContext& ctx, NodeId from, Bytes blob) override {
+    if (!ctx.rng().chance(drop_recv_)) ctx.deliver(from, std::move(blob));
+  }
+
+ private:
+  double drop_send_;
+  double drop_recv_;
+};
+
+/// Identity-based selective omission (attack A3, second type): drops all
+/// traffic to/from the victim set, faithful to everyone else.
+class SelectiveOmissionStrategy final : public Strategy {
+ public:
+  explicit SelectiveOmissionStrategy(std::set<NodeId> victims,
+                                     bool drop_inbound = false)
+      : victims_(std::move(victims)), drop_inbound_(drop_inbound) {}
+
+  void on_send(HostContext& ctx, NodeId to, Bytes blob) override {
+    if (!victims_.contains(to)) ctx.forward(to, std::move(blob));
+  }
+  void on_receive(HostContext& ctx, NodeId from, Bytes blob) override {
+    if (!(drop_inbound_ && victims_.contains(from))) {
+      ctx.deliver(from, std::move(blob));
+    }
+  }
+
+ private:
+  std::set<NodeId> victims_;
+  bool drop_inbound_;
+};
+
+/// Content-based selective omission attempted against ciphertext (attack
+/// A3, first type): drops outbound blobs whose first payload byte matches a
+/// predicate. Against the blinded channel this can only implement an
+/// content-independent coin flip — the bias tests verify exactly that.
+class CiphertextSelectiveStrategy final : public Strategy {
+ public:
+  /// Drops when (first byte of the sealed blob) < threshold.
+  explicit CiphertextSelectiveStrategy(std::uint8_t threshold)
+      : threshold_(threshold) {}
+
+  void on_send(HostContext& ctx, NodeId to, Bytes blob) override {
+    if (blob.empty() || blob[0] >= threshold_) ctx.forward(to, std::move(blob));
+  }
+
+ private:
+  std::uint8_t threshold_;
+};
+
+/// Delay attack (A4): holds every outbound blob for `delay` before
+/// forwarding. With delay ≥ one round the receiver's P5 check rejects it.
+class DelayStrategy final : public Strategy {
+ public:
+  explicit DelayStrategy(SimDuration delay) : delay_(delay) {}
+
+  void on_send(HostContext& ctx, NodeId to, Bytes blob) override {
+    ctx.schedule_in(delay_, [&ctx, to, blob = std::move(blob)]() mutable {
+      ctx.forward(to, std::move(blob));
+    });
+  }
+
+ private:
+  SimDuration delay_;
+};
+
+/// Replay attack (A5): forwards faithfully, then re-sends a copy of every
+/// outbound blob after `replay_after`, and re-delivers inbound blobs to its
+/// own enclave. P6 (wire sequence window) must reject every duplicate.
+class ReplayStrategy final : public Strategy {
+ public:
+  explicit ReplayStrategy(SimDuration replay_after)
+      : replay_after_(replay_after) {}
+
+  void on_send(HostContext& ctx, NodeId to, Bytes blob) override {
+    Bytes copy = blob;
+    ctx.forward(to, std::move(blob));
+    ctx.schedule_in(replay_after_, [&ctx, to, copy = std::move(copy)]() mutable {
+      ctx.forward(to, std::move(copy));
+    });
+  }
+  void on_receive(HostContext& ctx, NodeId from, Bytes blob) override {
+    Bytes copy = blob;
+    ctx.deliver(from, std::move(blob));
+    ctx.schedule_in(replay_after_,
+                    [&ctx, from, copy = std::move(copy)]() mutable {
+                      ctx.deliver(from, copy);
+                    });
+  }
+
+ private:
+  SimDuration replay_after_;
+};
+
+/// Forgery attack (A2): flips a bit in each outbound blob with probability
+/// `p_corrupt`, and additionally injects fabricated blobs toward random
+/// peers. Every corrupted/injected blob must fail the channel MAC.
+class CorruptStrategy final : public Strategy {
+ public:
+  CorruptStrategy(double p_corrupt, std::uint32_t n_nodes, bool inject = true)
+      : p_corrupt_(p_corrupt), n_(n_nodes), inject_(inject) {}
+
+  void on_send(HostContext& ctx, NodeId to, Bytes blob) override {
+    if (!blob.empty() && ctx.rng().chance(p_corrupt_)) {
+      std::size_t at = ctx.rng().next_below(blob.size());
+      blob[at] ^= static_cast<std::uint8_t>(1 + ctx.rng().next_below(255));
+    }
+    ctx.forward(to, std::move(blob));
+    if (inject_ && ctx.rng().chance(p_corrupt_)) {
+      Bytes junk(64 + ctx.rng().next_below(64));
+      for (auto& b : junk) b = static_cast<std::uint8_t>(ctx.rng().next_u64());
+      ctx.forward(static_cast<NodeId>(ctx.rng().next_below(n_)),
+                  std::move(junk));
+    }
+  }
+
+ private:
+  double p_corrupt_;
+  std::uint32_t n_;
+  bool inject_;
+};
+
+/// Shared plan for the colluding chain of Section 6.3: byzantine node k
+/// relays the broadcast only to byzantine node k+1 each round (then P4
+/// eliminates k); the final link releases the message — to one designated
+/// honest node (worst case: honest nodes then need two more rounds) or to
+/// nobody (honest nodes decide ⊥ at t+2).
+struct ChainPlan {
+  std::vector<NodeId> order;  // byzantine nodes, relay order
+  enum class Release { kSingleHonest, kAllHonest, kNobody };
+  Release release = Release::kSingleHonest;
+  NodeId honest_target = kNoNode;  // used with kSingleHonest
+};
+
+class ChainStrategy final : public Strategy {
+ public:
+  explicit ChainStrategy(std::shared_ptr<const ChainPlan> plan)
+      : plan_(std::move(plan)) {}
+
+  void on_send(HostContext& ctx, NodeId to, Bytes blob) override {
+    const auto& order = plan_->order;
+    std::size_t k = 0;
+    while (k < order.size() && order[k] != ctx.self()) ++k;
+    if (k + 1 < order.size()) {
+      // Interior link: relay only down the chain.
+      if (to == order[k + 1]) ctx.forward(to, std::move(blob));
+      return;
+    }
+    // Final link: release per plan.
+    switch (plan_->release) {
+      case ChainPlan::Release::kAllHonest:
+        ctx.forward(to, std::move(blob));
+        break;
+      case ChainPlan::Release::kSingleHonest:
+        if (to == plan_->honest_target) ctx.forward(to, std::move(blob));
+        break;
+      case ChainPlan::Release::kNobody:
+        break;
+    }
+  }
+
+ private:
+  std::shared_ptr<const ChainPlan> plan_;
+};
+
+}  // namespace sgxp2p::adversary

@@ -1,0 +1,65 @@
+// Random beacon service (Appendix H, "Random Beacons").
+//
+// A beacon emits a public, unpredictable, unbiased random value per epoch.
+// Each epoch runs one ERNG execution over a (fresh) simulated deployment;
+// the emitted values are chained into a log whose entries commit to their
+// predecessor (hash chain) and which carries a Merkle root over all entries,
+// so a light client can verify any single beacon with a log-position proof —
+// the shape of NIST-style beacon services [10], but with the trust rooted in
+// the SGX-backed protocol instead of a single operator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/merkle.hpp"
+
+namespace sgxp2p::apps {
+
+struct BeaconEntry {
+  std::uint64_t epoch = 0;
+  Bytes value;       // the ERNG output (32 bytes)
+  Bytes prev_hash;   // hash of the previous entry (chain link)
+  std::size_t contributors = 0;  // |S_final| of that execution
+
+  /// Canonical serialization (what gets hashed / proven).
+  [[nodiscard]] Bytes serialize() const;
+};
+
+class BeaconLog {
+ public:
+  /// Appends an epoch value; returns the entry (with its chain link).
+  const BeaconEntry& append(Bytes value, std::size_t contributors);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const BeaconEntry& entry(std::size_t i) const {
+    return entries_.at(i);
+  }
+
+  /// Merkle root over all entries (recomputed on demand).
+  [[nodiscard]] Bytes root() const;
+  /// Inclusion proof for entry `i` against root().
+  [[nodiscard]] std::vector<Bytes> proof(std::size_t i) const;
+  /// Light-client check: entry `i` of a log with `size` entries and `root`.
+  static bool verify(ByteView root, const BeaconEntry& entry, std::size_t i,
+                     std::size_t size, const std::vector<Bytes>& proof);
+
+  /// Full-chain audit: every prev_hash link matches.
+  [[nodiscard]] bool audit_chain() const;
+
+ private:
+  [[nodiscard]] std::vector<Bytes> leaves() const;
+  std::vector<BeaconEntry> entries_;
+};
+
+/// Runs `epochs` ERNG executions over an N-node simulated deployment with
+/// `byzantine_omitters` random-omission nodes, appending each epoch's output
+/// to a log. Returns the log. (Each epoch is an independent deployment —
+/// the simulation harness is single-execution; a production beacon would
+/// reuse the session with bumped sequence numbers.)
+BeaconLog run_beacon(std::uint32_t n, std::uint32_t epochs,
+                     std::uint32_t byzantine_omitters, std::uint64_t seed);
+
+}  // namespace sgxp2p::apps

@@ -1,0 +1,67 @@
+#include "apps/dkg.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/merkle.hpp"
+
+namespace sgxp2p::apps {
+
+namespace {
+Bytes share_leaf(const crypto::Share& share) {
+  BinaryWriter w;
+  w.u8(share.x);
+  w.bytes(share.y);
+  return w.take();
+}
+}  // namespace
+
+DealerPackage dkg_deal(std::uint8_t n, std::uint8_t k, std::size_t secret_len,
+                       crypto::Drbg& drbg) {
+  DealerPackage pkg;
+  pkg.n = n;
+  pkg.k = k;
+  Bytes secret = drbg.generate(secret_len);
+  auto shares = crypto::shamir_split(secret, n, k, drbg);
+
+  std::vector<Bytes> leaves;
+  leaves.reserve(n);
+  for (const auto& share : shares) leaves.push_back(share_leaf(share));
+  crypto::MerkleTree tree(leaves);
+  pkg.commitment = tree.root();
+  pkg.shares.resize(n);
+  for (std::uint8_t i = 0; i < n; ++i) {
+    pkg.shares[i].share = std::move(shares[i]);
+    pkg.shares[i].proof = tree.proof(i);
+  }
+  return pkg;
+}
+
+bool dkg_verify_share(const Bytes& commitment, const DealtShare& share,
+                      std::uint8_t n) {
+  if (share.share.x == 0 || share.share.x > n) return false;
+  std::size_t index = static_cast<std::size_t>(share.share.x) - 1;
+  return crypto::MerkleTree::verify(commitment, share_leaf(share.share),
+                                    index, n, share.proof);
+}
+
+std::optional<crypto::Share> dkg_combine_shares(
+    const std::vector<crypto::Share>& dealt_to_me) {
+  if (dealt_to_me.empty()) return std::nullopt;
+  crypto::Share combined;
+  combined.x = dealt_to_me.front().x;
+  combined.y = dealt_to_me.front().y;
+  for (std::size_t d = 1; d < dealt_to_me.size(); ++d) {
+    const auto& s = dealt_to_me[d];
+    if (s.x != combined.x || s.y.size() != combined.y.size()) {
+      return std::nullopt;
+    }
+    xor_into(combined.y, s.y);  // GF(2^8) addition: polynomials add
+  }
+  return combined;
+}
+
+std::optional<Bytes> dkg_reconstruct(const std::vector<crypto::Share>& shares,
+                                     std::uint8_t k) {
+  return crypto::shamir_reconstruct(shares, k);
+}
+
+}  // namespace sgxp2p::apps

@@ -1,0 +1,62 @@
+// Distributed key generation with verifiable shares (Appendix H, "Shared
+// Key Generation", after Gennaro et al. [55, 56] in spirit).
+//
+// Every participant acts as a dealer: it Shamir-shares a random secret and
+// publishes a Merkle commitment over the share vector (dealt shares travel
+// over the blinded channel in a deployment; here the dealing itself is the
+// library surface). Because Shamir over GF(2^8) is linear and addition is
+// XOR, participants combine dealers' contributions locally:
+//
+//   final_secret   = ⊕_d secret_d
+//   final_share_i  = ⊕_d share_{d,i}      (same evaluation point x = i+1)
+//
+// so any k participants reconstruct the group secret even though no single
+// party — dealer included — ever saw it. The Merkle commitments make each
+// dealt share verifiable against a 32-byte public root, so a byzantine
+// dealer handing inconsistent shares is caught at dealing time (the
+// complaint phase of a full DKG; here surfaced as verify_share = false).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/shamir.hpp"
+
+namespace sgxp2p::apps {
+
+struct DealtShare {
+  crypto::Share share;          // evaluation point + bytes
+  std::vector<Bytes> proof;     // Merkle inclusion proof against the root
+};
+
+struct DealerPackage {
+  Bytes commitment;                 // Merkle root over all n shares (public)
+  std::vector<DealtShare> shares;   // shares[i] goes privately to node i
+  std::uint8_t n = 0;
+  std::uint8_t k = 0;
+};
+
+/// Deals a fresh random `secret_len`-byte secret into n shares, threshold k.
+/// The dealer's secret itself is recoverable from any k shares; callers
+/// normally discard it (it is XOR-folded into the group secret).
+DealerPackage dkg_deal(std::uint8_t n, std::uint8_t k, std::size_t secret_len,
+                       crypto::Drbg& drbg);
+
+/// Verifies that a dealt share matches the dealer's public commitment.
+bool dkg_verify_share(const Bytes& commitment, const DealtShare& share,
+                      std::uint8_t n);
+
+/// Participant-side combination: XOR-folds the verified shares received
+/// from every dealer into this participant's final share. All inputs must
+/// carry the same evaluation point. Returns nullopt on mismatch.
+std::optional<crypto::Share> dkg_combine_shares(
+    const std::vector<crypto::Share>& dealt_to_me);
+
+/// Reconstructs the group secret from ≥ k combined shares.
+std::optional<Bytes> dkg_reconstruct(const std::vector<crypto::Share>& shares,
+                                     std::uint8_t k);
+
+}  // namespace sgxp2p::apps

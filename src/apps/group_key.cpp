@@ -1,0 +1,25 @@
+#include "apps/group_key.hpp"
+
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sgxp2p::apps {
+
+Bytes derive_group_key(ByteView common_random, ByteView label) {
+  return crypto::hkdf(to_bytes("sgxp2p-group-key"), common_random, label,
+                      crypto::kAeadKeySize);
+}
+
+Bytes group_seal(ByteView group_key, std::uint64_t message_index,
+                 ByteView plaintext) {
+  std::uint8_t nonce[crypto::kAeadNonceSize] = {};
+  store_le64(nonce, message_index);
+  return crypto::aead_seal(group_key, ByteView(nonce, sizeof nonce),
+                           to_bytes("group"), plaintext);
+}
+
+std::optional<Bytes> group_open(ByteView group_key, ByteView sealed) {
+  return crypto::aead_open(group_key, to_bytes("group"), sealed);
+}
+
+}  // namespace sgxp2p::apps

@@ -1,0 +1,28 @@
+// Shared key generation (Appendix H, "Shared Key Generation").
+//
+// An ERNG output is a 256-bit value every honest node holds and no host
+// observed in the clear — directly usable as group-key material. We derive
+// labeled keys with HKDF (so one beacon value can key several independent
+// purposes) and provide group-sealed messaging over the derived key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p::apps {
+
+/// Derives a purpose-labeled group key from a common random value.
+Bytes derive_group_key(ByteView common_random, ByteView label);
+
+/// AEAD-seals `plaintext` for the group; `message_index` must be unique per
+/// key (it feeds the nonce).
+Bytes group_seal(ByteView group_key, std::uint64_t message_index,
+                 ByteView plaintext);
+
+/// Opens a group-sealed message; nullopt when the key is wrong or the
+/// ciphertext was tampered with.
+std::optional<Bytes> group_open(ByteView group_key, ByteView sealed);
+
+}  // namespace sgxp2p::apps

@@ -1,0 +1,39 @@
+#include "apps/load_balancer.hpp"
+
+#include <algorithm>
+
+#include "crypto/hmac.hpp"
+
+namespace sgxp2p::apps {
+
+LoadBalancer::LoadBalancer(ByteView beacon_value, std::uint32_t workers)
+    : key_(crypto::hkdf(to_bytes("sgxp2p-load-balancer"), beacon_value, {},
+                        32)),
+      workers_(std::max(1u, workers)) {}
+
+std::uint32_t LoadBalancer::assign(std::uint64_t task_id) const {
+  std::uint8_t msg[8];
+  store_le64(msg, task_id);
+  auto mac = crypto::HmacSha256::mac(key_, ByteView(msg, sizeof msg));
+  // 64 bits of PRF output mod workers: bias ≤ workers/2^64, negligible.
+  return static_cast<std::uint32_t>(load_le64(mac.data()) % workers_);
+}
+
+std::vector<std::uint32_t> LoadBalancer::histogram(std::uint64_t tasks) const {
+  std::vector<std::uint32_t> counts(workers_, 0);
+  for (std::uint64_t task = 0; task < tasks; ++task) ++counts[assign(task)];
+  return counts;
+}
+
+std::optional<std::uint32_t> PlacementQuorum::vote(std::uint32_t decider,
+                                                   std::uint64_t task,
+                                                   std::uint32_t worker) {
+  auto& deciders = votes_[task][worker];
+  if (std::find(deciders.begin(), deciders.end(), decider) == deciders.end()) {
+    deciders.push_back(decider);
+  }
+  if (deciders.size() >= quorum_) return worker;
+  return std::nullopt;
+}
+
+}  // namespace sgxp2p::apps

@@ -1,0 +1,55 @@
+// Random load balancing by common coin (Appendix H, "Random Load
+// Balancing").
+//
+// Instead of a central dispatcher (a single point of failure/compromise),
+// every decider derives task placements from the epoch's common random value
+// with a PRF: placement(task) = HMAC(beacon, task) mod workers. Any majority
+// of deciders independently computes identical placements, so a worker can
+// act once it has matching assignments from half the deciders — the scheme
+// keeps working when up to half of them crash or lie.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p::apps {
+
+class LoadBalancer {
+ public:
+  LoadBalancer(ByteView beacon_value, std::uint32_t workers);
+
+  /// The worker a task lands on — deterministic in (beacon, task).
+  [[nodiscard]] std::uint32_t assign(std::uint64_t task_id) const;
+
+  /// Per-worker counts for tasks [0, tasks) (balance statistics).
+  [[nodiscard]] std::vector<std::uint32_t> histogram(std::uint64_t tasks) const;
+
+ private:
+  Bytes key_;
+  std::uint32_t workers_;
+};
+
+/// A worker-side quorum check: accepts a task once ≥ quorum deciders sent
+/// the same placement. Tolerates deciders that crash (never vote) or lie
+/// (vote differently).
+class PlacementQuorum {
+ public:
+  PlacementQuorum(std::uint32_t quorum) : quorum_(quorum) {}
+
+  /// Records decider `decider`'s claim that `task` belongs to `worker`.
+  /// Returns the confirmed worker once a quorum of identical claims exists.
+  std::optional<std::uint32_t> vote(std::uint32_t decider, std::uint64_t task,
+                                    std::uint32_t worker);
+
+ private:
+  std::uint32_t quorum_;
+  // task → (worker → distinct deciders that claimed it)
+  std::map<std::uint64_t, std::map<std::uint32_t, std::vector<std::uint32_t>>>
+      votes_;
+};
+
+}  // namespace sgxp2p::apps

@@ -1,0 +1,86 @@
+#include "apps/random_walk.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/serde.hpp"
+#include "crypto/drbg.hpp"
+
+namespace sgxp2p::apps {
+
+Overlay::Overlay(std::uint32_t n, std::uint32_t chords) : n_(n) {
+  adjacency_.resize(n);
+  auto link = [&](NodeId a, NodeId b) {
+    if (a == b) return;
+    if (std::find(adjacency_[a].begin(), adjacency_[a].end(), b) ==
+        adjacency_[a].end()) {
+      adjacency_[a].push_back(b);
+      adjacency_[b].push_back(a);
+    }
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    link(i, (i + 1) % n);
+    for (std::uint32_t j = 1; j <= chords; ++j) {
+      std::uint32_t span = 1u << j;
+      if (span >= n) break;
+      link(i, (i + span) % n);
+    }
+  }
+  for (auto& neighbors : adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+}
+
+std::uint32_t Overlay::eccentricity(NodeId from) const {
+  std::vector<std::uint32_t> dist(n_, ~0u);
+  std::deque<NodeId> queue{from};
+  dist[from] = 0;
+  std::uint32_t max_dist = 0;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : adjacency_[u]) {
+      if (dist[v] == ~0u) {
+        dist[v] = dist[u] + 1;
+        max_dist = std::max(max_dist, dist[v]);
+        queue.push_back(v);
+      }
+    }
+  }
+  return max_dist;
+}
+
+WalkResult common_coin_walk(const Overlay& overlay, NodeId start,
+                            std::uint32_t steps, ByteView beacon_value,
+                            std::uint64_t walk_tag) {
+  BinaryWriter seed;
+  seed.str("sgxp2p-walk");
+  seed.bytes(beacon_value);
+  seed.u64(walk_tag);
+  crypto::Drbg drbg(seed.view());
+
+  WalkResult result;
+  NodeId current = start;
+  result.path.push_back(current);
+  for (std::uint32_t s = 0; s < steps; ++s) {
+    const auto& neighbors = overlay.neighbors(current);
+    current = neighbors[drbg.next_below(neighbors.size())];
+    result.path.push_back(current);
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> endpoint_histogram(const Overlay& overlay,
+                                              NodeId start,
+                                              std::uint32_t steps,
+                                              ByteView beacon_value,
+                                              std::uint32_t walks) {
+  std::vector<std::uint32_t> histogram(overlay.size(), 0);
+  for (std::uint32_t w = 0; w < walks; ++w) {
+    auto result = common_coin_walk(overlay, start, steps, beacon_value, w);
+    ++histogram[result.path.back()];
+  }
+  return histogram;
+}
+
+}  // namespace sgxp2p::apps

@@ -1,0 +1,58 @@
+// Byzantine-robust random walks over a sparse overlay (Appendix H,
+// "Random Walks", after Guerraoui et al. [58]).
+//
+// A structured P2P overlay must place nodes uniformly to stay an expander;
+// the placement walks must take steps byzantine nodes can neither predict
+// nor bias. Here the overlay is a ring with deterministic chord links
+// (degree 2k, diameter O(log N)), and each walk draws every next-hop index
+// from a DRBG keyed by a common ERNG/beacon value — every honest node can
+// recompute the identical walk (agreement), while no node could have
+// predicted it before the beacon epoch closed (unbiasedness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace sgxp2p::apps {
+
+/// Ring + chord overlay: node i links to i±1 and i ± 2^j for j < chords.
+class Overlay {
+ public:
+  Overlay(std::uint32_t n, std::uint32_t chords);
+
+  [[nodiscard]] std::uint32_t size() const { return n_; }
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId id) const {
+    return adjacency_.at(id);
+  }
+  /// Graph diameter via BFS from `from` (for expander sanity checks).
+  [[nodiscard]] std::uint32_t eccentricity(NodeId from) const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+struct WalkResult {
+  std::vector<NodeId> path;  // path.front() = start, path.back() = endpoint
+};
+
+/// Deterministic walk of `steps` hops from `start`, with each hop index
+/// drawn from a DRBG seeded by (beacon_value, walk_tag). Two honest nodes
+/// with the same beacon value compute the same walk.
+WalkResult common_coin_walk(const Overlay& overlay, NodeId start,
+                            std::uint32_t steps, ByteView beacon_value,
+                            std::uint64_t walk_tag);
+
+/// Endpoint distribution check: runs `walks` walks with distinct tags and
+/// returns the per-node visit count of endpoints (used to verify near-
+/// uniform placement in tests).
+std::vector<std::uint32_t> endpoint_histogram(const Overlay& overlay,
+                                              NodeId start,
+                                              std::uint32_t steps,
+                                              ByteView beacon_value,
+                                              std::uint32_t walks);
+
+}  // namespace sgxp2p::apps

@@ -1,0 +1,77 @@
+#include "channel/handshake.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/x25519.hpp"
+
+namespace sgxp2p::channel {
+
+Bytes HandshakeMsg::serialize() const {
+  BinaryWriter w;
+  w.u32(sender);
+  w.bytes(quote.serialize());
+  return w.take();
+}
+
+std::optional<HandshakeMsg> HandshakeMsg::deserialize(ByteView data) {
+  BinaryReader r(data);
+  HandshakeMsg msg;
+  msg.sender = r.u32();
+  Bytes quote_bytes = r.bytes();
+  if (!r.done()) return std::nullopt;
+  auto quote = sgx::Quote::deserialize(quote_bytes);
+  if (!quote) return std::nullopt;
+  msg.quote = std::move(*quote);
+  return msg;
+}
+
+HandshakeMsg make_handshake(NodeId self, sgx::Quote quote) {
+  return HandshakeMsg{self, std::move(quote)};
+}
+
+std::optional<LinkKeys> complete_handshake(const HandshakeMsg& peer_msg,
+                                           NodeId self, ByteView dh_private,
+                                           const sgx::Measurement& expected,
+                                           const sgx::SimIAS& ias) {
+  if (!ias.verify(peer_msg.quote, expected)) return std::nullopt;
+  if (peer_msg.quote.report_data.size() != crypto::kX25519KeySize) {
+    return std::nullopt;
+  }
+  if (peer_msg.sender == self) return std::nullopt;
+
+  Bytes shared = crypto::x25519_shared(dh_private, peer_msg.quote.report_data);
+
+  // Orientation-independent derivation: both ends compute the same OKM from
+  // (shared, lo-id, hi-id, measurement) and slice it by direction.
+  NodeId lo = std::min(self, peer_msg.sender);
+  NodeId hi = std::max(self, peer_msg.sender);
+  BinaryWriter info;
+  info.str("sgxp2p-link-v1");
+  info.u32(lo);
+  info.u32(hi);
+  info.raw(ByteView(expected.data(), expected.size()));
+
+  constexpr std::size_t kKeyLen = 64;  // crypto::kAeadKeySize
+  Bytes okm = crypto::hkdf(to_bytes("sgxp2p-channel"), shared, info.view(),
+                           2 * kKeyLen + 16);
+  Bytes key_lo_to_hi(okm.begin(), okm.begin() + kKeyLen);
+  Bytes key_hi_to_lo(okm.begin() + kKeyLen, okm.begin() + 2 * kKeyLen);
+  std::uint64_t seq_lo_to_hi = load_le64(okm.data() + 2 * kKeyLen);
+  std::uint64_t seq_hi_to_lo = load_le64(okm.data() + 2 * kKeyLen + 8);
+
+  LinkKeys keys;
+  if (self == lo) {
+    keys.send_key = std::move(key_lo_to_hi);
+    keys.recv_key = std::move(key_hi_to_lo);
+    keys.send_seq0 = seq_lo_to_hi;
+    keys.recv_seq0 = seq_hi_to_lo;
+  } else {
+    keys.send_key = std::move(key_hi_to_lo);
+    keys.recv_key = std::move(key_lo_to_hi);
+    keys.send_seq0 = seq_hi_to_lo;
+    keys.recv_seq0 = seq_lo_to_hi;
+  }
+  return keys;
+}
+
+}  // namespace sgxp2p::channel

@@ -1,0 +1,57 @@
+// Channel setup (the paper's setup phase, Appendix A `Init`).
+//
+// Every pair of enclaves performs: remote attestation of each other's
+// program (F3), an X25519 key exchange with the ephemeral public key bound
+// into the quote's report_data (preventing quote relay / MITM by the host),
+// and derivation of per-direction channel keys plus secret initial sequence
+// numbers via HKDF.
+//
+// The paper has each peer *send* a random initial sequence number over the
+// fresh channel; deriving both initial numbers from the shared secret is
+// equivalent (they are uniformly random and secret from the host, which is
+// all P6 uses) and saves one round trip. DESIGN.md §5 records this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/measurement.hpp"
+
+namespace sgxp2p::channel {
+
+/// First (and only) handshake message each side emits: an attestation quote
+/// whose report_data is the sender's ephemeral X25519 public key.
+struct HandshakeMsg {
+  NodeId sender = kNoNode;
+  sgx::Quote quote;
+
+  [[nodiscard]] Bytes serialize() const;
+  static std::optional<HandshakeMsg> deserialize(ByteView data);
+};
+
+/// Directional key material for one established link.
+struct LinkKeys {
+  Bytes send_key;              // kAeadKeySize bytes
+  Bytes recv_key;              // kAeadKeySize bytes
+  std::uint64_t send_seq0 = 0; // initial wire sequence number, secret
+  std::uint64_t recv_seq0 = 0;
+};
+
+/// Builds the local half of the handshake. `quote` must attest the caller's
+/// program with report_data = the ephemeral X25519 public key (the enclave
+/// produces it via its protected quote() capability).
+HandshakeMsg make_handshake(NodeId self, sgx::Quote quote);
+
+/// Verifies the peer's handshake (quote authenticity + expected program
+/// measurement) and derives the link keys. Returns nullopt if attestation
+/// fails — the peer is then excluded from the network (paper: setup phase
+/// admits only attested peers).
+std::optional<LinkKeys> complete_handshake(const HandshakeMsg& peer_msg,
+                                           NodeId self, ByteView dh_private,
+                                           const sgx::Measurement& expected,
+                                           const sgx::SimIAS& ias);
+
+}  // namespace sgxp2p::channel

@@ -1,0 +1,63 @@
+#include "channel/secure_link.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/aead.hpp"
+
+namespace sgxp2p::channel {
+
+namespace {
+Bytes direction_aad(NodeId from, NodeId to, const sgx::Measurement& program) {
+  BinaryWriter w;
+  w.str("sgxp2p-msg-v1");
+  w.u32(from);
+  w.u32(to);
+  w.raw(ByteView(program.data(), program.size()));
+  return w.take();
+}
+}  // namespace
+
+SecureLink::SecureLink(NodeId self, NodeId peer, LinkKeys keys,
+                       const sgx::Measurement& program)
+    : self_(self),
+      peer_(peer),
+      keys_(std::move(keys)),
+      aad_send_(direction_aad(self, peer, program)),
+      aad_recv_(direction_aad(peer, self, program)),
+      send_seq_(keys_.send_seq0),
+      recv_next_(keys_.recv_seq0) {}
+
+Bytes SecureLink::seal(ByteView plaintext) {
+  std::uint8_t nonce[crypto::kAeadNonceSize] = {};
+  store_le64(nonce, send_seq_++);
+  ++sealed_count_;
+  return crypto::aead_seal(keys_.send_key, ByteView(nonce, sizeof nonce),
+                           aad_send_, plaintext);
+}
+
+std::optional<Bytes> SecureLink::open(ByteView blob) {
+  if (blob.size() < crypto::kAeadOverhead) {
+    ++rejected_count_;
+    return std::nullopt;
+  }
+  // The wire sequence number rides in the nonce (authenticated by the AEAD).
+  std::uint64_t seq = load_le64(blob.data());
+  if (seq < recv_next_ || recv_seen_.contains(seq)) {
+    ++rejected_count_;
+    return std::nullopt;  // replay
+  }
+  auto plaintext = crypto::aead_open(keys_.recv_key, aad_recv_, blob);
+  if (!plaintext) {
+    ++rejected_count_;
+    return std::nullopt;
+  }
+  // Mark accepted; compact the window when the low end becomes contiguous.
+  recv_seen_.insert(seq);
+  while (recv_seen_.contains(recv_next_)) {
+    recv_seen_.erase(recv_next_);
+    ++recv_next_;
+  }
+  ++opened_count_;
+  return plaintext;
+}
+
+}  // namespace sgxp2p::channel

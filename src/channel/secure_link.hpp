@@ -1,0 +1,64 @@
+// SecureLink — the established blinded channel between two enclaves.
+//
+// Implements the Write/Read algorithms of PeerCh_sgx (Appendix A, Fig. 4):
+// every payload is encrypted and MAC'd (encrypt-then-MAC) under keys only
+// the two enclaves hold, with the program measurement bound into the
+// associated data (the Fig. 4 H(π) check) and a per-message wire sequence
+// number carried in the AEAD nonce. The receiving side enforces
+// at-most-once delivery with a replay window, so a byzantine host replaying
+// old ciphertexts — attack A5 — achieves nothing (Theorem A.2's reduction).
+//
+// What the host sees of a sealed message: uniformly random-looking bytes of
+// length plaintext + kAeadOverhead. It cannot correlate content (P3), which
+// is what rules out content-selective omission (attack A3, first type).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "channel/handshake.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "sgx/measurement.hpp"
+
+namespace sgxp2p::channel {
+
+class SecureLink {
+ public:
+  /// `self`/`peer` orient the channel; `keys` comes from complete_handshake.
+  SecureLink(NodeId self, NodeId peer, LinkKeys keys,
+             const sgx::Measurement& program);
+
+  /// Seals a plaintext for the peer. Consumes one send sequence number.
+  Bytes seal(ByteView plaintext);
+
+  /// Opens an inbound blob. Returns nullopt when the MAC fails (forgery,
+  /// corruption, wrong program) or the sequence number was already accepted
+  /// (replay). Out-of-order but fresh messages are accepted — reordering
+  /// within a round is indistinguishable from network jitter; staleness
+  /// across rounds is the protocol layer's P5 check.
+  std::optional<Bytes> open(ByteView blob);
+
+  [[nodiscard]] NodeId peer() const { return peer_; }
+  [[nodiscard]] std::uint64_t sealed_count() const { return sealed_count_; }
+  [[nodiscard]] std::uint64_t opened_count() const { return opened_count_; }
+  [[nodiscard]] std::uint64_t rejected_count() const { return rejected_count_; }
+
+ private:
+  NodeId self_;
+  NodeId peer_;
+  LinkKeys keys_;
+  Bytes aad_send_;
+  Bytes aad_recv_;
+  std::uint64_t send_seq_;
+  // Replay window: lowest not-yet-seen recv sequence + the sparse set of
+  // accepted sequences above it.
+  std::uint64_t recv_next_;
+  std::set<std::uint64_t> recv_seen_;
+  std::uint64_t sealed_count_ = 0;
+  std::uint64_t opened_count_ = 0;
+  std::uint64_t rejected_count_ = 0;
+};
+
+}  // namespace sgxp2p::channel

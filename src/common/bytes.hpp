@@ -1,0 +1,98 @@
+// Byte-buffer utilities shared by every module.
+//
+// A `Bytes` value is the universal currency of this codebase: ciphertexts,
+// serialized protocol messages, keys, and attestation quotes are all plain
+// byte vectors. Helpers here keep conversions explicit and bounds-checked.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgxp2p {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes from the raw characters of a string (no encoding applied).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte view as text. Only for diagnostics; protocol data stays
+/// binary.
+inline std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Lowercase hex encoding, two characters per byte.
+std::string hex_encode(ByteView data);
+
+/// Strict hex decoding: even length, [0-9a-fA-F] only. Returns nullopt on any
+/// malformed input rather than guessing.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Concatenates any number of byte views.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  std::size_t total = (static_cast<std::size_t>(0) + ... + views.size());
+  out.reserve(total);
+  (append(out, ByteView(views)), ...);
+  return out;
+}
+
+/// XORs `src` into `dst` (dst ^= src). Sizes must match.
+void xor_into(Bytes& dst, ByteView src);
+
+/// Fixed-width little-endian store/load helpers used by serialization and the
+/// crypto kernels (which are specified little-endian).
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_le32(p)) |
+         (static_cast<std::uint64_t>(load_le32(p + 4)) << 32);
+}
+/// Big-endian forms (SHA-256 is specified big-endian).
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+}  // namespace sgxp2p

@@ -1,0 +1,31 @@
+// Invariant checks that stay on in release builds.
+//
+// Protocol code uses CHECK for conditions whose violation indicates a bug in
+// this repository (never for conditions an adversary controls — those are
+// handled as protocol events). Following the Core Guidelines' advice on
+// preconditions, failures abort with location info rather than unwinding.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgxp2p::check_detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace sgxp2p::check_detail
+
+#define CHECK(cond)                                                       \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::sgxp2p::check_detail::fail(#cond, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define CHECK_MSG(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::sgxp2p::check_detail::fail(#cond, __FILE__, __LINE__, (msg));     \
+  } while (0)

@@ -1,0 +1,36 @@
+// Strongly-typed identifiers used across the network and protocol layers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace sgxp2p {
+
+/// Peer identifier. The paper assumes every peer has a public identifier
+/// (assumption S1); in the simulator these are dense indices [0, N).
+using NodeId = std::uint32_t;
+
+constexpr NodeId kNoNode = 0xffffffffu;
+
+/// Identifies one broadcast instance: the initiator plus the initiator's
+/// per-instance sequence epoch. ERNG runs N concurrent ERB instances, so all
+/// protocol state is keyed by InstanceId.
+struct InstanceId {
+  NodeId initiator = kNoNode;
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const InstanceId&, const InstanceId&) = default;
+  friend auto operator<=>(const InstanceId&, const InstanceId&) = default;
+};
+
+}  // namespace sgxp2p
+
+template <>
+struct std::hash<sgxp2p::InstanceId> {
+  std::size_t operator()(const sgxp2p::InstanceId& id) const noexcept {
+    std::uint64_t h = (static_cast<std::uint64_t>(id.initiator) << 32) ^
+                      (id.epoch * 0x9e3779b97f4a7c15ULL);
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,20 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace sgxp2p {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                           "WARN", "ERROR", "OFF"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
+               message.c_str());
+}
+
+}  // namespace sgxp2p

@@ -1,0 +1,55 @@
+// Leveled stderr logging.
+//
+// The simulator is single-threaded but the TCP transport is not, so emission
+// is serialized with a mutex. Verbosity defaults to Warn to keep test and
+// benchmark output clean; examples raise it for narration.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sgxp2p {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mu_;
+};
+
+namespace log_detail {
+template <typename... Args>
+std::string format_args(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace log_detail
+
+#define SGXP2P_LOG(level, ...)                                              \
+  do {                                                                      \
+    if (::sgxp2p::Logger::instance().enabled(level)) {                      \
+      ::sgxp2p::Logger::instance().write(                                   \
+          level, ::sgxp2p::log_detail::format_args(__VA_ARGS__));           \
+    }                                                                       \
+  } while (0)
+
+#define LOG_TRACE(...) SGXP2P_LOG(::sgxp2p::LogLevel::Trace, __VA_ARGS__)
+#define LOG_DEBUG(...) SGXP2P_LOG(::sgxp2p::LogLevel::Debug, __VA_ARGS__)
+#define LOG_INFO(...) SGXP2P_LOG(::sgxp2p::LogLevel::Info, __VA_ARGS__)
+#define LOG_WARN(...) SGXP2P_LOG(::sgxp2p::LogLevel::Warn, __VA_ARGS__)
+#define LOG_ERROR(...) SGXP2P_LOG(::sgxp2p::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace sgxp2p

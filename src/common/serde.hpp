@@ -1,0 +1,130 @@
+// Minimal binary serialization.
+//
+// The paper's prototype serialized messages with protobuf + rapidjson; we use
+// a hand-rolled fixed-layout binary codec instead so the repository has no
+// external dependencies and the on-wire size accounting in the benchmarks is
+// exact. Integers are little-endian fixed width; variable-length fields are
+// length-prefixed with u32. The reader never reads past its view and reports
+// truncation via `ok()` instead of throwing mid-parse, so a byzantine host
+// feeding garbage to an enclave cannot crash it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p {
+
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    std::size_t n = buf_.size();
+    buf_.resize(n + 4);
+    store_le32(buf_.data() + n, v);
+  }
+  void u64(std::uint64_t v) {
+    std::size_t n = buf_.size();
+    buf_.resize(n + 8);
+    store_le64(buf_.data() + n, v);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed byte string.
+  void bytes(ByteView v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    append(buf_, v);
+  }
+  void str(std::string_view s) {
+    bytes(ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  /// Raw bytes with no length prefix (fixed-size fields like hashes/keys).
+  void raw(ByteView v) { append(buf_, v); }
+
+  [[nodiscard]] const Bytes& view() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(ByteView data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = load_le32(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = load_le64(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  Bytes bytes() {
+    std::uint32_t n = u32();
+    if (!need(n)) return {};
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::string str() {
+    Bytes b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+  /// Fixed-size field with no length prefix.
+  Bytes raw(std::size_t n) {
+    if (!need(n)) return {};
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  /// True iff no read so far ran off the end of the buffer.
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True iff every byte has been consumed and no read failed. Parsers should
+  /// require this to reject trailing garbage.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace sgxp2p

@@ -1,0 +1,27 @@
+// Virtual-time types for the discrete-event simulator.
+//
+// All protocol timing in this repository is expressed in virtual
+// milliseconds. The simulator owns the clock; the SGX trusted-time feature
+// (F4) exposes it to enclaves in whole seconds, matching the Linux SGX SDK's
+// `sgx_get_trusted_time` granularity noted in the paper's footnote 4.
+#pragma once
+
+#include <cstdint>
+
+namespace sgxp2p {
+
+/// Milliseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Milliseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration milliseconds(std::int64_t ms) { return ms; }
+constexpr SimDuration seconds(double s) {
+  return static_cast<SimDuration>(s * 1000.0);
+}
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / 1000.0;
+}
+
+}  // namespace sgxp2p

@@ -1,0 +1,73 @@
+#include "crypto/aead.hpp"
+
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/ct.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sgxp2p::crypto {
+
+namespace {
+void mac_header(HmacSha256& mac, ByteView nonce, ByteView associated_data,
+                ByteView ciphertext) {
+  // Unambiguous framing: lengths are MAC'd so (ad, ct) boundaries cannot be
+  // shifted.
+  std::uint8_t lens[16];
+  store_le64(lens, associated_data.size());
+  store_le64(lens + 8, ciphertext.size());
+  mac.update(nonce);
+  mac.update(associated_data);
+  mac.update(ciphertext);
+  mac.update(ByteView(lens, sizeof lens));
+}
+}  // namespace
+
+Bytes aead_seal(ByteView key, ByteView nonce, ByteView associated_data,
+                ByteView plaintext) {
+  if (key.size() != kAeadKeySize) {
+    throw std::invalid_argument("aead_seal: bad key size");
+  }
+  if (nonce.size() != kAeadNonceSize) {
+    throw std::invalid_argument("aead_seal: bad nonce size");
+  }
+  ByteView enc_key = key.subspan(0, 32);
+  ByteView mac_key = key.subspan(32, 32);
+
+  Bytes out;
+  out.reserve(kAeadOverhead + plaintext.size());
+  append(out, nonce);
+  Bytes ct = chacha20_crypt(enc_key, nonce, 1, plaintext);
+  append(out, ct);
+
+  HmacSha256 mac(mac_key);
+  mac_header(mac, nonce, associated_data, ct);
+  Sha256Digest tag = mac.finalize();
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<Bytes> aead_open(ByteView key, ByteView associated_data,
+                               ByteView sealed) {
+  if (key.size() != kAeadKeySize) {
+    throw std::invalid_argument("aead_open: bad key size");
+  }
+  if (sealed.size() < kAeadOverhead) return std::nullopt;
+  ByteView enc_key = key.subspan(0, 32);
+  ByteView mac_key = key.subspan(32, 32);
+
+  ByteView nonce = sealed.subspan(0, kAeadNonceSize);
+  ByteView ct = sealed.subspan(kAeadNonceSize,
+                               sealed.size() - kAeadOverhead);
+  ByteView tag = sealed.subspan(sealed.size() - kAeadTagSize);
+
+  HmacSha256 mac(mac_key);
+  mac_header(mac, nonce, associated_data, ct);
+  Sha256Digest expected = mac.finalize();
+  if (!ct_equal(ByteView(expected.data(), expected.size()), tag)) {
+    return std::nullopt;
+  }
+  return chacha20_crypt(enc_key, nonce, 1, ct);
+}
+
+}  // namespace sgxp2p::crypto

@@ -1,0 +1,33 @@
+// Authenticated encryption: ChaCha20 + HMAC-SHA256, encrypt-then-MAC.
+//
+// This is the exact composition the paper's formal channel uses (Fig. 4:
+// ct1 = SKE.Enc(key1, ·), ct2 = MAC.Auth(key2, ct1)), shown in [KL14] to
+// yield a secure channel when SKE is CPA-secure and MAC is unforgeable.
+// The MAC covers nonce ‖ associated data ‖ ciphertext so replaying a
+// ciphertext under a different header fails authentication.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p::crypto {
+
+inline constexpr std::size_t kAeadKeySize = 64;  // 32 enc + 32 mac
+inline constexpr std::size_t kAeadNonceSize = 12;
+inline constexpr std::size_t kAeadTagSize = 32;
+inline constexpr std::size_t kAeadOverhead = kAeadNonceSize + kAeadTagSize;
+
+/// Seals `plaintext`. Layout: nonce ‖ ciphertext ‖ tag. `key` must be
+/// kAeadKeySize bytes (first half encryption key, second half MAC key);
+/// `nonce` must be unique per key (callers derive it from the message
+/// sequence number).
+Bytes aead_seal(ByteView key, ByteView nonce, ByteView associated_data,
+                ByteView plaintext);
+
+/// Opens a sealed buffer; returns nullopt if authentication fails (tampering,
+/// truncation, wrong key, or wrong associated data).
+std::optional<Bytes> aead_open(ByteView key, ByteView associated_data,
+                               ByteView sealed);
+
+}  // namespace sgxp2p::crypto

@@ -1,0 +1,185 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sgxp2p::crypto {
+
+namespace {
+
+// GF(2^8) arithmetic modulo x^8 + x^4 + x^3 + x + 1.
+inline std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t result = 0;
+  while (b != 0) {
+    if (b & 1) result ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return result;
+}
+
+// The S-box is derived algorithmically (multiplicative inverse + affine map,
+// FIPS 197 §5.1.1) rather than transcribed — no 256-entry table to mistype.
+struct SboxTables {
+  std::uint8_t sbox[256];
+
+  SboxTables() {
+    // Build inverses via gf_mul brute force (one-time cost).
+    std::uint8_t inv[256] = {};
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (gf_mul(static_cast<std::uint8_t>(a),
+                   static_cast<std::uint8_t>(b)) == 1) {
+          inv[a] = static_cast<std::uint8_t>(b);
+          break;
+        }
+      }
+    }
+    for (int x = 0; x < 256; ++x) {
+      std::uint8_t b = inv[x];
+      std::uint8_t s = 0;
+      for (int i = 0; i < 8; ++i) {
+        std::uint8_t bit =
+            static_cast<std::uint8_t>(((b >> i) ^ (b >> ((i + 4) % 8)) ^
+                                       (b >> ((i + 5) % 8)) ^
+                                       (b >> ((i + 6) % 8)) ^
+                                       (b >> ((i + 7) % 8)) ^ (0x63 >> i)) &
+                                      1);
+        s |= static_cast<std::uint8_t>(bit << i);
+      }
+      sbox[x] = s;
+    }
+  }
+};
+
+const SboxTables& tables() {
+  static const SboxTables t;
+  return t;
+}
+
+inline std::uint32_t sub_word(std::uint32_t w) {
+  const auto& sb = tables().sbox;
+  return (static_cast<std::uint32_t>(sb[(w >> 24) & 0xff]) << 24) |
+         (static_cast<std::uint32_t>(sb[(w >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(sb[(w >> 8) & 0xff]) << 8) |
+         static_cast<std::uint32_t>(sb[w & 0xff]);
+}
+
+inline std::uint32_t rot_word(std::uint32_t w) {
+  return (w << 8) | (w >> 24);
+}
+
+}  // namespace
+
+Aes::Aes(ByteView key) {
+  const std::size_t nk = key.size() / 4;
+  if (key.size() != 16 && key.size() != 32) {
+    throw std::invalid_argument("Aes: key must be 16 or 32 bytes");
+  }
+  rounds_ = key.size() == 16 ? 10 : 14;
+  const std::size_t total_words = 4 * (rounds_ + 1);
+
+  for (std::size_t i = 0; i < nk; ++i) {
+    round_keys_[i] = load_be32(key.data() + 4 * i);
+  }
+  std::uint8_t rcon = 0x01;
+  for (std::size_t i = nk; i < total_words; ++i) {
+    std::uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^
+             (static_cast<std::uint32_t>(rcon) << 24);
+      rcon = xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+}
+
+void Aes::encrypt_block(const std::uint8_t in[kAesBlockSize],
+                        std::uint8_t out[kAesBlockSize]) const {
+  const auto& sb = tables().sbox;
+  // State in FIPS order: s[4*c + r] = state[r][c]; input fills columns.
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+
+  auto add_round_key = [&](int round) {
+    for (int c = 0; c < 4; ++c) {
+      std::uint32_t w = round_keys_[4 * round + c];
+      s[4 * c + 0] ^= static_cast<std::uint8_t>(w >> 24);
+      s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+      s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+      s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+  };
+
+  auto sub_bytes = [&] {
+    for (auto& b : s) b = sb[b];
+  };
+
+  auto shift_rows = [&] {
+    std::uint8_t t[16];
+    std::memcpy(t, s, 16);
+    for (int r = 1; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        s[4 * c + r] = t[4 * ((c + r) % 4) + r];
+      }
+    }
+  };
+
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = s + 4 * c;
+      std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+      col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+      col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+      col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round < rounds_; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(rounds_);
+  std::memcpy(out, s, 16);
+}
+
+void aes_ctr_crypt(ByteView key, ByteView nonce, std::uint32_t counter,
+                   std::uint8_t* data, std::size_t len) {
+  if (nonce.size() != 12) {
+    throw std::invalid_argument("aes_ctr_crypt: nonce must be 12 bytes");
+  }
+  Aes aes(key);
+  std::uint8_t block[kAesBlockSize];
+  std::uint8_t keystream[kAesBlockSize];
+  std::memcpy(block, nonce.data(), 12);
+
+  std::size_t offset = 0;
+  while (offset < len) {
+    store_be32(block + 12, counter++);
+    aes.encrypt_block(block, keystream);
+    std::size_t take = std::min<std::size_t>(kAesBlockSize, len - offset);
+    for (std::size_t i = 0; i < take; ++i) data[offset + i] ^= keystream[i];
+    offset += take;
+  }
+}
+
+Bytes aes_ctr_crypt(ByteView key, ByteView nonce, std::uint32_t counter,
+                    ByteView data) {
+  Bytes out(data.begin(), data.end());
+  aes_ctr_crypt(key, nonce, counter, out.data(), out.size());
+  return out;
+}
+
+}  // namespace sgxp2p::crypto

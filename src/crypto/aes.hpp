@@ -1,0 +1,42 @@
+// AES-128/256 block cipher + CTR mode (FIPS 197 / SP 800-38A).
+//
+// The paper's prototype encrypted channel traffic with AES from the SGX
+// SDK's libcrypto; the default channel here uses ChaCha20 (constant-time in
+// portable C++), but AES-CTR is provided as the drop-in alternative SKE so
+// the composition of Fig. 4 can be instantiated exactly as the authors had
+// it. Table-based implementation — fine for a simulator, not hardened
+// against cache-timing (real deployments use AES-NI).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+
+/// Key-expanded AES context. Supports 128- and 256-bit keys.
+class Aes {
+ public:
+  explicit Aes(ByteView key);  // key.size() ∈ {16, 32}
+
+  /// Encrypts one 16-byte block (ECB primitive; used by CTR below).
+  void encrypt_block(const std::uint8_t in[kAesBlockSize],
+                     std::uint8_t out[kAesBlockSize]) const;
+
+ private:
+  std::array<std::uint32_t, 60> round_keys_{};
+  int rounds_ = 0;
+};
+
+/// CTR keystream: XORs data with AES(counter_block) blocks. `nonce` is 12
+/// bytes; the low 4 bytes of the counter block are a big-endian block index
+/// starting at `counter` (the NIST/RFC 3686 layout). Encrypt == decrypt.
+void aes_ctr_crypt(ByteView key, ByteView nonce, std::uint32_t counter,
+                   std::uint8_t* data, std::size_t len);
+Bytes aes_ctr_crypt(ByteView key, ByteView nonce, std::uint32_t counter,
+                    ByteView data);
+
+}  // namespace sgxp2p::crypto

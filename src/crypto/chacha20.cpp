@@ -1,0 +1,81 @@
+#include "crypto/chacha20.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sgxp2p::crypto {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+}  // namespace
+
+ChaCha20::ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter) {
+  if (key.size() != kChaChaKeySize) {
+    throw std::invalid_argument("ChaCha20: key must be 32 bytes");
+  }
+  if (nonce.size() != kChaChaNonceSize) {
+    throw std::invalid_argument("ChaCha20: nonce must be 12 bytes");
+  }
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::next_block() {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    // Diagonal rounds.
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(block_.data() + 4 * i, x[i] + state_[i]);
+  }
+  state_[12] += 1;  // block counter
+  block_pos_ = 0;
+}
+
+void ChaCha20::crypt(std::uint8_t* data, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    if (block_pos_ == 64) next_block();
+    data[i] ^= block_[block_pos_++];
+  }
+}
+
+Bytes ChaCha20::keystream(std::size_t len) {
+  Bytes out(len, 0);
+  crypt(out.data(), out.size());
+  return out;
+}
+
+Bytes chacha20_crypt(ByteView key, ByteView nonce, std::uint32_t counter,
+                     ByteView data) {
+  Bytes out(data.begin(), data.end());
+  ChaCha20 cipher(key, nonce, counter);
+  cipher.crypt(out);
+  return out;
+}
+
+}  // namespace sgxp2p::crypto

@@ -1,0 +1,47 @@
+// ChaCha20 stream cipher (RFC 8439 / RFC 7539 variant: 96-bit nonce,
+// 32-bit block counter).
+//
+// This is the SKE.Enc of the blinded channel (Fig. 4) — the paper's
+// prototype used AES from the SGX SDK's libcrypto; ChaCha20 is an equivalent
+// IND-CPA stream cipher that is straightforward to implement correctly in
+// portable C++ and is combined with HMAC-SHA256 in encrypt-then-MAC form by
+// crypto/aead.hpp. It also powers the deterministic random bit generator
+// (crypto/drbg.hpp) that models SGX's RDRAND.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+class ChaCha20 {
+ public:
+  /// Key must be 32 bytes, nonce 12 bytes; counter is the initial block
+  /// counter (RFC 8439 uses 1 for AEAD payloads, 0 for keystream tests).
+  ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter = 0);
+
+  /// XORs the keystream into `data` in place (encrypt == decrypt).
+  void crypt(std::uint8_t* data, std::size_t len);
+  void crypt(Bytes& data) { crypt(data.data(), data.size()); }
+
+  /// Produces `len` raw keystream bytes.
+  Bytes keystream(std::size_t len);
+
+ private:
+  void next_block();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_pos_ = 64;  // forces generation on first use
+};
+
+/// One-shot convenience: returns ciphertext (or plaintext) of `data`.
+Bytes chacha20_crypt(ByteView key, ByteView nonce, std::uint32_t counter,
+                     ByteView data);
+
+}  // namespace sgxp2p::crypto

@@ -1,0 +1,22 @@
+// Constant-time helpers.
+//
+// MAC tags and attestation quotes are compared in constant time so a host
+// observing the enclave cannot turn verification into a timing oracle. (The
+// paper scopes SGX side channels out; we still follow standard practice.)
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p::crypto {
+
+/// Returns true iff a == b, examining every byte regardless of mismatches.
+inline bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace sgxp2p::crypto

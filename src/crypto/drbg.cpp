@@ -1,0 +1,72 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sgxp2p::crypto {
+
+Drbg::Drbg(ByteView seed) : pool_pos_(pool_.size()) {
+  Sha256Digest d = Sha256::hash(seed);
+  std::memcpy(key_.data(), d.data(), key_.size());
+}
+
+void Drbg::refill() {
+  // Nonce = 96-bit little-endian request counter; each refill uses a fresh
+  // nonce so (key, nonce) pairs never repeat even across reseeds.
+  std::array<std::uint8_t, kChaChaNonceSize> nonce{};
+  store_le64(nonce.data(), counter_++);
+  ChaCha20 cipher(ByteView(key_.data(), key_.size()),
+                  ByteView(nonce.data(), nonce.size()));
+  // First 32 bytes of keystream become the next key (fast key erasure);
+  // the rest is the output pool.
+  std::array<std::uint8_t, 32 + sizeof(pool_)> stream{};
+  cipher.crypt(stream.data(), stream.size());
+  std::memcpy(key_.data(), stream.data(), 32);
+  std::memcpy(pool_.data(), stream.data() + 32, pool_.size());
+  pool_pos_ = 0;
+}
+
+void Drbg::generate(std::uint8_t* out, std::size_t len) {
+  std::size_t produced = 0;
+  while (produced < len) {
+    if (pool_pos_ == pool_.size()) refill();
+    std::size_t take = std::min(len - produced, pool_.size() - pool_pos_);
+    std::memcpy(out + produced, pool_.data() + pool_pos_, take);
+    pool_pos_ += take;
+    produced += take;
+  }
+}
+
+Bytes Drbg::generate(std::size_t len) {
+  Bytes out(len, 0);
+  generate(out.data(), out.size());
+  return out;
+}
+
+std::uint64_t Drbg::next_u64() {
+  std::uint8_t buf[8];
+  generate(buf, sizeof buf);
+  return load_le64(buf);
+}
+
+std::uint64_t Drbg::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+void Drbg::reseed(ByteView entropy) {
+  HmacSha256 mix(ByteView(key_.data(), key_.size()));
+  mix.update(entropy);
+  Sha256Digest d = mix.finalize();
+  std::memcpy(key_.data(), d.data(), key_.size());
+  pool_pos_ = pool_.size();  // discard buffered output from the old key
+}
+
+}  // namespace sgxp2p::crypto

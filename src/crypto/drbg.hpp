@@ -1,0 +1,49 @@
+// ChaCha20-based deterministic random bit generator.
+//
+// Models SGX's unbiased hardware randomness (feature F2, `sgx_read_rand` /
+// RDRAND). Each enclave owns one Drbg seeded by the simulated hardware
+// entropy root (sgx/platform.hpp); the untrusted host has no code path to
+// the seed or state, which is what the blind-box computation property (P3)
+// and the unbiasedness argument (Theorem 5.1) rely on.
+//
+// Construction: a 256-bit key K drives ChaCha20 keystream output; after each
+// request the generator applies fast-key-erasure (the first 32 keystream
+// bytes become the next K), providing forward secrecy if state is ever
+// captured.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p::crypto {
+
+class Drbg {
+ public:
+  /// Seeds from arbitrary entropy (hashed to 32 bytes internally).
+  explicit Drbg(ByteView seed);
+
+  /// Fills `out` with random bytes.
+  void generate(std::uint8_t* out, std::size_t len);
+  Bytes generate(std::size_t len);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) via rejection sampling — used by ERNG's cluster
+  /// sampling where modulo bias would directly bias the protocol statistics.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Mixes fresh entropy into the state.
+  void reseed(ByteView entropy);
+
+ private:
+  void refill();
+
+  std::array<std::uint8_t, 32> key_;
+  std::uint64_t counter_ = 0;  // used as the nonce block index
+  std::array<std::uint8_t, 192> pool_{};
+  std::size_t pool_pos_;
+};
+
+}  // namespace sgxp2p::crypto

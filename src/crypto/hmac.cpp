@@ -1,0 +1,76 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sgxp2p::crypto {
+
+HmacSha256::HmacSha256(ByteView key) {
+  std::array<std::uint8_t, 64> block_key{};
+  if (key.size() > 64) {
+    Sha256Digest d = Sha256::hash(key);
+    std::memcpy(block_key.data(), d.data(), d.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, 64> ipad_key;
+  for (int i = 0; i < 64; ++i) {
+    ipad_key[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+  inner_.update(ByteView(ipad_key.data(), ipad_key.size()));
+}
+
+void HmacSha256::update(ByteView data) { inner_.update(data); }
+
+Sha256Digest HmacSha256::finalize() {
+  Sha256Digest inner_digest = inner_.finalize();
+  Sha256 outer;
+  outer.update(ByteView(opad_key_.data(), opad_key_.size()));
+  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+Sha256Digest HmacSha256::mac(ByteView key, ByteView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finalize();
+}
+
+Bytes HmacSha256::mac_bytes(ByteView key, ByteView data) {
+  Sha256Digest d = mac(key, data);
+  return Bytes(d.begin(), d.end());
+}
+
+Sha256Digest hkdf_extract(ByteView salt, ByteView ikm) {
+  return HmacSha256::mac(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  Bytes out;
+  out.reserve(length);
+  Bytes previous;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    HmacSha256 h(prk);
+    h.update(previous);
+    h.update(info);
+    h.update(ByteView(&counter, 1));
+    Sha256Digest t = h.finalize();
+    previous.assign(t.begin(), t.end());
+    std::size_t take = std::min(length - out.size(), t.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  Sha256Digest prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(ByteView(prk.data(), prk.size()), info, length);
+}
+
+}  // namespace sgxp2p::crypto

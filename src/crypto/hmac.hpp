@@ -1,0 +1,41 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1) and HKDF (RFC 5869).
+//
+// HMAC is the MAC of the blinded channel's encrypt-then-MAC composition
+// (Appendix A, Fig. 4) and the primitive behind the simulated attestation
+// quotes. HKDF derives the per-direction channel keys from the X25519 shared
+// secret during the setup phase.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sgxp2p::crypto {
+
+inline constexpr std::size_t kHmacTagSize = kSha256DigestSize;
+
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+
+  void update(ByteView data);
+  Sha256Digest finalize();
+
+  /// One-shot MAC.
+  static Sha256Digest mac(ByteView key, ByteView data);
+  static Bytes mac_bytes(ByteView key, ByteView data);
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, 64> opad_key_;
+};
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: derives `length` bytes (≤ 255*32) from PRK and info.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace sgxp2p::crypto

@@ -1,0 +1,150 @@
+#include "crypto/merkle.hpp"
+
+#include <stdexcept>
+
+#include "common/serde.hpp"
+#include "crypto/ct.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sgxp2p::crypto {
+
+Bytes MerkleTree::hash_leaf(ByteView leaf) {
+  Sha256 h;
+  std::uint8_t tag = 0x00;
+  h.update(ByteView(&tag, 1));
+  h.update(leaf);
+  Sha256Digest d = h.finalize();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes MerkleTree::hash_node(ByteView left, ByteView right) {
+  Sha256 h;
+  std::uint8_t tag = 0x01;
+  h.update(ByteView(&tag, 1));
+  h.update(left);
+  h.update(right);
+  Sha256Digest d = h.finalize();
+  return Bytes(d.begin(), d.end());
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves)
+    : leaf_count_(leaves.size()) {
+  std::vector<Bytes> level;
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) level.push_back(hash_leaf(leaf));
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<Bytes> above;
+    above.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
+      above.push_back(hash_node(below[i], below[i + 1]));
+    }
+    if (below.size() % 2 == 1) above.push_back(below.back());
+    levels_.push_back(std::move(above));
+  }
+  root_ = levels_.back().empty() ? Bytes(kSha256DigestSize, 0)
+                                 : levels_.back().front();
+}
+
+std::vector<Bytes> MerkleTree::proof(std::size_t index) const {
+  if (index >= leaf_count_) {
+    throw std::out_of_range("MerkleTree::proof: index out of range");
+  }
+  std::vector<Bytes> path;
+  std::size_t i = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    std::size_t sibling = i ^ 1;
+    if (sibling < level.size()) {
+      path.push_back(level[sibling]);
+    }
+    // When i is the promoted last node of an odd level there is no sibling
+    // and the node passes up unchanged; verification mirrors this.
+    i /= 2;
+  }
+  return path;
+}
+
+bool MerkleTree::verify(ByteView root, ByteView leaf, std::size_t index,
+                        std::size_t leaf_count,
+                        const std::vector<Bytes>& proof) {
+  if (leaf_count == 0 || index >= leaf_count) return false;
+  Bytes node = hash_leaf(leaf);
+  std::size_t i = index;
+  std::size_t width = leaf_count;
+  std::size_t used = 0;
+  while (width > 1) {
+    std::size_t sibling = i ^ 1;
+    if (sibling < width) {
+      if (used >= proof.size()) return false;
+      const Bytes& sib = proof[used++];
+      node = (i % 2 == 0) ? hash_node(node, sib) : hash_node(sib, node);
+    }
+    i /= 2;
+    width = (width + 1) / 2;
+  }
+  return used == proof.size() && ct_equal(node, root);
+}
+
+MerkleSigner::MerkleSigner(ByteView seed, unsigned height)
+    : seed_(seed.begin(), seed.end()),
+      height_(height),
+      leaf_total_(static_cast<std::size_t>(1) << height) {
+  if (height > 16) {
+    throw std::invalid_argument("MerkleSigner: height too large");
+  }
+  std::vector<Bytes> leaves;
+  leaves.reserve(leaf_total_);
+  wots_keys_.reserve(leaf_total_);
+  for (std::size_t i = 0; i < leaf_total_; ++i) {
+    WotsKeyPair kp = wots_keygen(seed_, i);
+    leaves.push_back(kp.public_key);
+    wots_keys_.push_back(std::move(kp));
+  }
+  tree_.emplace(leaves);
+}
+
+std::size_t merkle_sig_size(unsigned height) {
+  // leaf index (8) + wots sig + path count (4) + height hashes.
+  return 8 + kWotsSigSize + 4 + height * kSha256DigestSize;
+}
+
+Bytes MerkleSigner::sign(ByteView message) {
+  if (next_leaf_ >= leaf_total_) {
+    throw std::runtime_error("MerkleSigner: one-time keys exhausted");
+  }
+  std::size_t leaf = next_leaf_++;
+  Bytes wots_sig = wots_sign(wots_keys_[leaf], leaf, message);
+  std::vector<Bytes> path = tree_->proof(leaf);
+
+  BinaryWriter w;
+  w.u64(leaf);
+  w.raw(wots_sig);
+  w.u32(static_cast<std::uint32_t>(path.size()));
+  for (const Bytes& node : path) w.raw(node);
+  return w.take();
+}
+
+bool merkle_verify(ByteView public_key, ByteView message, ByteView signature) {
+  BinaryReader r(signature);
+  std::uint64_t leaf = r.u64();
+  Bytes wots_sig = r.raw(kWotsSigSize);
+  std::uint32_t path_len = r.u32();
+  if (!r.ok() || path_len > 64) return false;
+  std::vector<Bytes> path;
+  path.reserve(path_len);
+  for (std::uint32_t i = 0; i < path_len; ++i) {
+    path.push_back(r.raw(kSha256DigestSize));
+  }
+  if (!r.done()) return false;
+
+  auto wots_pk = wots_pk_from_sig(leaf, message, wots_sig);
+  if (!wots_pk) return false;
+  // The tree was built over full 2^height leaves; path length gives height.
+  std::size_t leaf_count = static_cast<std::size_t>(1) << path_len;
+  if (leaf >= leaf_count) return false;
+  return MerkleTree::verify(public_key, *wots_pk, leaf, leaf_count, path);
+}
+
+}  // namespace sgxp2p::crypto

@@ -1,0 +1,80 @@
+// Merkle trees and the WOTS+Merkle many-time signature scheme.
+//
+// MerkleTree is a generic binary hash tree with inclusion proofs (also used
+// by the random-beacon example to commit to beacon history). MerkleSigner
+// turns WOTS one-time keys into a many-time scheme (an XMSS-like design
+// without the hypertree): the public key is the root over 2^height WOTS
+// public keys; each signature reveals one leaf's WOTS signature plus its
+// authentication path. Signing is stateful — each leaf index is used once.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/wots.hpp"
+
+namespace sgxp2p::crypto {
+
+/// Generic Merkle tree over arbitrary leaf payloads (hashed internally with
+/// domain separation between leaves and interior nodes).
+class MerkleTree {
+ public:
+  /// Builds a tree over `leaves`. A tree over zero leaves has a defined
+  /// all-zero root. Odd levels duplicate-free: the last node is promoted.
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  [[nodiscard]] const Bytes& root() const { return root_; }
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Sibling path from leaf `index` to the root.
+  [[nodiscard]] std::vector<Bytes> proof(std::size_t index) const;
+
+  /// Verifies that `leaf` is at `index` in a tree with `root` of
+  /// `leaf_count` leaves.
+  static bool verify(ByteView root, ByteView leaf, std::size_t index,
+                     std::size_t leaf_count, const std::vector<Bytes>& proof);
+
+  static Bytes hash_leaf(ByteView leaf);
+  static Bytes hash_node(ByteView left, ByteView right);
+
+ private:
+  // levels_[0] = hashed leaves, levels_.back() = {root}.
+  std::vector<std::vector<Bytes>> levels_;
+  Bytes root_;
+  std::size_t leaf_count_;
+};
+
+/// Many-time hash-based signer. Deterministically derived from a seed.
+class MerkleSigner {
+ public:
+  /// 2^height one-time keys (height 8 → 256 signatures, ample for the RBsig
+  /// baseline runs).
+  MerkleSigner(ByteView seed, unsigned height = 8);
+
+  [[nodiscard]] const Bytes& public_key() const { return tree_->root(); }
+  [[nodiscard]] std::size_t remaining() const {
+    return leaf_total_ - next_leaf_;
+  }
+
+  /// Signs; consumes one leaf. Throws std::runtime_error when exhausted.
+  Bytes sign(ByteView message);
+
+ private:
+  Bytes seed_;
+  unsigned height_;
+  std::size_t leaf_total_;
+  std::size_t next_leaf_ = 0;
+  std::vector<WotsKeyPair> wots_keys_;
+  std::optional<MerkleTree> tree_;
+};
+
+/// Verifies a MerkleSigner signature against the signer's public key (root).
+bool merkle_verify(ByteView public_key, ByteView message, ByteView signature);
+
+/// Serialized signature size for a given tree height (fixed layout).
+std::size_t merkle_sig_size(unsigned height);
+
+}  // namespace sgxp2p::crypto

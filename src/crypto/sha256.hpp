@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from the specification.
+//
+// Used everywhere a hash is needed: message digests in ACKs (the paper's
+// H(val)), enclave measurements, HMAC, HKDF, the WOTS/Merkle signature
+// scheme, and the DRBG reseed path. Streaming interface plus a one-shot
+// helper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// reuse.
+  Sha256Digest finalize();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(ByteView data);
+  /// One-shot returning a Bytes (for APIs that traffic in Bytes).
+  static Bytes hash_bytes(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t bit_count_ = 0;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace sgxp2p::crypto

@@ -1,0 +1,107 @@
+#include "crypto/shamir.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace sgxp2p::crypto {
+
+namespace {
+
+// GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t result = 0;
+  while (b != 0) {
+    if (b & 1) result ^= a;
+    std::uint8_t hi = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return result;
+}
+
+std::uint8_t gf_pow(std::uint8_t a, unsigned e) {
+  std::uint8_t result = 1;
+  while (e != 0) {
+    if (e & 1) result = gf_mul(result, a);
+    a = gf_mul(a, a);
+    e >>= 1;
+  }
+  return result;
+}
+
+// a^{-1} = a^{254} in GF(2^8).
+std::uint8_t gf_inv(std::uint8_t a) { return gf_pow(a, 254); }
+
+}  // namespace
+
+std::vector<Share> shamir_split(ByteView secret, std::uint8_t n,
+                                std::uint8_t k, Drbg& drbg) {
+  if (k < 2 || k > n) {
+    throw std::invalid_argument("shamir_split: need 2 <= k <= n");
+  }
+  // Per secret byte: coefficients c1..c_{k-1} random, c0 = secret byte.
+  std::vector<Share> shares(n);
+  for (std::uint8_t i = 0; i < n; ++i) {
+    shares[i].x = static_cast<std::uint8_t>(i + 1);
+    shares[i].y.resize(secret.size());
+  }
+  Bytes coeffs(static_cast<std::size_t>(k) - 1);
+  for (std::size_t byte = 0; byte < secret.size(); ++byte) {
+    drbg.generate(coeffs.data(), coeffs.size());
+    for (std::uint8_t i = 0; i < n; ++i) {
+      std::uint8_t x = shares[i].x;
+      // Horner: p(x) = ((c_{k-1}·x + c_{k-2})·x + …)·x + secret[byte].
+      std::uint8_t acc = 0;
+      for (std::size_t c = coeffs.size(); c-- > 0;) {
+        acc = static_cast<std::uint8_t>(gf_mul(acc, x) ^ coeffs[c]);
+      }
+      acc = static_cast<std::uint8_t>(gf_mul(acc, x) ^ secret[byte]);
+      shares[i].y[byte] = acc;
+    }
+  }
+  return shares;
+}
+
+std::optional<Bytes> shamir_reconstruct(const std::vector<Share>& shares,
+                                        std::uint8_t k) {
+  if (k < 2 || shares.size() < k) return std::nullopt;
+  // Pick the first k distinct evaluation points.
+  std::vector<const Share*> used;
+  std::set<std::uint8_t> xs;
+  for (const Share& s : shares) {
+    if (s.x == 0 || xs.contains(s.x)) continue;
+    xs.insert(s.x);
+    used.push_back(&s);
+    if (used.size() == k) break;
+  }
+  if (used.size() < k) return std::nullopt;
+  const std::size_t len = used.front()->y.size();
+  for (const Share* s : used) {
+    if (s->y.size() != len) return std::nullopt;
+  }
+
+  // Lagrange interpolation at x = 0: secret = Σ y_i · Π_{j≠i} x_j/(x_i⊕x_j).
+  std::vector<std::uint8_t> weights(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uint8_t num = 1, den = 1;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      num = gf_mul(num, used[j]->x);
+      den = gf_mul(den, static_cast<std::uint8_t>(used[i]->x ^ used[j]->x));
+    }
+    weights[i] = gf_mul(num, gf_inv(den));
+  }
+
+  Bytes secret(len, 0);
+  for (std::size_t byte = 0; byte < len; ++byte) {
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      acc ^= gf_mul(weights[i], used[i]->y[byte]);
+    }
+    secret[byte] = acc;
+  }
+  return secret;
+}
+
+}  // namespace sgxp2p::crypto

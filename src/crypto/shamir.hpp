@@ -1,0 +1,38 @@
+// Shamir secret sharing over GF(2^8).
+//
+// Supports the Appendix H "Shared Key Generation" application: an ERNG
+// output used as a group key can be split so that any k of n members
+// reconstruct it while k−1 learn nothing — the threshold flavor of the
+// distributed key generation the paper cites (Gennaro et al. [55, 56]).
+// Each byte of the secret is shared independently with a random degree-k−1
+// polynomial; share i is the evaluation at x = i (1-based, so x = 0 — the
+// secret — is never a share).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/drbg.hpp"
+
+namespace sgxp2p::crypto {
+
+struct Share {
+  std::uint8_t x = 0;  // evaluation point, 1..255
+  Bytes y;             // one byte per secret byte
+};
+
+/// Splits `secret` into n shares with reconstruction threshold k
+/// (2 ≤ k ≤ n ≤ 255). Randomness from `drbg` (enclave randomness in app
+/// use). Throws std::invalid_argument on bad parameters.
+std::vector<Share> shamir_split(ByteView secret, std::uint8_t n,
+                                std::uint8_t k, Drbg& drbg);
+
+/// Reconstructs the secret from ≥ k shares (only the first k distinct-x
+/// shares are used). Returns nullopt when shares are malformed
+/// (inconsistent lengths, duplicate or zero x).
+std::optional<Bytes> shamir_reconstruct(const std::vector<Share>& shares,
+                                        std::uint8_t k);
+
+}  // namespace sgxp2p::crypto

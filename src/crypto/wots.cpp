@@ -1,0 +1,114 @@
+#include "crypto/wots.hpp"
+
+#include <cstring>
+
+#include "crypto/ct.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sgxp2p::crypto {
+
+namespace {
+
+// Splits H(message) into 64 message nibbles + 3 checksum nibbles.
+std::array<std::uint8_t, kWotsChains> chunks_of(ByteView message) {
+  Sha256Digest digest = Sha256::hash(message);
+  std::array<std::uint8_t, kWotsChains> chunks{};
+  unsigned checksum = 0;
+  for (int i = 0; i < 32; ++i) {
+    std::uint8_t hi = digest[i] >> 4;
+    std::uint8_t lo = digest[i] & 0x0f;
+    chunks[2 * i] = hi;
+    chunks[2 * i + 1] = lo;
+    checksum += (kWotsChainLen - 1 - hi) + (kWotsChainLen - 1 - lo);
+  }
+  // checksum ≤ 64·15 = 960 < 16^3.
+  chunks[64] = static_cast<std::uint8_t>((checksum >> 8) & 0x0f);
+  chunks[65] = static_cast<std::uint8_t>((checksum >> 4) & 0x0f);
+  chunks[66] = static_cast<std::uint8_t>(checksum & 0x0f);
+  return chunks;
+}
+
+// One chain step: value_j = H("wots" ‖ address ‖ chain ‖ step j ‖ value_{j−1}).
+// Domain separation per (address, chain, step) prevents cross-chain and
+// multi-target collisions.
+Sha256Digest chain_step(std::uint64_t address, std::uint32_t chain,
+                        std::uint32_t step, ByteView value) {
+  Sha256 h;
+  std::uint8_t hdr[4 + 8 + 4 + 4];
+  std::memcpy(hdr, "wots", 4);
+  store_le64(hdr + 4, address);
+  store_le32(hdr + 12, chain);
+  store_le32(hdr + 16, step);
+  h.update(ByteView(hdr, sizeof hdr));
+  h.update(value);
+  return h.finalize();
+}
+
+// Applies steps (from, to] to a starting value.
+Bytes chain_apply(std::uint64_t address, std::uint32_t chain,
+                  std::uint32_t from, std::uint32_t to, ByteView start) {
+  Bytes value(start.begin(), start.end());
+  for (std::uint32_t j = from + 1; j <= to; ++j) {
+    Sha256Digest d = chain_step(address, chain, j, value);
+    value.assign(d.begin(), d.end());
+  }
+  return value;
+}
+
+Bytes chain_secret(ByteView seed, std::uint64_t address, std::uint32_t chain) {
+  std::uint8_t info[8 + 4];
+  store_le64(info, address);
+  store_le32(info + 8, chain);
+  return HmacSha256::mac_bytes(seed, ByteView(info, sizeof info));
+}
+
+}  // namespace
+
+WotsKeyPair wots_keygen(ByteView seed, std::uint64_t address) {
+  WotsKeyPair kp;
+  kp.secret_seed.assign(seed.begin(), seed.end());
+  Sha256 pk_hash;
+  for (std::uint32_t c = 0; c < kWotsChains; ++c) {
+    Bytes sk = chain_secret(seed, address, c);
+    Bytes pk_c = chain_apply(address, c, 0, kWotsChainLen - 1, sk);
+    pk_hash.update(pk_c);
+  }
+  Sha256Digest pk = pk_hash.finalize();
+  kp.public_key.assign(pk.begin(), pk.end());
+  return kp;
+}
+
+Bytes wots_sign(const WotsKeyPair& kp, std::uint64_t address,
+                ByteView message) {
+  auto chunks = chunks_of(message);
+  Bytes sig;
+  sig.reserve(kWotsSigSize);
+  for (std::uint32_t c = 0; c < kWotsChains; ++c) {
+    Bytes sk = chain_secret(kp.secret_seed, address, c);
+    Bytes value = chain_apply(address, c, 0, chunks[c], sk);
+    append(sig, value);
+  }
+  return sig;
+}
+
+std::optional<Bytes> wots_pk_from_sig(std::uint64_t address, ByteView message,
+                                      ByteView signature) {
+  if (signature.size() != kWotsSigSize) return std::nullopt;
+  auto chunks = chunks_of(message);
+  Sha256 pk_hash;
+  for (std::uint32_t c = 0; c < kWotsChains; ++c) {
+    ByteView part = signature.subspan(c * kSha256DigestSize, kSha256DigestSize);
+    Bytes pk_c = chain_apply(address, c, chunks[c], kWotsChainLen - 1, part);
+    pk_hash.update(pk_c);
+  }
+  Sha256Digest pk = pk_hash.finalize();
+  return Bytes(pk.begin(), pk.end());
+}
+
+bool wots_verify(ByteView public_key, std::uint64_t address, ByteView message,
+                 ByteView signature) {
+  auto derived = wots_pk_from_sig(address, message, signature);
+  return derived && ct_equal(*derived, public_key);
+}
+
+}  // namespace sgxp2p::crypto

@@ -1,0 +1,52 @@
+// Winternitz one-time signatures (WOTS) over SHA-256, w = 16.
+//
+// Digital signatures appear in this repository only in the *baseline*
+// reliable-broadcast protocol RBsig (Algorithm 4 / Appendix B), which the
+// paper contrasts with ERB: ERB's blinded channel replaces signatures
+// entirely. The paper's baseline would use ECDSA from a PKI; we substitute
+// hash-based signatures — equally unforgeable under SHA-256, implementable
+// from scratch without bignum pitfalls, and their cost profile (large
+// signatures, cheap-ish verification) only sharpens the contrast the paper
+// draws in Appendix B. Combined with a Merkle tree (crypto/merkle.hpp) for
+// many-time use.
+//
+// Parameters: message digest 32 bytes → 64 base-16 chunks + 3 checksum
+// chunks = 67 chains of length 16. Signature size = 67·32 = 2144 bytes.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sgxp2p::crypto {
+
+inline constexpr std::size_t kWotsChains = 67;
+inline constexpr std::size_t kWotsChainLen = 16;  // w
+inline constexpr std::size_t kWotsSigSize = kWotsChains * kSha256DigestSize;
+
+struct WotsKeyPair {
+  Bytes secret_seed;  // 32 bytes; chains derived via HMAC(seed, chain index)
+  Bytes public_key;   // H(pk_0 ‖ … ‖ pk_66), 32 bytes
+};
+
+/// Derives a key pair from a 32-byte seed. Deterministic: the same seed and
+/// address yield the same pair (the Merkle layer uses the address to derive
+/// one pair per leaf).
+WotsKeyPair wots_keygen(ByteView seed, std::uint64_t address);
+
+/// Signs a message (hashed internally). One-time: signing two different
+/// messages with the same key leaks enough chain values to forge.
+Bytes wots_sign(const WotsKeyPair& kp, std::uint64_t address, ByteView message);
+
+/// Recomputes the public key implied by (message, signature). The caller
+/// compares it with the expected public key (directly, or via a Merkle leaf).
+std::optional<Bytes> wots_pk_from_sig(std::uint64_t address, ByteView message,
+                                      ByteView signature);
+
+/// Full verification against a known public key.
+bool wots_verify(ByteView public_key, std::uint64_t address, ByteView message,
+                 ByteView signature);
+
+}  // namespace sgxp2p::crypto

@@ -1,0 +1,30 @@
+// X25519 Diffie–Hellman (RFC 7748).
+//
+// The paper's setup phase has every pair of enclaves establish a secure
+// channel "using Diffie-Hellman key exchange" after remote attestation. This
+// is that primitive: Curve25519 scalar multiplication with the Montgomery
+// ladder over GF(2^255 − 19), 51-bit limb arithmetic, constant-time
+// conditional swaps. Verified against the RFC 7748 test vectors in
+// tests/test_crypto.cpp.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// scalar · point. `scalar` is clamped per RFC 7748 before use.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+
+/// scalar · basepoint(9): derives the public key for a private scalar.
+X25519Key x25519_base(const X25519Key& scalar);
+
+/// Convenience wrappers over Bytes (sizes are checked).
+Bytes x25519_shared(ByteView private_key, ByteView peer_public);
+Bytes x25519_public(ByteView private_key);
+
+}  // namespace sgxp2p::crypto

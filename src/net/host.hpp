@@ -1,0 +1,73 @@
+// The untrusted host (the "OS" of Fig. 1).
+//
+// Every peer is a Host + Enclave pair. The host is the only component that
+// touches the network; the enclave is the only component that sees
+// plaintext. The host routes blobs through its Strategy, which is where
+// byzantine behavior lives — an honest node simply carries HonestStrategy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adversary/strategy.hpp"
+#include "common/ids.hpp"
+#include "net/network.hpp"
+#include "sgx/enclave.hpp"
+
+namespace sgxp2p::net {
+
+class Host final : public sgx::EnclaveHostIface, public adversary::HostContext {
+ public:
+  Host(NodeId self, sim::Network& network,
+       std::unique_ptr<adversary::Strategy> strategy, std::uint64_t rng_seed);
+
+  /// Registers this host as the network sink for its id.
+  void connect();
+
+  /// Binds the enclave the host runs. (The host launches the enclave in
+  /// real SGX; here the harness constructs both and ties them together.)
+  void attach_enclave(sgx::Enclave& enclave) { enclave_ = &enclave; }
+
+  void set_colluders(std::vector<NodeId> ids) { colluders_ = std::move(ids); }
+
+  [[nodiscard]] bool is_byzantine() const { return strategy_->is_byzantine(); }
+
+  // --- sgx::EnclaveHostIface (OCALLs from the enclave) ---
+  void transfer(NodeId to, Bytes blob) override {
+    strategy_->on_send(*this, to, std::move(blob));
+  }
+
+  // --- network sink ---
+  void on_network(NodeId from, Bytes blob) {
+    strategy_->on_receive(*this, from, std::move(blob));
+  }
+
+  // --- adversary::HostContext ---
+  [[nodiscard]] NodeId self() const override { return self_; }
+  [[nodiscard]] SimTime now() const override {
+    return network_->simulator().now();
+  }
+  void forward(NodeId to, Bytes blob) override {
+    network_->send(self_, to, std::move(blob));
+  }
+  void deliver(NodeId from, Bytes blob) override {
+    if (enclave_ != nullptr) enclave_->deliver(from, blob);
+  }
+  void schedule_in(SimDuration delay, std::function<void()> fn) override {
+    network_->simulator().schedule_in(delay, std::move(fn));
+  }
+  [[nodiscard]] const std::vector<NodeId>& colluders() const override {
+    return colluders_;
+  }
+  Rng& rng() override { return rng_; }
+
+ private:
+  NodeId self_;
+  sim::Network* network_;
+  std::unique_ptr<adversary::Strategy> strategy_;
+  sgx::Enclave* enclave_ = nullptr;
+  std::vector<NodeId> colluders_;
+  Rng rng_;
+};
+
+}  // namespace sgxp2p::net

@@ -1,0 +1,53 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace sgxp2p::sim {
+
+Network::Network(Simulator& simulator, NetworkConfig config)
+    : simulator_(&simulator), config_(config), jitter_rng_(config.seed) {}
+
+void Network::attach(NodeId id, DeliverFn sink) {
+  sinks_[id] = std::move(sink);
+}
+
+void Network::detach(NodeId id) { sinks_.erase(id); }
+
+bool Network::attached(NodeId id) const { return sinks_.contains(id); }
+
+void Network::send(NodeId from, NodeId to, Bytes blob) {
+  if (!attached(from) || !attached(to) || from == to) return;
+  SimTime now = simulator_->now();
+  meter_.record(blob.size(), now);
+  SimDuration jitter =
+      config_.max_jitter > 0
+          ? static_cast<SimDuration>(jitter_rng_.next_below(
+                static_cast<std::uint64_t>(config_.max_jitter) + 1))
+          : 0;
+  SimTime arrival = now + config_.base_delay + jitter;
+
+  if (config_.shared_bandwidth > 0) {
+    // Serialize through the shared bottleneck: 1 byte takes 1e3/bw ms.
+    SimDuration ser = static_cast<SimDuration>(
+        (blob.size() * 1000 + config_.shared_bandwidth - 1) /
+        config_.shared_bandwidth);
+    link_free_at_ = std::max(link_free_at_, now) + ser;
+    arrival = std::max(arrival, link_free_at_);
+  }
+
+  // Per-pair FIFO: never deliver earlier than a previously sent message.
+  std::uint64_t pair_key =
+      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+  SimTime& last = last_delivery_[pair_key];
+  arrival = std::max(arrival, last);
+  last = arrival;
+
+  simulator_->schedule(
+      arrival, [this, from, to, blob = std::move(blob)]() mutable {
+        auto it = sinks_.find(to);
+        if (it == sinks_.end()) return;  // receiver left the network
+        it->second(from, std::move(blob));
+      });
+}
+
+}  // namespace sgxp2p::sim

@@ -1,0 +1,34 @@
+#include "net/simulator.hpp"
+
+#include <algorithm>
+
+namespace sgxp2p::sim {
+
+void Simulator::schedule(SimTime at, std::function<void()> fn) {
+  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function object must be moved out
+  // before pop, so copy the header fields and steal the callable.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    step();
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace sgxp2p::sim

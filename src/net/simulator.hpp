@@ -1,0 +1,58 @@
+// Discrete-event simulator with virtual time.
+//
+// Single-threaded, deterministic: events at equal timestamps fire in
+// scheduling order. Implements sgx::TrustedClock so enclaves read the same
+// virtual clock the event loop advances — modeling the hardware timer the
+// OS cannot skew (feature F4). All timing results in EXPERIMENTS.md are
+// virtual seconds from this clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sgx/trusted_time.hpp"
+
+namespace sgxp2p::sim {
+
+class Simulator : public sgx::TrustedClock {
+ public:
+  [[nodiscard]] SimTime now() const override { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `at` (clamped to now).
+  void schedule(SimTime at, std::function<void()> fn);
+  void schedule_in(SimDuration delay, std::function<void()> fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until the event queue is empty.
+  void run();
+  /// Runs events with timestamp ≤ t, then sets now to t.
+  void run_until(SimTime t);
+  /// Runs a single event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sgxp2p::sim

@@ -1,0 +1,96 @@
+// Real-sockets transport: a TCP mesh over localhost.
+//
+// The simulated Network (net/network.hpp) gives determinism for tests and
+// benchmarks; this module gives realism — the same protocol enclaves run
+// over genuine TCP connections with length-prefixed frames, a poll(2) event
+// loop, and wall-clock rounds (the role Boost.Asio played in the paper's
+// prototype). One TcpBus hosts all N endpoints of an in-process deployment:
+// each node gets its own listening socket (OS-assigned port) and a full
+// mesh of connections is established pairwise, so moving a node to another
+// process later only changes how the port map is shared.
+//
+// Threading: one background I/O thread owns every fd for reading; writes are
+// serialized per connection with a mutex and are safe from any thread.
+// Inbound frames are handed to the receiver callback ON the I/O thread —
+// callers serialize their own node state (TcpTestbed uses one state mutex).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "sgx/trusted_time.hpp"
+
+namespace sgxp2p::net {
+
+/// Wall-clock trusted time: milliseconds since construction, from
+/// CLOCK_MONOTONIC — the deployment analogue of sgx_get_trusted_time.
+class SteadyClock final : public sgx::TrustedClock {
+ public:
+  SteadyClock();
+  [[nodiscard]] SimTime now() const override;
+
+ private:
+  std::int64_t epoch_ns_;
+};
+
+class TcpBus {
+ public:
+  /// Frame arriving for `to`, sent by `from`.
+  using Receiver = std::function<void(NodeId to, NodeId from, Bytes blob)>;
+
+  explicit TcpBus(std::uint32_t n);
+  ~TcpBus();
+
+  TcpBus(const TcpBus&) = delete;
+  TcpBus& operator=(const TcpBus&) = delete;
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  /// Binds N listeners, builds the pairwise mesh, starts the I/O thread.
+  /// Returns false if any socket operation fails.
+  bool start();
+  void stop();
+
+  /// Sends a frame; thread-safe. Silently drops when the mesh is down.
+  void send(NodeId from, NodeId to, ByteView blob);
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint16_t port_of(NodeId id) const {
+    return ports_.at(id);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    NodeId a = kNoNode;  // lower endpoint id
+    NodeId b = kNoNode;  // higher endpoint id
+    Bytes rx;            // partial-frame read buffer
+    std::mutex write_mu;
+  };
+
+  void io_loop();
+  bool read_ready(Connection& conn);
+  Connection* connection_for(NodeId x, NodeId y);
+
+  std::uint32_t n_;
+  Receiver receiver_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<std::uint64_t, Connection*> by_pair_;
+  std::thread io_thread_;
+  std::atomic<bool> running_{false};
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace sgxp2p::net

@@ -1,0 +1,112 @@
+#include "net/tcp_testbed.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+
+namespace sgxp2p::net {
+
+namespace {
+Bytes tcp_platform_seed(std::uint64_t seed) {
+  BinaryWriter w;
+  w.str("sgxp2p-tcp-platform");
+  w.u64(seed);
+  return w.take();
+}
+}  // namespace
+
+TcpTestbed::TcpTestbed(TcpTestbedConfig config)
+    : cfg_(config), platform_(clock_, tcp_platform_seed(config.seed)) {
+  ias_ = std::make_unique<sgx::SimIAS>(platform_);
+  if (cfg_.t == 0) cfg_.t = (cfg_.n - 1) / 2;
+  CHECK_MSG(2 * cfg_.t < cfg_.n, "TcpTestbed: t < N/2 required");
+}
+
+TcpTestbed::~TcpTestbed() {
+  if (bus_) bus_->stop();
+}
+
+bool TcpTestbed::build(const EnclaveFactory& make_enclave) {
+  bus_ = std::make_unique<TcpBus>(cfg_.n);
+
+  protocol::PeerConfig pc;
+  pc.n = cfg_.n;
+  pc.t = cfg_.t;
+  pc.round_ms = cfg_.round_ms;
+  pc.mode = protocol::ChannelMode::kAttested;
+  for (NodeId id = 0; id < cfg_.n; ++id) {
+    hosts_.push_back(std::make_unique<BusHost>(id, *bus_));
+    pc.self = id;
+    enclaves_.push_back(
+        make_enclave(id, platform_, *hosts_[id], pc, *ias_));
+    CHECK_MSG(enclaves_.back() != nullptr, "TcpTestbed: factory returned null");
+  }
+
+  // Attested setup (handshakes + sequence exchange), as in sim::Testbed.
+  std::vector<Bytes> hello(cfg_.n);
+  for (NodeId id = 0; id < cfg_.n; ++id) {
+    hello[id] = enclaves_[id]->handshake_blob();
+  }
+  for (NodeId a = 0; a < cfg_.n; ++a) {
+    for (NodeId b = 0; b < cfg_.n; ++b) {
+      if (a != b && !enclaves_[b]->accept_handshake(hello[a])) return false;
+    }
+  }
+  for (NodeId a = 0; a < cfg_.n; ++a) {
+    for (NodeId b = 0; b < cfg_.n; ++b) {
+      if (a == b) continue;
+      Bytes blob = enclaves_[a]->make_seq_blob(b);
+      if (!enclaves_[b]->accept_seq_blob(a, blob)) return false;
+    }
+  }
+
+  bus_->set_receiver([this](NodeId to, NodeId from, Bytes blob) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (to < enclaves_.size()) enclaves_[to]->deliver(from, blob);
+  });
+  return bus_->start();
+}
+
+void TcpTestbed::start() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  t0_ = clock_.now() + cfg_.round_ms;
+  for (auto& enclave : enclaves_) enclave->start_protocol(t0_);
+}
+
+std::uint32_t TcpTestbed::run_rounds(std::uint32_t max_rounds,
+                                     const std::function<bool()>& stop_when) {
+  // Consecutive calls continue the wall-clock schedule.
+  for (std::uint32_t r = 1; r <= max_rounds; ++r) {
+    SimTime boundary =
+        t0_ + static_cast<SimTime>(rounds_run_ + r - 1) * cfg_.round_ms;
+    // Sleep the caller thread to the wall-clock boundary; inbound frames
+    // keep flowing on the bus thread meanwhile.
+    SimTime wait = boundary - clock_.now();
+    if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      for (auto& enclave : enclaves_) enclave->on_tick();
+    }
+    // Let the round's traffic complete before evaluating the predicate.
+    SimTime round_end = boundary + cfg_.round_ms - cfg_.round_ms / 8;
+    SimTime settle = round_end - clock_.now();
+    if (settle > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(settle));
+    }
+    if (stop_when) {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (stop_when()) {
+        rounds_run_ += r;
+        return r;
+      }
+    }
+  }
+  rounds_run_ += max_rounds;
+  return max_rounds;
+}
+
+}  // namespace sgxp2p::net

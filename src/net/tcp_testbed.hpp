@@ -1,0 +1,97 @@
+// TcpTestbed — the protocol stack over real TCP sockets and wall-clock
+// rounds.
+//
+// Mirrors sim::Testbed's shape (build → start → run_rounds) but with: a
+// TcpBus mesh instead of the simulated network, SteadyClock (CLOCK_MONOTONIC)
+// as the enclaves' trusted time, and real sleeping between round boundaries.
+// All node state is serialized under one mutex: inbound frames arrive on the
+// bus I/O thread, ticks on the caller thread. Intended for the localhost
+// deployment example and the TCP integration tests (honest nodes; the
+// byzantine machinery lives in the deterministic simulator where its effects
+// are measurable).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/tcp_bus.hpp"
+#include "protocol/peer_enclave.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/platform.hpp"
+
+namespace sgxp2p::net {
+
+struct TcpTestbedConfig {
+  std::uint32_t n = 4;
+  std::uint32_t t = 0;              // 0 → ⌊(n−1)/2⌋
+  SimDuration round_ms = 250;       // wall-clock round (2Δ); localhost Δ≈125ms
+  std::uint64_t seed = 1;
+};
+
+class TcpTestbed {
+ public:
+  using EnclaveFactory = std::function<std::unique_ptr<protocol::PeerEnclave>(
+      NodeId id, sgx::SgxPlatform& platform, sgx::EnclaveHostIface& host,
+      protocol::PeerConfig cfg, const sgx::SimIAS& ias)>;
+
+  explicit TcpTestbed(TcpTestbedConfig config);
+  ~TcpTestbed();
+
+  /// Builds nodes, runs the attested setup, and starts the socket mesh.
+  /// Returns false if the mesh could not be established.
+  bool build(const EnclaveFactory& make_enclave);
+
+  /// Synchronized start (S2): T0 = now + one round.
+  void start();
+
+  /// Drives `max_rounds` wall-clock rounds; `stop_when` is evaluated at each
+  /// boundary under the state lock. Returns rounds executed.
+  std::uint32_t run_rounds(std::uint32_t max_rounds,
+                           const std::function<bool()>& stop_when = {});
+
+  /// Runs `fn` under the state lock (for inspecting results).
+  template <typename Fn>
+  auto locked(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return fn();
+  }
+
+  [[nodiscard]] protocol::PeerEnclave& enclave(NodeId id) {
+    return *enclaves_.at(id);
+  }
+  template <typename T>
+  [[nodiscard]] T& enclave_as(NodeId id) {
+    return dynamic_cast<T&>(*enclaves_.at(id));
+  }
+  [[nodiscard]] TcpBus& bus() { return *bus_; }
+  [[nodiscard]] const TcpTestbedConfig& config() const { return cfg_; }
+
+ private:
+  // The host of a TCP node: transfers blobs over the socket mesh.
+  class BusHost final : public sgx::EnclaveHostIface {
+   public:
+    BusHost(NodeId self, TcpBus& bus) : self_(self), bus_(&bus) {}
+    void transfer(NodeId to, Bytes blob) override {
+      bus_->send(self_, to, blob);
+    }
+
+   private:
+    NodeId self_;
+    TcpBus* bus_;
+  };
+
+  TcpTestbedConfig cfg_;
+  SteadyClock clock_;
+  std::unique_ptr<TcpBus> bus_;
+  sgx::SgxPlatform platform_;
+  std::unique_ptr<sgx::SimIAS> ias_;
+  std::vector<std::unique_ptr<BusHost>> hosts_;
+  std::vector<std::unique_ptr<protocol::PeerEnclave>> enclaves_;
+  std::mutex state_mu_;
+  SimTime t0_ = 0;
+  std::uint32_t rounds_run_ = 0;
+};
+
+}  // namespace sgxp2p::net

@@ -1,0 +1,85 @@
+#include "protocol/eba.hpp"
+
+#include <numeric>
+
+namespace sgxp2p::protocol {
+
+EbaNode::EbaNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+                 sgx::EnclaveHostIface& host, PeerConfig config,
+                 const sgx::SimIAS& ias, Bytes input)
+    : PeerEnclave(platform, cpu, EbaNode::program(), host, config, ias),
+      input_(std::move(input)) {}
+
+void EbaNode::on_protocol_start() {
+  ErbConfig cfg;
+  cfg.self = config().self;
+  cfg.instance = InstanceId{config().self, my_seq()};
+  cfg.participants.resize(config().n);
+  std::iota(cfg.participants.begin(), cfg.participants.end(), NodeId{0});
+  cfg.t = config().t;
+  cfg.start_round = 1;
+  cfg.is_initiator = true;
+  cfg.init_payload = input_;
+  instances_.emplace(config().self, ErbInstance(std::move(cfg)));
+}
+
+ErbInstance& EbaNode::instance_for(NodeId initiator) {
+  auto it = instances_.find(initiator);
+  if (it == instances_.end()) {
+    ErbConfig cfg;
+    cfg.self = config().self;
+    cfg.instance = InstanceId{initiator, expected_seq(initiator).value_or(0)};
+    cfg.participants.resize(config().n);
+    std::iota(cfg.participants.begin(), cfg.participants.end(), NodeId{0});
+    cfg.t = config().t;
+    cfg.start_round = 1;
+    cfg.is_initiator = false;
+    it = instances_.emplace(initiator, ErbInstance(std::move(cfg))).first;
+  }
+  return it->second;
+}
+
+void EbaNode::perform(const ErbInstance::Sends& sends) {
+  for (const auto& send : sends) send_val(send.to, send.val);
+}
+
+void EbaNode::finalize(std::uint32_t round) {
+  if (result_.done) return;
+  result_.done = true;
+  result_.round = round;
+  result_.decided_at = trusted_time();
+  // Majority over the common delivered vector; deterministic tie-break.
+  std::map<Bytes, std::size_t> tally;
+  for (const auto& [initiator, inst] : instances_) {
+    if (inst.has_value()) ++tally[inst.value()];
+  }
+  std::size_t best = 0;
+  for (const auto& [value, count] : tally) {
+    result_.delivered += count;
+    if (count > best) {  // map iteration is ordered: first max = smallest
+      best = count;
+      result_.decision = value;
+      result_.support = count;
+    }
+  }
+}
+
+void EbaNode::on_round_begin(std::uint32_t round) {
+  for (auto& [initiator, inst] : instances_) {
+    perform(inst.on_round_begin(round));
+    if (inst.wants_halt()) {
+      halt_self();
+      return;
+    }
+  }
+  if (round > config().t + 2) finalize(round);
+}
+
+void EbaNode::on_val(NodeId from, const Val& val) {
+  if (val.initiator >= config().n) return;
+  ErbInstance& inst = instance_for(val.initiator);
+  perform(inst.on_val(from, val, current_round()));
+  if (inst.wants_halt()) halt_self();
+}
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,60 @@
+// EbaNode — Enclaved Byzantine Agreement, built on ERB.
+//
+// The paper notes (Table 1, footnote 2) that reliable broadcast and
+// byzantine agreement interconvert with O(N) extra messages; this is that
+// construction in the SGX-reduced model: every node ERB-broadcasts its input
+// at round 1; after the instances settle, each node holds the SAME vector of
+// N delivered values (⊥ for initiators whose broadcast failed) and decides
+// the majority value, ties broken toward the lexicographically smallest.
+//
+//   Agreement   — the decision is a deterministic function of a common
+//                 vector (ERB agreement), so all honest nodes match.
+//   Validity    — if all honest nodes input v, then ≥ N − t = t + 1 slots
+//                 hold v while byzantine inputs fill ≤ t, so v wins.
+//   Termination — every instance decides by round t + 2.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "protocol/erb_instance.hpp"
+#include "protocol/peer_enclave.hpp"
+
+namespace sgxp2p::protocol {
+
+class EbaNode final : public PeerEnclave {
+ public:
+  struct Result {
+    bool done = false;
+    std::optional<Bytes> decision;  // nullopt = no value had support (all ⊥)
+    std::size_t support = 0;        // slots holding the decided value
+    std::size_t delivered = 0;      // non-⊥ slots
+    std::uint32_t round = 0;
+    SimTime decided_at = 0;
+  };
+
+  EbaNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+          sgx::EnclaveHostIface& host, PeerConfig config,
+          const sgx::SimIAS& ias, Bytes input);
+
+  [[nodiscard]] const Result& result() const { return result_; }
+  [[nodiscard]] static sgx::ProgramIdentity program() {
+    return {"eba", "1.0"};
+  }
+
+ protected:
+  void on_protocol_start() override;
+  void on_round_begin(std::uint32_t round) override;
+  void on_val(NodeId from, const Val& val) override;
+
+ private:
+  ErbInstance& instance_for(NodeId initiator);
+  void perform(const ErbInstance::Sends& sends);
+  void finalize(std::uint32_t round);
+
+  Bytes input_;
+  std::map<NodeId, ErbInstance> instances_;
+  Result result_;
+};
+
+}  // namespace sgxp2p::protocol

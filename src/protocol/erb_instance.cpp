@@ -1,0 +1,157 @@
+#include "protocol/erb_instance.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sgxp2p::protocol {
+
+ErbInstance::ErbInstance(ErbConfig config) : cfg_(std::move(config)) {
+  CHECK_MSG(!cfg_.participants.empty(), "ErbInstance: empty group");
+  std::sort(cfg_.participants.begin(), cfg_.participants.end());
+  CHECK_MSG(is_participant(cfg_.self), "ErbInstance: self not in group");
+  max_rounds_ = cfg_.max_rounds != 0 ? cfg_.max_rounds : cfg_.t + 2;
+  const auto n = static_cast<std::uint32_t>(cfg_.participants.size());
+  // Halt when fewer than t ACKs arrive (Algorithm 2's `Nack < t`), but never
+  // demand more ACKs than there are other participants.
+  ack_threshold_ = std::min(cfg_.t, n - 1);
+  // Accept at |S_echo| ≥ N − t (= t + 1 for N = 2t + 1).
+  accept_threshold_ = n - cfg_.t;
+}
+
+std::uint32_t ErbInstance::instance_round(std::uint32_t global) const {
+  if (global < cfg_.start_round) return 0;
+  return global - cfg_.start_round + 1;
+}
+
+bool ErbInstance::is_participant(NodeId id) const {
+  return std::binary_search(cfg_.participants.begin(), cfg_.participants.end(),
+                            id);
+}
+
+ErbInstance::Sends ErbInstance::multicast(Val val, std::uint32_t global_round) {
+  Sends sends;
+  sends.reserve(cfg_.participants.size());
+  Bytes hash = crypto::Sha256::hash_bytes(serialize(val));
+  for (NodeId peer : cfg_.participants) {
+    if (peer == cfg_.self) continue;
+    sends.push_back(Send{peer, val});
+  }
+  pending_ack_ = PendingAck{global_round, std::move(hash), {}};
+  return sends;
+}
+
+void ErbInstance::maybe_accept(std::uint32_t instance_rnd) {
+  if (accepted_) return;
+  if (s_echo_.size() >= accept_threshold_) {
+    accepted_ = true;
+    value_ = m_;
+    accept_round_ = instance_rnd;
+  }
+}
+
+ErbInstance::Sends ErbInstance::on_round_begin(std::uint32_t global_round) {
+  Sends sends;
+  if (wants_halt_) return sends;
+  std::uint32_t rnd = instance_round(global_round);
+  if (rnd == 0) return sends;
+
+  // 1. Halt-on-divergence (P4): a multicast from an earlier round must have
+  //    gathered at least t ACKs by now.
+  if (pending_ack_ && pending_ack_->round < global_round) {
+    if (cfg_.enable_halt && pending_ack_->ackers.size() < ack_threshold_) {
+      wants_halt_ = true;
+      return sends;
+    }
+    pending_ack_.reset();
+  }
+
+  // 2. Initiator: multicast ⟨INIT, id_init, seq_init, m, rnd⟩ in round 1.
+  if (cfg_.is_initiator && rnd == 1) {
+    m_ = cfg_.init_payload;
+    s_echo_.insert(cfg_.self);
+    Val init{MsgType::kInit, cfg_.instance.initiator, cfg_.instance.epoch,
+             global_round, cfg_.init_payload};
+    sends = multicast(std::move(init), global_round);
+    maybe_accept(rnd);
+  }
+
+  // 3. Scheduled ECHO from a first receipt in the previous round
+  //    ("Wait(rnd) then Multicast(ECHO, …, rnd+1)").
+  if (echo_due_round_ && *echo_due_round_ == rnd && rnd <= max_rounds_) {
+    Val echo{MsgType::kEcho, cfg_.instance.initiator, cfg_.instance.epoch,
+             global_round, *m_};
+    auto echo_sends = multicast(std::move(echo), global_round);
+    sends.insert(sends.end(), echo_sends.begin(), echo_sends.end());
+    echo_due_round_.reset();
+  }
+
+  // 4. Timeout: past instance round t + 2 without enough echoes → accept ⊥.
+  if (rnd > max_rounds_ && !accepted_) {
+    accepted_ = true;
+    value_.reset();  // ⊥
+    accept_round_ = rnd;
+  }
+  return sends;
+}
+
+ErbInstance::Sends ErbInstance::on_val(NodeId from, const Val& val,
+                                       std::uint32_t global_round) {
+  Sends sends;
+  if (wants_halt_) return sends;
+  std::uint32_t rnd = instance_round(global_round);
+  if (rnd == 0 || rnd > max_rounds_) return sends;
+  if (!is_participant(from)) return sends;
+
+  switch (val.type) {
+    case MsgType::kInit: {
+      // Only the initiator originates INIT. A stale round tag (P5) or wrong
+      // sequence number (P6) is treated as an omitted message.
+      if (from != cfg_.instance.initiator) break;
+      if (val.round != global_round || val.seq != cfg_.instance.epoch) break;
+      Val ack{MsgType::kAck, cfg_.instance.initiator, cfg_.instance.epoch,
+              global_round, crypto::Sha256::hash_bytes(serialize(val))};
+      sends.push_back(Send{from, std::move(ack)});
+      if (!m_) {
+        m_ = val.payload;
+        s_echo_.insert(cfg_.instance.initiator);
+        s_echo_.insert(cfg_.self);
+        echo_due_round_ = rnd + 1;
+        maybe_accept(rnd);
+      }
+      break;
+    }
+    case MsgType::kEcho: {
+      if (val.round != global_round || val.seq != cfg_.instance.epoch) break;
+      Val ack{MsgType::kAck, cfg_.instance.initiator, cfg_.instance.epoch,
+              global_round, crypto::Sha256::hash_bytes(serialize(val))};
+      sends.push_back(Send{from, std::move(ack)});
+      if (!m_) {
+        m_ = val.payload;
+        s_echo_.insert(cfg_.self);
+        echo_due_round_ = rnd + 1;
+      }
+      s_echo_.insert(from);
+      maybe_accept(rnd);
+      break;
+    }
+    case MsgType::kAck: {
+      if (!pending_ack_) break;
+      // The ACK must arrive in the multicast's round and carry H(val) of
+      // exactly what we sent.
+      if (val.round != pending_ack_->round ||
+          global_round != pending_ack_->round) {
+        break;
+      }
+      if (val.payload != pending_ack_->expected_hash) break;
+      pending_ack_->ackers.insert(from);
+      break;
+    }
+    default:
+      break;
+  }
+  return sends;
+}
+
+}  // namespace sgxp2p::protocol

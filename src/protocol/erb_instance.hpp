@@ -1,0 +1,111 @@
+// ErbInstance — the Enclaved Reliable Broadcast state machine (Algorithm 2).
+//
+// Pure protocol logic with no I/O: events come in (round boundaries,
+// received vals), send actions come out. This lets one enclave multiplex
+// many concurrent instances — exactly what ERNG does (Algorithm 3 runs N of
+// these; Algorithm 6 runs them inside a sampled cluster with its own
+// participant set and thresholds).
+//
+// Faithful points, mapped to the paper:
+//   - INIT/ECHO carry ⟨type, id_init, seq_init, m, rnd⟩; receivers check
+//     rnd′ = rnd (P5, lockstep) and seq = seq_init (P6, freshness); a
+//     mismatch is *treated as an omission* — ignored, not an error.
+//   - Every valid INIT/ECHO is acknowledged with ⟨ACK, id_init, seq, H(val),
+//     rnd⟩ to its sender.
+//   - A node that multicast in round r and collected fewer than t ACKs by
+//     the end of r halts (P4, halt-on-divergence) — surfaced as
+//     wants_halt(); the owning enclave then churns itself out.
+//   - ECHO is multicast at the start of the round after first receipt
+//     ("Wait(rnd) then Multicast(…, rnd+1)").
+//   - Accept m when |S_echo| ≥ N − t; accept ⊥ after instance round t + 2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "protocol/wire.hpp"
+
+namespace sgxp2p::protocol {
+
+struct ErbConfig {
+  NodeId self = kNoNode;
+  InstanceId instance;                // initiator + expected seq (epoch)
+  std::vector<NodeId> participants;   // the broadcast group, incl. self
+  std::uint32_t t = 0;                // byzantine bound within the group
+  std::uint32_t start_round = 1;      // global round of instance round 1
+  std::uint32_t max_rounds = 0;       // instance rounds; 0 → t + 2
+  bool is_initiator = false;
+  Bytes init_payload;                 // m, when initiator
+  // Ablation switch (DESIGN.md §4.1): with halt-on-divergence disabled the
+  // protocol degenerates to passive timeout detection — byzantine nodes are
+  // never churned and the traffic reduction of Fig. 3c disappears.
+  bool enable_halt = true;
+};
+
+class ErbInstance {
+ public:
+  struct Send {
+    NodeId to;
+    Val val;
+  };
+  using Sends = std::vector<Send>;
+
+  explicit ErbInstance(ErbConfig config);
+
+  /// Round-boundary event (global round). Order of effects: ACK-shortfall
+  /// check for the previous round's multicast (may set wants_halt), then the
+  /// scheduled ECHO / initial INIT multicast, then the ⊥ timeout.
+  Sends on_round_begin(std::uint32_t global_round);
+
+  /// A val for this instance arrived from `from` during `global_round`.
+  Sends on_val(NodeId from, const Val& val, std::uint32_t global_round);
+
+  // ----- status -----
+  [[nodiscard]] bool accepted() const { return accepted_; }
+  [[nodiscard]] bool has_value() const { return accepted_ && value_.has_value(); }
+  /// The accepted m; only meaningful when has_value().
+  [[nodiscard]] const Bytes& value() const { return *value_; }
+  /// Instance round at which the decision was made.
+  [[nodiscard]] std::uint32_t accept_round() const { return accept_round_; }
+  /// P4 violation detected: the owner must Halt the whole node.
+  [[nodiscard]] bool wants_halt() const { return wants_halt_; }
+  [[nodiscard]] const ErbConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t echo_count() const { return s_echo_.size(); }
+
+ private:
+  [[nodiscard]] std::uint32_t instance_round(std::uint32_t global) const;
+  [[nodiscard]] bool is_participant(NodeId id) const;
+  /// Builds the multicast of `val` to all participants except self and
+  /// registers the pending-ACK expectation for `global_round`.
+  Sends multicast(Val val, std::uint32_t global_round);
+  void maybe_accept(std::uint32_t instance_rnd);
+
+  ErbConfig cfg_;
+  std::uint32_t max_rounds_;
+  std::uint32_t ack_threshold_;
+  std::uint32_t accept_threshold_;
+
+  std::optional<Bytes> m_;              // m̄, the stored message
+  std::set<NodeId> s_echo_;             // S_echo
+  std::optional<std::uint32_t> echo_due_round_;  // multicast ECHO at this instance round
+
+  // Pending multicast awaiting ACKs: (global round it was sent in, the
+  // H(val) receivers will echo back, distinct ackers so far).
+  struct PendingAck {
+    std::uint32_t round = 0;
+    Bytes expected_hash;
+    std::set<NodeId> ackers;
+  };
+  std::optional<PendingAck> pending_ack_;
+
+  bool accepted_ = false;
+  std::optional<Bytes> value_;
+  std::uint32_t accept_round_ = 0;
+  bool wants_halt_ = false;
+};
+
+}  // namespace sgxp2p::protocol

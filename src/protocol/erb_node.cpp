@@ -1,0 +1,64 @@
+#include "protocol/erb_node.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace sgxp2p::protocol {
+
+ErbNode::ErbNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+                 sgx::EnclaveHostIface& host, PeerConfig config,
+                 const sgx::SimIAS& ias, NodeId initiator, Bytes payload,
+                 bool enable_halt)
+    : PeerEnclave(platform, cpu, ErbNode::program(), host, config, ias),
+      initiator_(initiator),
+      payload_(std::move(payload)),
+      enable_halt_(enable_halt) {}
+
+void ErbNode::on_protocol_start() {
+  auto seq = expected_seq(initiator_);
+  CHECK_MSG(seq.has_value(), "ErbNode: initiator sequence unknown");
+  ErbConfig cfg;
+  cfg.self = config().self;
+  cfg.instance = InstanceId{initiator_, *seq};
+  cfg.participants.resize(config().n);
+  std::iota(cfg.participants.begin(), cfg.participants.end(), NodeId{0});
+  cfg.t = config().t;
+  cfg.start_round = 1;
+  cfg.is_initiator = (config().self == initiator_);
+  cfg.init_payload = payload_;
+  cfg.enable_halt = enable_halt_;
+  instance_ = std::make_unique<ErbInstance>(std::move(cfg));
+}
+
+void ErbNode::perform(const ErbInstance::Sends& sends) {
+  for (const auto& send : sends) send_val(send.to, send.val);
+}
+
+void ErbNode::refresh_status() {
+  if (instance_->wants_halt()) {
+    halt_self();
+    return;
+  }
+  if (instance_->accepted() && !result_.decided) {
+    result_.decided = true;
+    result_.value = instance_->has_value()
+                        ? std::optional<Bytes>(instance_->value())
+                        : std::nullopt;
+    result_.round = instance_->accept_round();
+    result_.decided_at = trusted_time();
+  }
+}
+
+void ErbNode::on_round_begin(std::uint32_t round) {
+  perform(instance_->on_round_begin(round));
+  refresh_status();
+}
+
+void ErbNode::on_val(NodeId from, const Val& val) {
+  if (val.initiator != initiator_) return;
+  perform(instance_->on_val(from, val, current_round()));
+  refresh_status();
+}
+
+}  // namespace sgxp2p::protocol

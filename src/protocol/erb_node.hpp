@@ -1,0 +1,54 @@
+// ErbNode — a peer running one Enclaved Reliable Broadcast (Section 4).
+//
+// Wraps a single ErbInstance in the PeerEnclave runtime: the designated
+// initiator multicasts its message at round 1; every node reaches a decision
+// (m or ⊥) by instance round min{f+2, t+2}. A node whose instance trips the
+// halt-on-divergence check churns itself out (halted()).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "protocol/erb_instance.hpp"
+#include "protocol/peer_enclave.hpp"
+
+namespace sgxp2p::protocol {
+
+class ErbNode final : public PeerEnclave {
+ public:
+  struct Result {
+    bool decided = false;
+    std::optional<Bytes> value;    // nullopt = ⊥
+    std::uint32_t round = 0;       // instance round of the decision
+    SimTime decided_at = 0;        // virtual time of the decision
+  };
+
+  /// `initiator` designates the broadcasting node; when self == initiator,
+  /// `payload` is the message m to broadcast.
+  ErbNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+          sgx::EnclaveHostIface& host, PeerConfig config,
+          const sgx::SimIAS& ias, NodeId initiator, Bytes payload = {},
+          bool enable_halt = true);
+
+  [[nodiscard]] const Result& result() const { return result_; }
+  [[nodiscard]] static sgx::ProgramIdentity program() {
+    return {"erb", "1.0"};
+  }
+
+ protected:
+  void on_protocol_start() override;
+  void on_round_begin(std::uint32_t round) override;
+  void on_val(NodeId from, const Val& val) override;
+
+ private:
+  void perform(const ErbInstance::Sends& sends);
+  void refresh_status();
+
+  NodeId initiator_;
+  Bytes payload_;
+  bool enable_halt_;
+  std::unique_ptr<ErbInstance> instance_;
+  Result result_;
+};
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,87 @@
+#include "protocol/erb_sequence.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace sgxp2p::protocol {
+
+ErbSequenceNode::ErbSequenceNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+                                 sgx::EnclaveHostIface& host,
+                                 PeerConfig config, const sgx::SimIAS& ias,
+                                 NodeId initiator, std::vector<Bytes> payloads)
+    : PeerEnclave(platform, cpu, ErbSequenceNode::program(), host, config,
+                  ias),
+      initiator_(initiator),
+      payloads_(std::move(payloads)),
+      executions_(payloads_.size()) {}
+
+void ErbSequenceNode::open_execution(std::size_t e) {
+  auto seq = expected_seq(initiator_);
+  CHECK_MSG(seq.has_value(), "ErbSequenceNode: initiator sequence unknown");
+  ErbConfig cfg;
+  cfg.self = config().self;
+  cfg.instance = InstanceId{initiator_, *seq};
+  cfg.participants.resize(config().n);
+  std::iota(cfg.participants.begin(), cfg.participants.end(), NodeId{0});
+  cfg.t = config().t;
+  cfg.start_round = static_cast<std::uint32_t>(e) * window() + 1;
+  cfg.is_initiator = (config().self == initiator_);
+  cfg.init_payload = payloads_[e];
+  instance_ = std::make_unique<ErbInstance>(std::move(cfg));
+  exec_open_ = true;
+}
+
+void ErbSequenceNode::close_execution(std::uint32_t round) {
+  ExecutionResult res;
+  res.decided = instance_->accepted();
+  if (instance_->has_value()) res.value = instance_->value();
+  res.round = instance_->accept_round();
+  results_.push_back(std::move(res));
+  instance_.reset();
+  exec_open_ = false;
+  ++current_exec_;
+  // "After every valid instance ... increase all sequence numbers by 1."
+  bump_all_seqs();
+  (void)round;
+}
+
+void ErbSequenceNode::perform(const ErbInstance::Sends& sends) {
+  for (const auto& send : sends) send_val(send.to, send.val);
+}
+
+void ErbSequenceNode::on_round_begin(std::uint32_t round) {
+  if (current_exec_ >= executions_) return;
+
+  // Execution e occupies rounds [e·(t+2)+1, (e+1)·(t+2)]; the window closes
+  // at the first tick past its last round, so decisions arriving during the
+  // final round are still counted.
+  if (exec_open_) {
+    std::uint32_t window_start =
+        static_cast<std::uint32_t>(current_exec_) * window() + 1;
+    if (round >= window_start + window()) {
+      if (!instance_->accepted()) {
+        // Instance round is now t + 3 > max: this forces the ⊥ decision.
+        (void)instance_->on_round_begin(round);
+      }
+      close_execution(round);
+      if (current_exec_ >= executions_) return;
+    }
+  }
+
+  std::uint32_t window_start =
+      static_cast<std::uint32_t>(current_exec_) * window() + 1;
+  if (!exec_open_ && round == window_start) open_execution(current_exec_);
+  if (!exec_open_) return;
+
+  perform(instance_->on_round_begin(round));
+  if (instance_->wants_halt()) halt_self();
+}
+
+void ErbSequenceNode::on_val(NodeId from, const Val& val) {
+  if (!exec_open_ || val.initiator != initiator_) return;
+  perform(instance_->on_val(from, val, current_round()));
+  if (instance_->wants_halt()) halt_self();
+}
+
+}  // namespace sgxp2p::protocol

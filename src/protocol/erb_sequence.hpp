@@ -1,0 +1,67 @@
+// ErbSequenceNode — back-to-back ERB executions on one session.
+//
+// A deployment does not tear the network down after every broadcast: the
+// paper's setup phase runs once and sequence numbers advance per valid
+// instance ("After every valid instance of the protocol, nodes will
+// increase all sequence numbers by 1"). This node schedules K consecutive
+// ERB executions, each occupying a window of t + 2 global rounds, bumping
+// every expected sequence at each window boundary — which is exactly what
+// makes ciphertext replays from execution e dead on arrival in execution
+// e+1 (P6 across instances, not just within one).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "protocol/erb_instance.hpp"
+#include "protocol/peer_enclave.hpp"
+
+namespace sgxp2p::protocol {
+
+class ErbSequenceNode final : public PeerEnclave {
+ public:
+  struct ExecutionResult {
+    bool decided = false;
+    std::optional<Bytes> value;
+    std::uint32_t round = 0;  // instance-relative decision round
+  };
+
+  /// `payloads[e]` is the message the initiator broadcasts in execution e;
+  /// K = payloads.size() executions are run.
+  ErbSequenceNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+                  sgx::EnclaveHostIface& host, PeerConfig config,
+                  const sgx::SimIAS& ias, NodeId initiator,
+                  std::vector<Bytes> payloads);
+
+  [[nodiscard]] const std::vector<ExecutionResult>& results() const {
+    return results_;
+  }
+  [[nodiscard]] bool all_done() const {
+    return results_.size() == executions_ && (results_.empty() ||
+                                              results_.back().decided);
+  }
+  /// Rounds per execution window (t + 2).
+  [[nodiscard]] std::uint32_t window() const { return config().t + 2; }
+  [[nodiscard]] static sgx::ProgramIdentity program() {
+    return {"erb-seq", "1.0"};
+  }
+
+ protected:
+  void on_round_begin(std::uint32_t round) override;
+  void on_val(NodeId from, const Val& val) override;
+
+ private:
+  void open_execution(std::size_t e);
+  void close_execution(std::uint32_t round);
+  void perform(const ErbInstance::Sends& sends);
+
+  NodeId initiator_;
+  std::vector<Bytes> payloads_;
+  std::size_t executions_;
+  std::size_t current_exec_ = 0;
+  bool exec_open_ = false;
+  std::unique_ptr<ErbInstance> instance_;
+  std::vector<ExecutionResult> results_;
+};
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,109 @@
+#include "protocol/erng_basic.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace sgxp2p::protocol {
+
+namespace {
+constexpr std::size_t kRandSize = 32;  // k = 256 bits
+}
+
+ErngBasicNode::ErngBasicNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+                             sgx::EnclaveHostIface& host, PeerConfig config,
+                             const sgx::SimIAS& ias)
+    : PeerEnclave(platform, cpu, ErngBasicNode::program(), host, config, ias) {}
+
+void ErngBasicNode::on_protocol_start() {
+  // mi ←$ {0,1}^k from trusted randomness — the host can neither see nor
+  // re-roll it (P1/P3 close attack A1's "repeat until favorable" loop).
+  own_value_ = read_rand().generate(kRandSize);
+  ErbConfig cfg;
+  cfg.self = config().self;
+  cfg.instance = InstanceId{config().self, my_seq()};
+  cfg.participants.resize(config().n);
+  std::iota(cfg.participants.begin(), cfg.participants.end(), NodeId{0});
+  cfg.t = config().t;
+  cfg.start_round = 1;
+  cfg.is_initiator = true;
+  cfg.init_payload = own_value_;
+  instances_.emplace(config().self, ErbInstance(std::move(cfg)));
+}
+
+ErbInstance& ErngBasicNode::instance_for(NodeId initiator) {
+  auto it = instances_.find(initiator);
+  if (it == instances_.end()) {
+    ErbConfig cfg;
+    cfg.self = config().self;
+    cfg.instance = InstanceId{initiator, expected_seq(initiator).value_or(0)};
+    cfg.participants.resize(config().n);
+    std::iota(cfg.participants.begin(), cfg.participants.end(), NodeId{0});
+    cfg.t = config().t;
+    cfg.start_round = 1;
+    cfg.is_initiator = false;
+    it = instances_.emplace(initiator, ErbInstance(std::move(cfg))).first;
+  }
+  return it->second;
+}
+
+void ErngBasicNode::perform(const ErbInstance::Sends& sends) {
+  for (const auto& send : sends) send_val(send.to, send.val);
+}
+
+void ErngBasicNode::finalize(std::uint32_t round) {
+  if (result_.done) return;
+  result_.done = true;
+  result_.round = round;
+  result_.decided_at = trusted_time();
+  Bytes acc(kRandSize, 0);
+  std::size_t count = 0;
+  for (const auto& [initiator, inst] : instances_) {
+    if (inst.has_value() && inst.value().size() == kRandSize) {
+      xor_into(acc, inst.value());
+      ++count;
+    }
+  }
+  result_.set_size = count;
+  result_.is_bottom = (count == 0);
+  result_.value = std::move(acc);
+}
+
+void ErngBasicNode::on_round_begin(std::uint32_t round) {
+  for (auto& [initiator, inst] : instances_) {
+    perform(inst.on_round_begin(round));
+    if (inst.wants_halt()) {
+      halt_self();
+      return;
+    }
+  }
+  // Hard deadline: all instances have decided by the end of round t + 2.
+  if (round > config().t + 2) {
+    finalize(round);
+    return;
+  }
+  // Early output: every initiator's instance accepted a value.
+  if (!result_.done && instances_.size() == config().n) {
+    bool all_valued = true;
+    for (const auto& [initiator, inst] : instances_) {
+      if (!inst.has_value()) {
+        all_valued = false;
+        break;
+      }
+    }
+    if (all_valued) finalize(round);
+  }
+}
+
+void ErngBasicNode::on_val(NodeId from, const Val& val) {
+  if (val.initiator >= config().n) return;
+  if (val.type != MsgType::kInit && val.type != MsgType::kEcho &&
+      val.type != MsgType::kAck) {
+    return;
+  }
+  ErbInstance& inst = instance_for(val.initiator);
+  perform(inst.on_val(from, val, current_round()));
+  if (inst.wants_halt()) halt_self();
+}
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,223 @@
+#include "protocol/erng_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+
+namespace sgxp2p::protocol {
+
+namespace {
+constexpr std::size_t kRandSize = 32;
+
+Bytes serialize_set(const std::vector<Bytes>& values) {
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(values.size()));
+  for (const Bytes& v : values) w.bytes(v);
+  return w.take();
+}
+
+std::optional<std::vector<Bytes>> parse_set(ByteView data) {
+  BinaryReader r(data);
+  std::uint32_t n = r.u32();
+  if (!r.ok() || n > 4096) return std::nullopt;
+  std::vector<Bytes> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.bytes());
+  if (!r.done()) return std::nullopt;
+  return out;
+}
+}  // namespace
+
+ErngOptNode::ErngOptNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+                         sgx::EnclaveHostIface& host, PeerConfig config,
+                         const sgx::SimIAS& ias, ErngOptParams params)
+    : PeerEnclave(platform, cpu, ErngOptNode::program(), host, config, ias),
+      params_(params) {}
+
+void ErngOptNode::on_protocol_start() {
+  gamma_ = params_.gamma != 0
+               ? params_.gamma
+               : std::max<std::uint32_t>(
+                     4, static_cast<std::uint32_t>(
+                            std::ceil(std::log2(std::max(2u, config().n)))));
+  fallback_ = params_.force_fallback || config().n < 4 * gamma_;
+}
+
+void ErngOptNode::fix_cluster_parameters() {
+  cluster_.assign(s_chosen_.begin(), s_chosen_.end());
+  const auto n_c = static_cast<std::uint32_t>(cluster_.size());
+  cluster_t_ = n_c > 0 ? (n_c - 1) / 2 : 0;
+  cluster_max_rounds_ = cluster_t_ + 2;
+  // Instance round 1 is global round 2; instances decide (value or forced ⊥)
+  // by the tick of global round cluster_max_rounds_ + 2, and FINAL sets are
+  // multicast in that same round.
+  final_round_ = cluster_max_rounds_ + 2;
+  accept_threshold_ = n_c / 2 + 1;
+}
+
+ErbInstance* ErngOptNode::instance_for(NodeId initiator) {
+  if (!chosen_ || !in_cluster(initiator)) return nullptr;
+  auto it = instances_.find(initiator);
+  if (it == instances_.end()) {
+    ErbConfig cfg;
+    cfg.self = config().self;
+    cfg.instance = InstanceId{initiator, expected_seq(initiator).value_or(0)};
+    cfg.participants = cluster_;
+    cfg.t = cluster_t_;
+    cfg.start_round = 2;
+    cfg.max_rounds = cluster_max_rounds_;
+    cfg.is_initiator = false;
+    it = instances_.emplace(initiator, ErbInstance(std::move(cfg))).first;
+  }
+  return &it->second;
+}
+
+void ErngOptNode::perform(const ErbInstance::Sends& sends) {
+  for (const auto& send : sends) send_val(send.to, send.val);
+}
+
+void ErngOptNode::on_round_begin(std::uint32_t round) {
+  if (round == 1) {
+    // --- Cluster selection ---
+    if (fallback_) {
+      // Paper §6.2 small-N mode: first ⌈2N/3⌉ nodes form the cluster.
+      std::uint32_t size = (2 * config().n + 2) / 3;
+      chosen_ = config().self < size;
+    } else {
+      std::uint64_t bound = std::max<std::uint64_t>(1, config().n / (2 * gamma_));
+      chosen_ = read_rand().next_below(bound) == 0;
+    }
+    if (chosen_) {
+      s_chosen_.insert(config().self);
+      Val v{MsgType::kChosen, config().self, my_seq(), round, {}};
+      for (NodeId peer : peers()) send_val(peer, v);
+    }
+    return;
+  }
+
+  if (round == 2) {
+    // --- Second-phase sampling; cluster membership is now fixed ---
+    fix_cluster_parameters();
+    if (chosen_ && !cluster_.empty()) {
+      auto gamma_eff = static_cast<std::uint32_t>((cluster_.size() + 1) / 2);
+      auto gamma2 = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(
+                 std::sqrt(static_cast<double>(gamma_eff)))));
+      if (params_.one_phase) gamma2 = 1;
+      if (read_rand().next_below(gamma2) == 0) {
+        result_.second_phase = true;
+        ErbConfig cfg;
+        cfg.self = config().self;
+        cfg.instance = InstanceId{config().self, my_seq()};
+        cfg.participants = cluster_;
+        cfg.t = cluster_t_;
+        cfg.start_round = 2;
+        cfg.max_rounds = cluster_max_rounds_;
+        cfg.is_initiator = true;
+        cfg.init_payload = read_rand().generate(kRandSize);
+        instances_.emplace(config().self, ErbInstance(std::move(cfg)));
+      }
+    }
+    result_.chosen = chosen_;
+    result_.cluster_size = cluster_.size();
+  }
+
+  // --- Drive cluster ERB instances ---
+  if (chosen_) {
+    for (auto& [initiator, inst] : instances_) {
+      perform(inst.on_round_begin(round));
+      if (inst.wants_halt()) {
+        halt_self();
+        return;
+      }
+    }
+  }
+
+  // --- FINAL phase ---
+  if (final_round_ != 0 && round == final_round_ && chosen_ && !final_sent_) {
+    send_final(round);
+  }
+  if (final_round_ != 0 && round > final_round_ + 1 && !result_.done) {
+    // No quorum of identical sets arrived — output ⊥.
+    result_.done = true;
+    result_.is_bottom = true;
+    result_.round = round;
+    result_.decided_at = trusted_time();
+  }
+}
+
+void ErngOptNode::send_final(std::uint32_t round) {
+  final_sent_ = true;
+  std::vector<Bytes> values;
+  for (const auto& [initiator, inst] : instances_) {
+    if (inst.has_value() && inst.value().size() == kRandSize) {
+      values.push_back(inst.value());
+    }
+  }
+  std::sort(values.begin(), values.end());
+  Bytes set_bytes = serialize_set(values);
+  Val v{MsgType::kFinal, config().self, my_seq(), round, set_bytes};
+  for (NodeId peer : peers()) send_val(peer, v);
+  // A member's own set counts toward its quorum (Algorithm 6: SM ∪ {Mi}).
+  final_votes_[set_bytes].insert(config().self);
+  try_output(round);
+}
+
+void ErngOptNode::try_output(std::uint32_t round) {
+  if (result_.done) return;
+  for (const auto& [set_bytes, voters] : final_votes_) {
+    if (voters.size() < accept_threshold_) continue;
+    auto values = parse_set(set_bytes);
+    if (!values) return;
+    Bytes acc(kRandSize, 0);
+    for (const Bytes& v : *values) {
+      if (v.size() == kRandSize) xor_into(acc, v);
+    }
+    result_.done = true;
+    result_.is_bottom = values->empty();
+    result_.value = std::move(acc);
+    result_.set_size = values->size();
+    result_.round = round;
+    result_.decided_at = trusted_time();
+    return;
+  }
+}
+
+void ErngOptNode::on_val(NodeId from, const Val& val) {
+  std::uint32_t round = current_round();
+  switch (val.type) {
+    case MsgType::kChosen: {
+      // Valid only during round 1, from the sender itself, fresh (P5/P6).
+      if (round != 1 || val.round != 1) break;
+      if (val.initiator != from) break;
+      if (expected_seq(from) != val.seq) break;
+      if (fallback_ && from >= (2 * config().n + 2) / 3) break;
+      s_chosen_.insert(from);
+      break;
+    }
+    case MsgType::kInit:
+    case MsgType::kEcho:
+    case MsgType::kAck: {
+      ErbInstance* inst = instance_for(val.initiator);
+      if (inst == nullptr) break;
+      perform(inst->on_val(from, val, round));
+      if (inst->wants_halt()) halt_self();
+      break;
+    }
+    case MsgType::kFinal: {
+      if (final_round_ == 0 || val.round != final_round_) break;
+      if (round != final_round_ && round != final_round_ + 1) break;
+      if (!in_cluster(from) || val.initiator != from) break;
+      if (expected_seq(from) != val.seq) break;
+      final_votes_[val.payload].insert(from);
+      try_output(round);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,103 @@
+// ErngOptNode — optimized Enclaved Random Number Generation
+// (Section 5.2 / Algorithm 6, Appendix F).
+//
+// Requires t ≤ N/3. Protocol phases (global rounds):
+//   1           cluster selection: each node draws from {0,…,N/2γ−1} with
+//               trusted randomness; a 0 makes it a cluster member, announced
+//               with CHOSEN to everyone. E[cluster] = 2γ.
+//   2           second-phase sampling: members draw from {0,…,γ′−1} with
+//               γ′ = √γ; zeros initiate an ERB instance *within* the
+//               cluster (participants = S_chosen). E[initiators] = O(√γ).
+//   2…T_c+3     the cluster ERB instances run, T_c = t_c+2 instance rounds
+//               where t_c = ⌊(|S_chosen|−1)/2⌋.
+//   T_c+4       members multicast FINAL{M_i} (their common accepted set) to
+//               all of P; a node outputs XOR(M) once it sees ⌊n_c/2⌋+1
+//               identical sets from distinct members. Total rounds γ+Θ(1),
+//               traffic O(N·γ + γ^{5/2}) with γ = Θ(log N).
+//
+// Small-N fallback (paper §6.2): when N < 4γ the sampling probability 2γ/N
+// is degenerate, so the cluster is fixed to the first ⌈2N/3⌉ nodes — the
+// configuration the paper used for its Fig. 3b measurements.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "protocol/erb_instance.hpp"
+#include "protocol/peer_enclave.hpp"
+
+namespace sgxp2p::protocol {
+
+struct ErngOptParams {
+  /// Statistical parameter γ; 0 → max(4, ⌈log2 N⌉).
+  std::uint32_t gamma = 0;
+  /// Force the deterministic 2N/3 fallback cluster even when N is large.
+  bool force_fallback = false;
+  /// Ablation (DESIGN.md §4.3): skip the second sampling phase so EVERY
+  /// cluster member initiates an ERB — O(γ³) instead of O(γ^{5/2}).
+  bool one_phase = false;
+};
+
+class ErngOptNode final : public PeerEnclave {
+ public:
+  struct Result {
+    bool done = false;
+    bool is_bottom = false;
+    Bytes value;               // XOR of S_final
+    std::size_t set_size = 0;  // |S_final|
+    std::uint32_t round = 0;
+    SimTime decided_at = 0;
+    bool chosen = false;           // was this node a cluster member?
+    bool second_phase = false;     // did it initiate a cluster ERB?
+    std::size_t cluster_size = 0;  // |S_chosen| as this node saw it
+  };
+
+  ErngOptNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+              sgx::EnclaveHostIface& host, PeerConfig config,
+              const sgx::SimIAS& ias, ErngOptParams params = {});
+
+  [[nodiscard]] const Result& result() const { return result_; }
+  [[nodiscard]] std::uint32_t gamma() const { return gamma_; }
+  /// Global round at which FINAL sets fly (known after round 1).
+  [[nodiscard]] std::uint32_t final_round() const { return final_round_; }
+  [[nodiscard]] static sgx::ProgramIdentity program() {
+    return {"erng-opt", "1.0"};
+  }
+
+ protected:
+  void on_protocol_start() override;
+  void on_round_begin(std::uint32_t round) override;
+  void on_val(NodeId from, const Val& val) override;
+
+ private:
+  [[nodiscard]] bool in_cluster(NodeId id) const {
+    return s_chosen_.contains(id);
+  }
+  ErbInstance* instance_for(NodeId initiator);
+  void perform(const ErbInstance::Sends& sends);
+  void fix_cluster_parameters();
+  void send_final(std::uint32_t round);
+  void try_output(std::uint32_t round);
+
+  ErngOptParams params_;
+  std::uint32_t gamma_ = 0;
+  bool fallback_ = false;
+
+  bool chosen_ = false;
+  std::set<NodeId> s_chosen_;
+  std::vector<NodeId> cluster_;          // sorted snapshot after round 1
+  std::uint32_t cluster_t_ = 0;          // t_c
+  std::uint32_t cluster_max_rounds_ = 0; // t_c + 2
+  std::uint32_t final_round_ = 0;        // global FINAL round
+  std::uint32_t accept_threshold_ = 0;   // ⌊n_c/2⌋ + 1 identical sets
+
+  std::map<NodeId, ErbInstance> instances_;  // cluster ERBs, by initiator
+  bool final_sent_ = false;
+  // Votes: serialized candidate set → distinct senders backing it.
+  std::map<Bytes, std::set<NodeId>> final_votes_;
+  Result result_;
+};
+
+}  // namespace sgxp2p::protocol

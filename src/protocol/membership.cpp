@@ -1,0 +1,196 @@
+#include "protocol/membership.hpp"
+
+#include <algorithm>
+
+#include "common/serde.hpp"
+
+namespace sgxp2p::protocol {
+
+namespace {
+Bytes encode_join_record(NodeId joiner, std::uint64_t seq0) {
+  BinaryWriter w;
+  w.u32(joiner);
+  w.u64(seq0);
+  return w.take();
+}
+
+std::optional<std::pair<NodeId, std::uint64_t>> decode_join_record(
+    ByteView data) {
+  BinaryReader r(data);
+  NodeId joiner = r.u32();
+  std::uint64_t seq0 = r.u64();
+  if (!r.done()) return std::nullopt;
+  return std::pair{joiner, seq0};
+}
+
+Bytes encode_roster(const std::vector<NodeId>& roster) {
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(roster.size()));
+  for (NodeId id : roster) w.u32(id);
+  return w.take();
+}
+
+std::optional<std::vector<NodeId>> decode_roster(ByteView data) {
+  BinaryReader r(data);
+  std::uint32_t n = r.u32();
+  if (!r.ok() || n > 1 << 20) return std::nullopt;
+  std::vector<NodeId> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.u32());
+  if (!r.done()) return std::nullopt;
+  return out;
+}
+}  // namespace
+
+RosterNode::RosterNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+                       sgx::EnclaveHostIface& host, PeerConfig config,
+                       const sgx::SimIAS& ias,
+                       std::vector<NodeId> initial_roster,
+                       std::vector<JoinPlanEntry> plan)
+    : PeerEnclave(platform, cpu, RosterNode::program(), host, config, ias),
+      roster_(std::move(initial_roster)),
+      plan_(std::move(plan)) {
+  std::sort(roster_.begin(), roster_.end());
+  is_member_ = in_roster(config.self);
+}
+
+bool RosterNode::in_roster(NodeId id) const {
+  return std::binary_search(roster_.begin(), roster_.end(), id);
+}
+
+ErbInstance* RosterNode::join_instance(NodeId sponsor, std::size_t w) {
+  if (instance_) return instance_.get();
+  ErbConfig cfg;
+  cfg.self = config().self;
+  cfg.instance = InstanceId{sponsor, expected_seq(sponsor).value_or(0)};
+  cfg.participants = roster_;
+  cfg.t = roster_t();
+  cfg.start_round = window_start(w) + 1;
+  cfg.max_rounds = window() - 1;  // must settle inside the window
+  cfg.is_initiator = false;
+  instance_ = std::make_unique<ErbInstance>(std::move(cfg));
+  return instance_.get();
+}
+
+void RosterNode::perform(const ErbInstance::Sends& sends) {
+  for (const auto& send : sends) send_val(send.to, send.val);
+}
+
+void RosterNode::close_window(std::size_t w) {
+  // Admission: members that accepted the (joiner, seq₀) record install it.
+  if (instance_ && instance_->accepted() && instance_->has_value()) {
+    auto record = decode_join_record(instance_->value());
+    if (record && !in_roster(record->first)) {
+      roster_.push_back(record->first);
+      std::sort(roster_.begin(), roster_.end());
+      admitted_.push_back(record->first);
+      install_peer_seq(record->first, record->second);
+      if (welcome_due_ && welcome_to_ == record->first) {
+        Val welcome{MsgType::kWelcome, config().self, my_seq(), 0,
+                    encode_roster(roster_)};
+        send_val(welcome_to_, welcome);
+      }
+    }
+  }
+  instance_.reset();
+  pending_join_.reset();
+  welcome_due_ = false;
+  welcome_to_ = kNoNode;
+  current_window_ = w + 1;
+  bump_all_seqs();
+}
+
+void RosterNode::on_round_begin(std::uint32_t round) {
+  std::size_t w = window_of(round);
+  // Close any window we have moved past.
+  while (current_window_ < w) {
+    if (instance_ && !instance_->accepted()) {
+      (void)instance_->on_round_begin(round);  // force ⊥ if undecided
+    }
+    close_window(current_window_);
+  }
+  if (w >= plan_.size() && !instance_) {
+    // No joins scheduled this window; idle.
+  }
+
+  std::uint32_t ws = window_start(w);
+  const JoinPlanEntry* entry = w < plan_.size() ? &plan_[w] : nullptr;
+
+  // Joiner: announce to the sponsor in the window's first round.
+  if (entry != nullptr && round == ws && config().self == entry->joiner &&
+      !is_member_) {
+    Val join{MsgType::kJoin, config().self, my_seq(), round, {}};
+    send_val(entry->sponsor, join);
+  }
+
+  // Sponsor: initiate the roster ERB one round after receiving the JOIN.
+  if (entry != nullptr && round == ws + 1 && config().self == entry->sponsor &&
+      is_member_ && pending_join_) {
+    ErbConfig cfg;
+    cfg.self = config().self;
+    cfg.instance = InstanceId{config().self, my_seq()};
+    cfg.participants = roster_;
+    cfg.t = roster_t();
+    cfg.start_round = ws + 1;
+    cfg.max_rounds = window() - 1;
+    cfg.is_initiator = true;
+    cfg.init_payload =
+        encode_join_record(pending_join_->first, pending_join_->second);
+    instance_ = std::make_unique<ErbInstance>(std::move(cfg));
+    welcome_due_ = true;
+    welcome_to_ = pending_join_->first;
+  }
+
+  if (instance_) {
+    perform(instance_->on_round_begin(round));
+    if (instance_->wants_halt()) halt_self();
+  }
+}
+
+void RosterNode::on_val(NodeId from, const Val& val) {
+  std::uint32_t round = current_round();
+  std::size_t w = window_of(round);
+  const JoinPlanEntry* entry = w < plan_.size() ? &plan_[w] : nullptr;
+
+  switch (val.type) {
+    case MsgType::kJoin: {
+      // Sponsor side: accept the joiner's announcement in round w·W+1.
+      if (entry == nullptr || !is_member_) break;
+      if (config().self != entry->sponsor || from != entry->joiner) break;
+      if (val.round != round || round != window_start(w)) break;
+      if (in_roster(from)) break;
+      pending_join_ = {from, val.seq};
+      break;
+    }
+    case MsgType::kInit:
+    case MsgType::kEcho:
+    case MsgType::kAck: {
+      if (!is_member_ || entry == nullptr) break;
+      if (!in_roster(from) || val.initiator != entry->sponsor) break;
+      ErbInstance* inst = join_instance(entry->sponsor, w);
+      perform(inst->on_val(from, val, round));
+      if (inst->wants_halt()) halt_self();
+      break;
+    }
+    case MsgType::kWelcome: {
+      // Joiner side: adopt the sponsor's roster and become a member. The
+      // WELCOME lands at the first tick of the window AFTER the join, so
+      // match it against our own plan entry rather than the current one.
+      if (is_member_) break;
+      auto mine = std::find_if(
+          plan_.begin(), plan_.end(),
+          [&](const JoinPlanEntry& e) { return e.joiner == config().self; });
+      if (mine == plan_.end() || from != mine->sponsor) break;
+      auto roster = decode_roster(val.payload);
+      if (!roster || roster->empty()) break;
+      roster_ = std::move(*roster);
+      std::sort(roster_.begin(), roster_.end());
+      if (in_roster(config().self)) is_member_ = true;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace sgxp2p::protocol

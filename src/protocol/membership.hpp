@@ -1,0 +1,96 @@
+// RosterNode — dynamic membership via ERB (Appendix G, assumption S1).
+//
+// The paper: "whenever a node wants to join P, the joining node contacts
+// another neighbor node and communicates both its sequence number and
+// identifier. The contacted node will use ERB to reliably broadcast the
+// pair to all peers in P and then send the joining peer a message
+// containing all existing identifiers of P."
+//
+// Realization: time is cut into fixed windows of W = t_max + 2 rounds. In
+// each window at most one join proceeds:
+//   round w·W+1   joiner → sponsor: JOIN⟨joiner id, joiner's seq₀⟩
+//   round w·W+2   sponsor initiates an ERB among the CURRENT roster with
+//                 payload (joiner, seq₀); the instance runs inside the
+//                 window (roster-sized thresholds)
+//   window end    members that accepted add the joiner to their roster and
+//                 sequence table; the sponsor sends WELCOME⟨roster⟩ and the
+//                 joiner becomes a member. All nodes advance sequence
+//                 numbers (P6 across instances).
+//
+// Because admission is an ERB decision, every member ends each window with
+// the SAME roster — later joins then run over the grown roster, which the
+// tests verify. A crashed/byzantine sponsor merely makes the join fail (the
+// joiner retries with another sponsor in a later window); it cannot split
+// the roster.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "protocol/erb_instance.hpp"
+#include "protocol/peer_enclave.hpp"
+
+namespace sgxp2p::protocol {
+
+struct JoinPlanEntry {
+  NodeId joiner = kNoNode;
+  NodeId sponsor = kNoNode;
+};
+
+class RosterNode final : public PeerEnclave {
+ public:
+  /// `initial_roster` must be the same on every node (public knowledge,
+  /// like the paper's identifier list); `plan[w]` is window w's join.
+  RosterNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+             sgx::EnclaveHostIface& host, PeerConfig config,
+             const sgx::SimIAS& ias, std::vector<NodeId> initial_roster,
+             std::vector<JoinPlanEntry> plan);
+
+  [[nodiscard]] const std::vector<NodeId>& roster() const { return roster_; }
+  [[nodiscard]] bool is_member() const { return is_member_; }
+  /// Joins admitted so far, in admission order.
+  [[nodiscard]] const std::vector<NodeId>& admitted() const {
+    return admitted_;
+  }
+  /// Window length in rounds.
+  [[nodiscard]] std::uint32_t window() const { return config().t + 2; }
+  [[nodiscard]] static sgx::ProgramIdentity program() {
+    return {"roster", "1.0"};
+  }
+
+ protected:
+  void on_round_begin(std::uint32_t round) override;
+  void on_val(NodeId from, const Val& val) override;
+
+ private:
+  [[nodiscard]] bool in_roster(NodeId id) const;
+  [[nodiscard]] std::size_t window_of(std::uint32_t round) const {
+    return (round - 1) / window();
+  }
+  [[nodiscard]] std::uint32_t window_start(std::size_t w) const {
+    return static_cast<std::uint32_t>(w) * window() + 1;
+  }
+  [[nodiscard]] std::uint32_t roster_t() const {
+    return roster_.empty() ? 0
+                           : (static_cast<std::uint32_t>(roster_.size()) - 1) /
+                                 2;
+  }
+  ErbInstance* join_instance(NodeId sponsor, std::size_t w);
+  void perform(const ErbInstance::Sends& sends);
+  void close_window(std::size_t w);
+
+  std::vector<NodeId> roster_;
+  bool is_member_;
+  std::vector<JoinPlanEntry> plan_;
+  std::vector<NodeId> admitted_;
+
+  std::size_t current_window_ = 0;
+  std::unique_ptr<ErbInstance> instance_;   // this window's join broadcast
+  std::optional<std::pair<NodeId, std::uint64_t>> pending_join_;  // sponsor's
+  bool welcome_due_ = false;                // sponsor: send WELCOME at close
+  NodeId welcome_to_ = kNoNode;
+};
+
+}  // namespace sgxp2p::protocol

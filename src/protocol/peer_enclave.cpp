@@ -1,0 +1,151 @@
+#include "protocol/peer_enclave.hpp"
+
+#include <algorithm>
+
+#include "channel/handshake.hpp"
+#include "common/check.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/x25519.hpp"
+
+namespace sgxp2p::protocol {
+
+PeerEnclave::PeerEnclave(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+                         const sgx::ProgramIdentity& program,
+                         sgx::EnclaveHostIface& host, PeerConfig config,
+                         const sgx::SimIAS& ias)
+    : sgx::Enclave(platform, cpu, program, host), cfg_(config), ias_(&ias) {
+  CHECK_MSG(cfg_.n >= 1 && cfg_.self < cfg_.n, "PeerEnclave: bad id/size");
+  CHECK_MSG(2 * cfg_.t < cfg_.n, "PeerEnclave: t must satisfy t < N/2");
+  dh_private_ = read_rand().generate(crypto::kX25519KeySize);
+  my_seq_ = read_rand().next_u64();
+}
+
+Bytes PeerEnclave::handshake_blob() {
+  Bytes dh_public = crypto::x25519_public(dh_private_);
+  sgx::Quote q = quote(dh_public);
+  return channel::make_handshake(cfg_.self, std::move(q)).serialize();
+}
+
+bool PeerEnclave::accept_handshake(ByteView blob) {
+  auto msg = channel::HandshakeMsg::deserialize(blob);
+  if (!msg) return false;
+  auto keys = channel::complete_handshake(*msg, cfg_.self, dh_private_,
+                                          measurement(), *ias_);
+  if (!keys) return false;
+  links_.insert_or_assign(
+      msg->sender, channel::SecureLink(cfg_.self, msg->sender,
+                                       std::move(*keys), measurement()));
+  return true;
+}
+
+void PeerEnclave::install_fast_link(NodeId peer) {
+  // Called once per ordered pair by the harness; no dedupe needed (and a
+  // linear scan here would make O(N²) setup O(N³) at benchmark scale).
+  if (peer != cfg_.self) fast_peers_.push_back(peer);
+}
+
+Bytes PeerEnclave::make_seq_blob(NodeId to) {
+  Val val;
+  val.type = MsgType::kSetup;
+  val.initiator = cfg_.self;
+  val.seq = my_seq_;
+  val.round = 0;
+  return seal_for(to, serialize(val));
+}
+
+bool PeerEnclave::accept_seq_blob(NodeId from, ByteView blob) {
+  auto plaintext = open_from(from, blob);
+  if (!plaintext) return false;
+  auto val = parse_val(*plaintext);
+  if (!val || val->type != MsgType::kSetup || val->initiator != from) {
+    return false;
+  }
+  peer_seq_[from] = val->seq;
+  return true;
+}
+
+void PeerEnclave::start_protocol(SimTime t0) {
+  CHECK_MSG(!started_, "start_protocol called twice");
+  started_ = true;
+  start_time_ = t0;
+  on_protocol_start();
+}
+
+std::uint32_t PeerEnclave::current_round() const {
+  if (!started_ || cfg_.round_ms <= 0) return 0;
+  SimTime now = trusted_time();
+  if (now < start_time_) return 0;
+  return static_cast<std::uint32_t>((now - start_time_) / cfg_.round_ms) + 1;
+}
+
+void PeerEnclave::on_tick() {
+  if (!started_ || halted_) return;
+  std::uint32_t rnd = current_round();
+  if (rnd == 0) return;
+  on_round_begin(rnd);
+}
+
+void PeerEnclave::deliver(NodeId from, ByteView blob) {
+  if (!started_ || halted_) return;
+  auto plaintext = open_from(from, blob);
+  if (!plaintext) return;  // forged, corrupted, or replayed — an omission
+  auto val = parse_val(*plaintext);
+  if (!val) return;
+  on_val(from, *val);
+}
+
+std::optional<std::uint64_t> PeerEnclave::expected_seq(
+    NodeId initiator) const {
+  if (initiator == cfg_.self) return my_seq_;
+  auto it = peer_seq_.find(initiator);
+  if (it == peer_seq_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PeerEnclave::bump_all_seqs() {
+  ++my_seq_;
+  for (auto& [id, seq] : peer_seq_) ++seq;
+}
+
+void PeerEnclave::send_val(NodeId to, const Val& val) {
+  if (halted_ || to == cfg_.self) return;
+  Bytes blob = seal_for(to, serialize(val));
+  send_stats_.count(val.type, blob.size());
+  ocall_transfer(to, std::move(blob));
+}
+
+std::vector<NodeId> PeerEnclave::peers() const {
+  std::vector<NodeId> out;
+  if (cfg_.mode == ChannelMode::kAttested) {
+    out.reserve(links_.size());
+    for (const auto& [id, link] : links_) out.push_back(id);
+  } else {
+    out = fast_peers_;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Bytes PeerEnclave::seal_for(NodeId to, ByteView plaintext) {
+  if (cfg_.mode == ChannelMode::kAttested) {
+    auto it = links_.find(to);
+    CHECK_MSG(it != links_.end(), "seal_for: no link with peer");
+    return it->second.seal(plaintext);
+  }
+  // Accounted mode: same wire size, no cipher work.
+  Bytes out(crypto::kAeadOverhead, 0);
+  append(out, plaintext);
+  return out;
+}
+
+std::optional<Bytes> PeerEnclave::open_from(NodeId from, ByteView blob) {
+  if (cfg_.mode == ChannelMode::kAttested) {
+    auto it = links_.find(from);
+    if (it == links_.end()) return std::nullopt;
+    return it->second.open(blob);
+  }
+  if (blob.size() < crypto::kAeadOverhead) return std::nullopt;
+  return Bytes(blob.begin() + crypto::kAeadOverhead, blob.end());
+}
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,145 @@
+// PeerEnclave — the protocol enclave runtime shared by ERB and ERNG.
+//
+// Owns the per-peer SecureLinks, the one-time setup (attested handshake +
+// initial instance-sequence exchange), and the lockstep round driver (P5):
+// rounds are computed from trusted time only, never from the host. Concrete
+// protocols subclass and react to `on_round_begin` / `on_val`.
+//
+// Channel modes:
+//   kAttested  — full fidelity: X25519 handshake bound into attestation
+//                quotes, AEAD-sealed transport, replay windows. Used by all
+//                tests and the byzantine benchmarks.
+//   kAccounted — large-scale benchmark mode: payloads travel with the same
+//                on-wire size (the AEAD overhead is padded in) but without
+//                the cipher work, so O(N³) message counts stay simulable.
+//                Security-irrelevant by construction (honest-only benches).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/secure_link.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "protocol/wire.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/enclave.hpp"
+
+namespace sgxp2p::protocol {
+
+enum class ChannelMode { kAttested, kAccounted };
+
+struct PeerConfig {
+  NodeId self = kNoNode;
+  std::uint32_t n = 0;          // network size (assumption S1)
+  std::uint32_t t = 0;          // byzantine bound, t < N/2 (S4)
+  SimDuration round_ms = 0;     // 2Δ (S3)
+  ChannelMode mode = ChannelMode::kAttested;
+};
+
+/// Per-type send counters (ERB/ERNG message classes), used by the benches to
+/// report the paper's INIT/ECHO/ACK sizing remarks.
+struct SendStats {
+  static constexpr std::size_t kTypeSlots = 16;
+  std::uint64_t by_type[kTypeSlots] = {};
+  std::uint64_t bytes = 0;
+  void count(MsgType type, std::size_t sz) {
+    auto slot = static_cast<std::size_t>(type);
+    if (slot < kTypeSlots) ++by_type[slot];
+    bytes += sz;
+  }
+  [[nodiscard]] std::uint64_t of(MsgType type) const {
+    auto slot = static_cast<std::size_t>(type);
+    return slot < kTypeSlots ? by_type[slot] : 0;
+  }
+};
+
+class PeerEnclave : public sgx::Enclave {
+ public:
+  PeerEnclave(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+              const sgx::ProgramIdentity& program, sgx::EnclaveHostIface& host,
+              PeerConfig config, const sgx::SimIAS& ias);
+
+  // ----- setup phase (one-time, before protocol start) -----
+
+  /// kAttested: this enclave's handshake message (quote over its ephemeral
+  /// DH public key). One blob serves all peers.
+  Bytes handshake_blob();
+  /// kAttested: installs the link for the sender of `blob`; false when
+  /// attestation fails (the peer is then not admitted — paper setup phase).
+  bool accept_handshake(ByteView blob);
+  /// kAccounted: installs a size-accounting link for `peer`.
+  void install_fast_link(NodeId peer);
+
+  /// Sealed SETUP value carrying this node's initial instance sequence
+  /// number for `to` (P6 material).
+  Bytes make_seq_blob(NodeId to);
+  bool accept_seq_blob(NodeId from, ByteView blob);
+
+  /// Marks setup complete and fixes the synchronous start time T0 (S2).
+  void start_protocol(SimTime t0);
+
+  // ----- runtime -----
+
+  /// Trusted-timer callback at each round boundary.
+  void on_tick();
+
+  /// ECALL: inbound blob from the host.
+  void deliver(NodeId from, ByteView blob) final;
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] const PeerConfig& config() const { return cfg_; }
+  [[nodiscard]] const SendStats& send_stats() const { return send_stats_; }
+
+  /// Current round from trusted time: 1 + (now − T0) / 2Δ.
+  [[nodiscard]] std::uint32_t current_round() const;
+
+  /// This node's own initial instance sequence number.
+  [[nodiscard]] std::uint64_t my_seq() const { return my_seq_; }
+  /// The expected instance sequence number for `initiator` (from setup).
+  [[nodiscard]] std::optional<std::uint64_t> expected_seq(
+      NodeId initiator) const;
+  /// Advances every initiator's expected sequence (end of a valid instance).
+  void bump_all_seqs();
+
+ protected:
+  virtual void on_protocol_start() {}
+  virtual void on_round_begin(std::uint32_t round) = 0;
+  virtual void on_val(NodeId from, const Val& val) = 0;
+
+  /// Seals and transfers a protocol value to `to`.
+  void send_val(NodeId to, const Val& val);
+
+  /// P4: the node detected its own divergence (ACK shortfall) and leaves.
+  void halt_self() { halted_ = true; }
+
+  /// Installs/overrides the expected instance sequence for a peer — used by
+  /// the membership extension when a join record (id, seq₀) is admitted.
+  void install_peer_seq(NodeId peer, std::uint64_t seq) {
+    peer_seq_[peer] = seq;
+  }
+
+  /// All peer ids with an established link, ascending.
+  [[nodiscard]] std::vector<NodeId> peers() const;
+
+ private:
+  Bytes seal_for(NodeId to, ByteView plaintext);
+  std::optional<Bytes> open_from(NodeId from, ByteView blob);
+
+  PeerConfig cfg_;
+  const sgx::SimIAS* ias_;
+  Bytes dh_private_;
+  std::uint64_t my_seq_;
+  std::unordered_map<NodeId, channel::SecureLink> links_;
+  std::vector<NodeId> fast_peers_;  // kAccounted membership
+  std::unordered_map<NodeId, std::uint64_t> peer_seq_;
+  bool started_ = false;
+  bool halted_ = false;
+  SimTime start_time_ = 0;
+  SendStats send_stats_;
+};
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,97 @@
+#include "protocol/rb_early.hpp"
+
+#include "common/serde.hpp"
+
+namespace sgxp2p::protocol {
+
+Bytes RbEarlyNode::encode(State state, const Bytes& value,
+                          std::uint32_t rnd) const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(state));
+  w.u32(rnd);
+  w.bytes(state == State::kValue ? value : Bytes{});
+  return w.take();
+}
+
+void RbEarlyNode::on_message(NodeId from, ByteView data) {
+  BinaryReader r(data);
+  auto state = static_cast<State>(r.u8());
+  std::uint32_t rnd = r.u32();
+  Bytes value = r.bytes();
+  if (!r.done()) return;
+  if (rnd != round()) return;  // synchronous model: stale → dropped
+  inbox_[from] = {state, std::move(value)};
+}
+
+void RbEarlyNode::round_begin(std::uint32_t rnd) {
+  if (result_.decided) return;
+
+  // The initiator decides and broadcasts immediately (Algorithm 5 line 2).
+  if (rnd == 1) {
+    if (self_ == initiator_) {
+      state_ = State::kValue;
+      value_ = payload_;
+      multicast(encode(state_, value_, rnd));
+      result_.decided = true;
+      result_.value = value_;
+      result_.round = 1;
+      return;
+    }
+    // Everyone else reports liveness with '?'.
+    multicast(encode(State::kUnknown, {}, rnd));
+    inbox_round_ = rnd;
+    inbox_.clear();
+    return;
+  }
+
+  // ---- Examine last round's arrivals (they are complete at the boundary).
+  for (NodeId peer = 0; peer < n_; ++peer) {
+    if (peer == self_) continue;
+    if (!inbox_.contains(peer)) quiet_.insert(peer);
+  }
+  if (state_ == State::kUnknown) {
+    // Adopt any decision heard; prefer a value over ⊥.
+    for (const auto& [peer, msg] : inbox_) {
+      if (msg.first == State::kValue) {
+        state_ = State::kValue;
+        value_ = msg.second;
+        break;
+      }
+      if (msg.first == State::kBottom) state_ = State::kBottom;
+    }
+  }
+  if (state_ == State::kUnknown) {
+    // Early ⊥: more silent rounds than there are quiet (faulty) nodes means
+    // the broadcast value cannot be in flight anymore.
+    std::uint32_t prev = rnd - 1;
+    if (prev > quiet_.size()) state_ = State::kBottom;
+  }
+  inbox_.clear();
+  inbox_round_ = rnd;
+
+  // ---- Broadcast this round's state; decide one round after fixing it.
+  if (state_ != State::kUnknown) {
+    if (rnd <= t_ + 1) multicast(encode(state_, value_, rnd));
+    if (broadcast_decision_pending_ || rnd >= t_ + 1) {
+      result_.decided = true;
+      result_.value = (state_ == State::kValue)
+                          ? std::optional<Bytes>(value_)
+                          : std::nullopt;
+      result_.round = rnd;
+      return;
+    }
+    broadcast_decision_pending_ = true;
+    return;
+  }
+
+  // Still unknown: liveness ping, or give up at the deadline.
+  if (rnd <= t_ + 1) {
+    multicast(encode(State::kUnknown, {}, rnd));
+  } else {
+    result_.decided = true;
+    result_.value.reset();
+    result_.round = rnd;
+  }
+}
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,60 @@
+// RBearly — early-stopping reliable broadcast in the general-omission model
+// (Algorithm 5, Appendix B; Perry–Toueg [82]).
+//
+// The omission-model baseline the paper contrasts ERB with: every node
+// broadcasts its state EVERY round ('?' unknown / a value / ⊥) so that
+// peers can passively detect omission faults via the QUIET set, stopping by
+// round min{f+2, t+1}. The price is the per-round all-to-all liveness
+// broadcast — O(N³) total messages versus ERB's O(N²), which is precisely
+// the saving the paper attributes to active ACK-based detection (P4).
+//
+// Faults are injected with PlainNode::set_send_filter (omission only — this
+// protocol is *not* byzantine-tolerant, which test RbEarly.ForgeryBreaksIt
+// demonstrates).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "protocol/plain_node.hpp"
+
+namespace sgxp2p::protocol {
+
+class RbEarlyNode : public PlainNode {
+ public:
+  struct Result {
+    bool decided = false;
+    std::optional<Bytes> value;
+    std::uint32_t round = 0;
+  };
+
+  RbEarlyNode(NodeId self, std::uint32_t n, std::uint32_t t, NodeId initiator,
+              Bytes payload = {})
+      : PlainNode(self, n, t), initiator_(initiator), payload_(std::move(payload)) {}
+
+  [[nodiscard]] const Result& result() const { return result_; }
+
+ protected:
+  void round_begin(std::uint32_t rnd) override;
+  void on_message(NodeId from, ByteView data) override;
+
+ private:
+  enum class State : std::uint8_t { kUnknown = 0, kValue = 1, kBottom = 2 };
+
+  Bytes encode(State state, const Bytes& value, std::uint32_t rnd) const;
+
+  NodeId initiator_;
+  Bytes payload_;
+
+  State state_ = State::kUnknown;
+  Bytes value_;
+  std::set<NodeId> quiet_;
+  // Arrivals of the current round: sender → (state, value).
+  std::map<NodeId, std::pair<State, Bytes>> inbox_;
+  std::uint32_t inbox_round_ = 1;
+  bool broadcast_decision_pending_ = false;
+  Result result_;
+};
+
+}  // namespace sgxp2p::protocol

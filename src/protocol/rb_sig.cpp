@@ -1,0 +1,138 @@
+#include "protocol/rb_sig.hpp"
+
+#include <algorithm>
+
+#include "common/serde.hpp"
+
+namespace sgxp2p::protocol {
+
+RbSigNode::RbSigNode(NodeId self, std::uint32_t n, std::uint32_t t,
+                     NodeId initiator, Bytes payload, ByteView signer_seed)
+    : PlainNode(self, n, t),
+      initiator_(initiator),
+      payload_(std::move(payload)),
+      // Height 3 → 8 one-time keys: at most 2 relays + equivocation tests.
+      signer_(signer_seed, 3) {}
+
+Bytes RbSigNode::transcript(const Bytes& value, const std::vector<NodeId>& ids,
+                            std::size_t upto) {
+  BinaryWriter w;
+  w.str("rbsig-transcript");
+  w.bytes(value);
+  for (std::size_t i = 0; i < upto; ++i) w.u32(ids[i]);
+  return w.take();
+}
+
+Bytes RbSigNode::encode(const SignedChain& chain) {
+  BinaryWriter w;
+  w.bytes(chain.value);
+  w.u32(static_cast<std::uint32_t>(chain.ids.size()));
+  for (std::size_t i = 0; i < chain.ids.size(); ++i) {
+    w.u32(chain.ids[i]);
+    w.bytes(chain.sigs[i]);
+  }
+  return w.take();
+}
+
+std::optional<RbSigNode::SignedChain> RbSigNode::decode(ByteView data) {
+  BinaryReader r(data);
+  SignedChain chain;
+  chain.value = r.bytes();
+  std::uint32_t count = r.u32();
+  if (!r.ok() || count > 4096) return std::nullopt;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    chain.ids.push_back(r.u32());
+    chain.sigs.push_back(r.bytes());
+  }
+  if (!r.done()) return std::nullopt;
+  return chain;
+}
+
+bool RbSigNode::verify_chain(const SignedChain& chain,
+                             std::uint32_t rnd) const {
+  const std::size_t len = chain.ids.size();
+  if (len == 0 || len > t_ + 1) return false;
+  // Round-r validity: r distinct signatures, the first from the initiator,
+  // none from us.
+  if (len != rnd) return false;
+  if (chain.ids.front() != initiator_) return false;
+  std::set<NodeId> seen;
+  for (std::size_t i = 0; i < len; ++i) {
+    NodeId id = chain.ids[i];
+    if (id >= n_ || id == self_ || !seen.insert(id).second) return false;
+    Bytes tbs = transcript(chain.value, chain.ids, i + 1);
+    if (!crypto::merkle_verify(public_keys_[id], tbs, chain.sigs[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RbSigNode::round_begin(std::uint32_t rnd) {
+  if (rnd == 1 && self_ == initiator_) {
+    SignedChain chain;
+    chain.value = payload_;
+    chain.ids = {self_};
+    chain.sigs = {signer_.sign(transcript(payload_, chain.ids, 1))};
+    s_m_.insert(payload_);
+    multicast(encode(chain));
+  }
+
+  for (const SignedChain& chain : relay_pending_) {
+    multicast(encode(chain));
+  }
+  relay_pending_.clear();
+
+  if (rnd > t_ + 1 && !result_.decided) {
+    result_.decided = true;
+    result_.round = rnd;
+    if (s_m_.size() == 1) {
+      result_.value = *s_m_.begin();
+    } else {
+      result_.value.reset();  // 0 or ≥2 values → ⊥
+    }
+  }
+}
+
+void RbSigNode::on_message(NodeId from, ByteView data) {
+  (void)from;  // authenticity comes from the signature chain, not transport
+  if (result_.decided) return;
+  std::uint32_t rnd = round();
+  if (rnd == 0 || rnd > t_ + 1) return;
+  auto chain = decode(data);
+  if (!chain || !verify_chain(*chain, rnd)) return;
+  if (s_m_.contains(chain->value)) return;
+  s_m_.insert(chain->value);
+  // Relay newly seen values (at most two: two already prove equivocation),
+  // appending our signature, if the chain can still grow within t+1.
+  if (relayed_ < 2 && chain->ids.size() < t_ + 1) {
+    ++relayed_;
+    chain->ids.push_back(self_);
+    chain->sigs.push_back(
+        signer_.sign(transcript(chain->value, chain->ids, chain->ids.size())));
+    relay_pending_.push_back(std::move(*chain));
+  }
+}
+
+void EquivocatingRbSigInitiator::round_begin(std::uint32_t rnd) {
+  if (rnd == 1) {
+    // Send m0 to even peers, m1 to odd peers — both correctly signed.
+    for (const Bytes& value : {payload_, m1_}) {
+      SignedChain chain;
+      chain.value = value;
+      chain.ids = {self_};
+      chain.sigs = {signer_.sign(transcript(value, chain.ids, 1))};
+      Bytes wire = encode(chain);
+      for (NodeId peer = 0; peer < n_; ++peer) {
+        if (peer == self_) continue;
+        bool even = (peer % 2 == 0);
+        if ((value == payload_) == even) send(peer, wire);
+      }
+    }
+    result_.decided = true;
+    result_.value = payload_;
+    result_.round = 1;
+  }
+}
+
+}  // namespace sgxp2p::protocol

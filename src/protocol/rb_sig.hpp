@@ -1,0 +1,96 @@
+// RBsig — reliable broadcast with digital-signature chains (Algorithm 4,
+// Appendix B; the Dolev–Strong [49] family).
+//
+// The classic PKI baseline: in round r a message is valid if it carries a
+// chain of r distinct valid signatures beginning with the initiator's; a
+// node relays each newly seen value with its own signature appended. After
+// t+1 rounds a node accepts the unique value in S_m, or ⊥ when it saw
+// equivocation. Tolerates byzantine nodes (they cannot forge honest
+// signatures) at the cost the paper highlights: multi-signature messages —
+// O(N³) bytes here versus ERB's O(N²) — and signature verification work.
+//
+// Standard relay optimization from [49]: a node relays at most two distinct
+// values (two are already proof of equivocation), which keeps message
+// complexity O(N²) while the chains keep byte complexity O(N³).
+//
+// Signatures are WOTS+Merkle (crypto/merkle.hpp); the PKI assumption is
+// modeled by handing every node the vector of all public keys at build time.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "protocol/plain_node.hpp"
+
+namespace sgxp2p::protocol {
+
+class RbSigNode : public PlainNode {
+ public:
+  struct Result {
+    bool decided = false;
+    std::optional<Bytes> value;
+    std::uint32_t round = 0;
+  };
+
+  RbSigNode(NodeId self, std::uint32_t n, std::uint32_t t, NodeId initiator,
+            Bytes payload, ByteView signer_seed);
+
+  /// PKI setup: public keys of all N nodes, indexed by id.
+  void set_pki(std::vector<Bytes> public_keys) {
+    public_keys_ = std::move(public_keys);
+  }
+
+  [[nodiscard]] const Result& result() const { return result_; }
+  [[nodiscard]] const Bytes& public_key() const {
+    return signer_.public_key();
+  }
+
+ protected:
+  void round_begin(std::uint32_t rnd) override;
+  void on_message(NodeId from, ByteView data) override;
+
+  struct SignedChain {
+    Bytes value;
+    std::vector<NodeId> ids;
+    std::vector<Bytes> sigs;
+  };
+  static Bytes encode(const SignedChain& chain);
+  static std::optional<SignedChain> decode(ByteView data);
+  /// The transcript signature k covers: value ‖ ids[0..k].
+  static Bytes transcript(const Bytes& value, const std::vector<NodeId>& ids,
+                          std::size_t upto);
+  [[nodiscard]] bool verify_chain(const SignedChain& chain,
+                                  std::uint32_t rnd) const;
+
+  NodeId initiator_;
+  Bytes payload_;
+  crypto::MerkleSigner signer_;
+  std::vector<Bytes> public_keys_;
+
+  std::set<Bytes> s_m_;
+  std::size_t relayed_ = 0;                // ≤ 2 (equivocation proof cap)
+  std::vector<SignedChain> relay_pending_; // multicast at next round begin
+  Result result_;
+};
+
+/// Byzantine initiator that signs and sends two different values (A2 with a
+/// real key — equivocation, not forgery). Unlike the strawman, RBsig
+/// converges: every honest node ends with |S_m| ≥ 2 and outputs ⊥.
+class EquivocatingRbSigInitiator final : public RbSigNode {
+ public:
+  EquivocatingRbSigInitiator(NodeId self, std::uint32_t n, std::uint32_t t,
+                             Bytes m0, Bytes m1, ByteView signer_seed)
+      : RbSigNode(self, n, t, self, m0, signer_seed), m1_(std::move(m1)) {}
+
+ protected:
+  void round_begin(std::uint32_t rnd) override;
+
+ private:
+  Bytes m1_;
+};
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,60 @@
+#include "protocol/sanitizer.hpp"
+
+#include <cmath>
+
+namespace sgxp2p::protocol {
+
+SanitizeCurves simulate_sanitization(const SanitizeConfig& config) {
+  const std::uint32_t r_max = config.instances;
+  SanitizeCurves out;
+  out.pr_byz_remaining.assign(r_max, 0.0);
+  out.pr_bound.assign(r_max, 0.0);
+  out.mean_byzantine.assign(r_max, 0.0);
+  out.mean_rounds.assign(r_max, 0.0);
+
+  std::vector<double> round_cost_sum(r_max, 0.0);
+
+  for (std::uint32_t trial = 0; trial < config.trials; ++trial) {
+    Rng rng(config.seed * 7919 + trial);
+    std::uint32_t f = config.t0;
+    double cumulative_rounds = 0.0;
+    for (std::uint32_t r = 0; r < r_max; ++r) {
+      // Each byzantine node misbehaves independently with probability p.
+      std::uint32_t misbehaved = 0;
+      for (std::uint32_t i = 0; i < f; ++i) {
+        if (rng.chance(config.p)) ++misbehaved;
+      }
+      // Misbehavers are churned out (P4); replacements re-join, byzantine
+      // with probability `rejoin_byzantine`.
+      std::uint32_t rejoin_byz = 0;
+      for (std::uint32_t i = 0; i < misbehaved; ++i) {
+        if (rng.chance(config.rejoin_byzantine)) ++rejoin_byz;
+      }
+      f = f - misbehaved + rejoin_byz;
+
+      // Instance round cost: 2 honest-path rounds, or f+2 when a chain of
+      // misbehavers delays the broadcast (worst case of Section 6.3).
+      double cost = misbehaved == 0 ? 2.0
+                                    : static_cast<double>(misbehaved) + 2.0;
+      cumulative_rounds += cost;
+
+      out.mean_byzantine[r] += f;
+      if (f >= 1) out.pr_byz_remaining[r] += 1.0;
+      round_cost_sum[r] += cumulative_rounds / static_cast<double>(r + 1);
+    }
+  }
+
+  const double trials = config.trials;
+  for (std::uint32_t r = 0; r < r_max; ++r) {
+    out.pr_byz_remaining[r] /= trials;
+    out.mean_byzantine[r] /= trials;
+    out.mean_rounds[r] = round_cost_sum[r] / trials;
+    // Theorem D.1: Pr[F_r ≥ 1] ≤ t · (1 − p/2)^r, capped at 1.
+    double bound = static_cast<double>(config.t0) *
+                   std::pow(1.0 - config.p / 2.0, static_cast<double>(r + 1));
+    out.pr_bound[r] = std::min(1.0, bound);
+  }
+  return out;
+}
+
+}  // namespace sgxp2p::protocol

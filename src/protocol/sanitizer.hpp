@@ -1,0 +1,43 @@
+// Network sanitization analysis (Appendix D).
+//
+// Models the byzantine population across repeated ERB instances: in each
+// instance every surviving byzantine node misbehaves independently with
+// probability p, is then eliminated by halt-on-divergence (P4), and is
+// replaced by a fresh join that is byzantine with probability 1/2 — the
+// F_{i+1} = F_i − R_i + A_i process of Theorem D.1. The bench compares the
+// Monte-Carlo survival curve Pr[F_r ≥ 1] with the paper's bound
+// t·(1 − p/2)^r ≤ e^{−(rp/2 − ln t)}, and the per-instance round cost with
+// Theorem D.2's convergence to the constant 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sgxp2p::protocol {
+
+struct SanitizeConfig {
+  std::uint32_t n = 1024;          // network size
+  std::uint32_t t0 = 511;          // initial byzantine population
+  double p = 1.0 / 32;             // per-instance misbehavior probability
+  double rejoin_byzantine = 0.5;   // replacement is byzantine w.p. 1/2
+  std::uint32_t instances = 4000;  // horizon r
+  std::uint32_t trials = 200;      // Monte-Carlo repetitions
+  std::uint64_t seed = 1;
+};
+
+struct SanitizeCurves {
+  // Index r−1 → estimate after r instances.
+  std::vector<double> pr_byz_remaining;  // Monte-Carlo Pr[F_r ≥ 1]
+  std::vector<double> pr_bound;          // Theorem D.1 bound t(1 − p/2)^r
+  std::vector<double> mean_byzantine;    // E[F_r] estimate
+  std::vector<double> mean_rounds;       // avg instance round cost up to r
+};
+
+/// Runs the replacement process. Instance round cost model (Theorem D.2):
+/// 2 rounds when no byzantine node misbehaves in that instance, else
+/// f + 2 where f is the number misbehaving (each of which is eliminated).
+SanitizeCurves simulate_sanitization(const SanitizeConfig& config);
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,65 @@
+#include "protocol/strawman.hpp"
+
+namespace sgxp2p::protocol {
+
+void StrawmanNode::round_begin(std::uint32_t rnd) {
+  if (rnd == 1 && is_initiator_) {
+    do_initiate();
+    return;
+  }
+  if (echo_pending_) {
+    echo_pending_ = false;
+    multicast(encode(2, *m_));
+  }
+  if (rnd > t_ + 1 && !result_.decided) {
+    result_.decided = true;
+    result_.value.reset();  // ⊥
+    result_.round = rnd;
+  }
+}
+
+void StrawmanNode::do_initiate() {
+  m_ = payload_;
+  s_m_.insert(self_);
+  result_.decided = true;
+  result_.value = payload_;
+  result_.round = 1;
+  multicast(encode(1, payload_));
+}
+
+void StrawmanNode::on_message(NodeId from, ByteView data) {
+  BinaryReader r(data);
+  std::uint8_t type = r.u8();
+  Bytes m = r.bytes();
+  if (!r.done() || (type != 1 && type != 2)) return;
+  if (result_.decided) return;
+
+  if (!m_) {
+    // Adopt whatever arrives first — Algorithm 1 cannot tell forgeries
+    // apart from the real thing.
+    m_ = m;
+    s_m_.insert(self_);
+    echo_pending_ = true;
+  }
+  if (m == *m_) {
+    s_m_.insert(from);
+    if (s_m_.size() >= n_ - t_) {
+      result_.decided = true;
+      result_.value = m_;
+      result_.round = round();
+    }
+  }
+}
+
+void EquivocatingStrawmanInitiator::do_initiate() {
+  // Half the peers see m0, the rest m1 — trivially violates agreement.
+  for (NodeId peer = 0; peer < n_; ++peer) {
+    if (peer == self_) continue;
+    send(peer, encode(1, peer % 2 == 0 ? m0_ : m1_));
+  }
+  result_.decided = true;
+  result_.value = m0_;
+  result_.round = 1;
+}
+
+}  // namespace sgxp2p::protocol

@@ -1,0 +1,86 @@
+// Strawman broadcast / random-number protocol (Algorithm 1).
+//
+// The paper's motivating non-solution: INIT/ECHO flooding with no integrity,
+// no freshness, no content hiding, no lockstep. Included so the test suite
+// can demonstrate that attacks A1–A5 *succeed* here while the same attacks
+// fail against ERB/ERNG — the paper's Section 2.3 in executable form.
+// Byzantine variants subclass StrawmanNode and forge at will.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "common/serde.hpp"
+#include "protocol/plain_node.hpp"
+
+namespace sgxp2p::protocol {
+
+class StrawmanNode : public PlainNode {
+ public:
+  struct Result {
+    bool decided = false;
+    std::optional<Bytes> value;  // nullopt = ⊥
+    std::uint32_t round = 0;
+  };
+
+  StrawmanNode(NodeId self, std::uint32_t n, std::uint32_t t, bool is_initiator,
+               Bytes payload = {})
+      : PlainNode(self, n, t),
+        is_initiator_(is_initiator),
+        payload_(std::move(payload)) {}
+
+  [[nodiscard]] const Result& result() const { return result_; }
+
+ protected:
+  // Wire: u8 type (1=INIT, 2=ECHO) ‖ bytes payload. No auth, no rounds.
+  static Bytes encode(std::uint8_t type, const Bytes& m) {
+    BinaryWriter w;
+    w.u8(type);
+    w.bytes(m);
+    return w.take();
+  }
+
+  void round_begin(std::uint32_t rnd) override;
+  void on_message(NodeId from, ByteView data) override;
+
+  /// Hook for byzantine subclasses: what to multicast as INIT.
+  virtual void do_initiate();
+
+  bool is_initiator_;
+  Bytes payload_;
+  std::optional<Bytes> m_;
+  std::set<NodeId> s_m_;
+  bool echo_pending_ = false;
+  Result result_;
+};
+
+/// A2 in action: a byzantine initiator that equivocates — half the network
+/// gets m0, the other half m1. Algorithm 1 has no defense; honest nodes
+/// split (the strawman tests assert this split actually happens).
+class EquivocatingStrawmanInitiator final : public StrawmanNode {
+ public:
+  EquivocatingStrawmanInitiator(NodeId self, std::uint32_t n, std::uint32_t t,
+                                Bytes m0, Bytes m1)
+      : StrawmanNode(self, n, t, true), m0_(std::move(m0)), m1_(std::move(m1)) {}
+
+ protected:
+  void do_initiate() override;
+  void on_message(NodeId, ByteView) override {}  // ignores echoes
+
+ private:
+  Bytes m0_, m1_;
+};
+
+/// A2 as impersonation: with no message authenticity, a byzantine node can
+/// simply emit its own INIT carrying a forged value in round 1 and race the
+/// real initiator. Receivers cannot tell the two apart.
+class ForgingStrawmanRelay final : public StrawmanNode {
+ public:
+  ForgingStrawmanRelay(NodeId self, std::uint32_t n, std::uint32_t t,
+                       Bytes forged)
+      : StrawmanNode(self, n, t, true, std::move(forged)) {}
+  // Inherits do_initiate(): multicasts INIT(forged) at round 1, exactly like
+  // a legitimate initiator would — the whole point of the attack.
+};
+
+}  // namespace sgxp2p::protocol

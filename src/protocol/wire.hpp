@@ -1,0 +1,82 @@
+// Protocol wire values.
+//
+// The paper's message format (Section 4): val := ⟨type, id, seq, m, rnd⟩.
+//   - type ∈ {INIT, ECHO, ACK} for ERB, plus {CHOSEN, FINAL} for the
+//     optimized ERNG and SETUP for the one-time sequence-number exchange.
+//   - id    = the instance's initiator,
+//   - seq   = the initiator's per-instance sequence number (P6),
+//   - m     = the payload (for ACK: H(val) of the message being acked),
+//   - rnd   = the sender's current round from trusted time (P5).
+// Vals travel only inside SecureLink seals, so everything here — type
+// included — is invisible to hosts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/serde.hpp"
+
+namespace sgxp2p::protocol {
+
+enum class MsgType : std::uint8_t {
+  kInit = 1,
+  kEcho = 2,
+  kAck = 3,
+  kChosen = 4,
+  kFinal = 5,
+  kSetup = 6,
+  kJoin = 7,     // membership (Appendix G): joiner → sponsor
+  kWelcome = 8,  // membership: sponsor → joiner, carries the roster
+};
+
+struct Val {
+  MsgType type = MsgType::kInit;
+  NodeId initiator = kNoNode;
+  std::uint64_t seq = 0;
+  std::uint32_t round = 0;
+  Bytes payload;
+
+  friend bool operator==(const Val&, const Val&) = default;
+};
+
+inline Bytes serialize(const Val& val) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(val.type));
+  w.u32(val.initiator);
+  w.u64(val.seq);
+  w.u32(val.round);
+  w.bytes(val.payload);
+  return w.take();
+}
+
+inline std::optional<Val> parse_val(ByteView data) {
+  BinaryReader r(data);
+  Val val;
+  std::uint8_t type = r.u8();
+  val.initiator = r.u32();
+  val.seq = r.u64();
+  val.round = r.u32();
+  val.payload = r.bytes();
+  if (!r.done()) return std::nullopt;
+  if (type < 1 || type > 8) return std::nullopt;
+  val.type = static_cast<MsgType>(type);
+  return val;
+}
+
+inline const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kInit: return "INIT";
+    case MsgType::kEcho: return "ECHO";
+    case MsgType::kAck: return "ACK";
+    case MsgType::kChosen: return "CHOSEN";
+    case MsgType::kFinal: return "FINAL";
+    case MsgType::kSetup: return "SETUP";
+    case MsgType::kJoin: return "JOIN";
+    case MsgType::kWelcome: return "WELCOME";
+  }
+  return "?";
+}
+
+}  // namespace sgxp2p::protocol

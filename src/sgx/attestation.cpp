@@ -1,0 +1,62 @@
+#include "sgx/attestation.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/ct.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sgxp2p::sgx {
+
+namespace {
+Bytes quote_tbs(const Measurement& measurement, CpuId cpu,
+                ByteView report_data) {
+  BinaryWriter w;
+  w.raw(ByteView(measurement.data(), measurement.size()));
+  w.u64(cpu);
+  w.bytes(report_data);
+  return w.take();
+}
+}  // namespace
+
+Bytes Quote::serialize() const {
+  BinaryWriter w;
+  w.raw(ByteView(measurement.data(), measurement.size()));
+  w.u64(cpu);
+  w.bytes(report_data);
+  w.bytes(mac);
+  return w.take();
+}
+
+std::optional<Quote> Quote::deserialize(ByteView data) {
+  BinaryReader r(data);
+  Quote q;
+  Bytes m = r.raw(kMeasurementSize);
+  q.cpu = r.u64();
+  q.report_data = r.bytes();
+  q.mac = r.bytes();
+  if (!r.done() || m.size() != kMeasurementSize) return std::nullopt;
+  std::copy(m.begin(), m.end(), q.measurement.begin());
+  return q;
+}
+
+Quote make_quote(const SgxPlatform& platform, const Measurement& measurement,
+                 CpuId cpu, ByteView report_data) {
+  Quote q;
+  q.measurement = measurement;
+  q.cpu = cpu;
+  q.report_data.assign(report_data.begin(), report_data.end());
+  q.mac = crypto::HmacSha256::mac_bytes(
+      platform.attestation_root_key(),
+      quote_tbs(measurement, cpu, report_data));
+  return q;
+}
+
+bool SimIAS::verify(const Quote& quote, const Measurement& expected) const {
+  Bytes expected_mac = crypto::HmacSha256::mac_bytes(
+      root_key_, quote_tbs(quote.measurement, quote.cpu, quote.report_data));
+  if (!crypto::ct_equal(expected_mac, quote.mac)) return false;
+  return crypto::ct_equal(
+      ByteView(quote.measurement.data(), quote.measurement.size()),
+      ByteView(expected.data(), expected.size()));
+}
+
+}  // namespace sgxp2p::sgx

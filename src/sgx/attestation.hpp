@@ -1,0 +1,56 @@
+// Remote attestation (SGX feature F3), simulated.
+//
+// Real SGX attestation chains an enclave REPORT through the Quoting Enclave's
+// EPID group signature to the Intel Attestation Service. The paper's own
+// evaluation used "a simulated Intel attestation service (IAS)". We model
+// the whole chain as a MAC under the platform's attestation root key, with
+// SimIAS playing the role of Intel: it holds the root key and vouches for
+// quotes. The adversary (a byzantine host) does not have the root key, so it
+// cannot mint a quote for a program it tampered with — exactly the property
+// the setup phase (P1/P2) needs.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "sgx/measurement.hpp"
+#include "sgx/platform.hpp"
+
+namespace sgxp2p::sgx {
+
+/// An attestation quote: "an enclave with `measurement` on CPU `cpu`
+/// produced `report_data`". `report_data` binds protocol data (here: the
+/// enclave's ephemeral DH public key) into the attestation, preventing
+/// man-in-the-middle relays of someone else's quote.
+struct Quote {
+  Measurement measurement{};
+  CpuId cpu = 0;
+  Bytes report_data;
+  Bytes mac;  // HMAC(attestation_root, measurement ‖ cpu ‖ report_data)
+
+  [[nodiscard]] Bytes serialize() const;
+  static std::optional<Quote> deserialize(ByteView data);
+};
+
+/// Produces a quote. Called only from inside Enclave (the enclave runtime is
+/// the only code path holding both the platform and a genuine measurement).
+Quote make_quote(const SgxPlatform& platform, const Measurement& measurement,
+                 CpuId cpu, ByteView report_data);
+
+/// The verification service. In deployment this is a remote Intel endpoint;
+/// here it is instantiated next to the platform and handed (by value) to
+/// verifying enclaves.
+class SimIAS {
+ public:
+  explicit SimIAS(const SgxPlatform& platform)
+      : root_key_(platform.attestation_root_key()) {}
+
+  /// Checks the quote's MAC and that it attests the expected program.
+  [[nodiscard]] bool verify(const Quote& quote,
+                            const Measurement& expected) const;
+
+ private:
+  Bytes root_key_;
+};
+
+}  // namespace sgxp2p::sgx

@@ -1,0 +1,33 @@
+#include "sgx/enclave.hpp"
+
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sgxp2p::sgx {
+
+Enclave::Enclave(SgxPlatform& platform, CpuId cpu,
+                 const ProgramIdentity& program, EnclaveHostIface& host)
+    : platform_(&platform),
+      cpu_(cpu),
+      measurement_(measure(program)),
+      host_(&host),
+      drbg_(platform.make_enclave_drbg(cpu)) {}
+
+Bytes Enclave::seal(ByteView data) const {
+  Bytes key = platform_->sealing_key(cpu_, measurement_);
+  // Sealing key is 32 bytes; expand to the AEAD's 64-byte enc+mac key.
+  Bytes aead_key =
+      crypto::hkdf_expand(key, to_bytes("seal"), crypto::kAeadKeySize);
+  std::uint8_t nonce[crypto::kAeadNonceSize] = {};
+  store_le64(nonce, seal_counter_++);
+  return crypto::aead_seal(aead_key, ByteView(nonce, sizeof nonce), {}, data);
+}
+
+std::optional<Bytes> Enclave::unseal(ByteView sealed) const {
+  Bytes key = platform_->sealing_key(cpu_, measurement_);
+  Bytes aead_key =
+      crypto::hkdf_expand(key, to_bytes("seal"), crypto::kAeadKeySize);
+  return crypto::aead_open(aead_key, {}, sealed);
+}
+
+}  // namespace sgxp2p::sgx

@@ -1,0 +1,96 @@
+// The enclave runtime (SGX feature F1).
+//
+// An Enclave is the trusted half of a peer (Fig. 1 of the paper). It can:
+//   - read unbiased randomness (F2) via `read_rand()`,
+//   - read trusted elapsed time (F4) via `trusted_time()`,
+//   - produce attestation quotes (F3) via `quote()`,
+//   - seal state to the host with a key the host does not have.
+//
+// It cannot touch the network. All I/O flows through the EnclaveHostIface
+// OCALL interface — the host decides whether bytes actually move, which is
+// the paper's reduction: once the channel payloads are encrypted and MAC'd
+// (P2/P3), the *only* leverage a byzantine host retains over the protocol is
+// omission/delay/replay of opaque blobs (Theorem A.2), and P5/P6 reduce
+// delay/replay to omission.
+//
+// Lifecycle: destroying an Enclave destroys all its state. A relaunched
+// enclave gets a fresh DRBG and no session keys, so it cannot rejoin an
+// ongoing execution (the paper's P6 note on restarts).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "crypto/drbg.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/measurement.hpp"
+#include "sgx/platform.hpp"
+
+namespace sgxp2p::sgx {
+
+/// OCALL surface: everything an enclave may ask of its untrusted host.
+/// Byzantine hosts implement this adversarially (see src/adversary/).
+class EnclaveHostIface {
+ public:
+  virtual ~EnclaveHostIface() = default;
+  /// Asks the host to transfer an opaque blob to peer `to`. The host may
+  /// drop, delay, or replay it; it cannot decrypt or undetectably modify it.
+  virtual void transfer(NodeId to, Bytes blob) = 0;
+};
+
+class Enclave {
+ public:
+  /// Loads `program` into a new enclave on CPU `cpu`. `host` is the OCALL
+  /// sink; `platform` provides the hardware features. Both must outlive the
+  /// enclave.
+  Enclave(SgxPlatform& platform, CpuId cpu, const ProgramIdentity& program,
+          EnclaveHostIface& host);
+  virtual ~Enclave() = default;
+
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  [[nodiscard]] const Measurement& measurement() const { return measurement_; }
+  [[nodiscard]] CpuId cpu() const { return cpu_; }
+
+  /// ECALL: the host delivers an inbound blob claimed to come from `from`.
+  /// (The claim is untrusted; authenticity is established by the channel
+  /// layer inside the enclave.)
+  virtual void deliver(NodeId from, ByteView blob) = 0;
+
+ protected:
+  /// F2 — hardware randomness, invisible to the host.
+  crypto::Drbg& read_rand() { return drbg_; }
+
+  /// F4 — trusted elapsed time in milliseconds since platform start.
+  [[nodiscard]] SimTime trusted_time() const {
+    return platform_->clock().now();
+  }
+
+  /// F3 — attestation quote over `report_data`.
+  [[nodiscard]] Quote quote(ByteView report_data) const {
+    return make_quote(*platform_, measurement_, cpu_, report_data);
+  }
+
+  /// Sealing: encrypt state for storage by the host. Only this program on
+  /// this CPU can unseal.
+  [[nodiscard]] Bytes seal(ByteView data) const;
+  [[nodiscard]] std::optional<Bytes> unseal(ByteView sealed) const;
+
+  /// OCALL: hand a blob to the host for transfer.
+  void ocall_transfer(NodeId to, Bytes blob) {
+    host_->transfer(to, std::move(blob));
+  }
+
+ private:
+  SgxPlatform* platform_;
+  CpuId cpu_;
+  Measurement measurement_;
+  EnclaveHostIface* host_;
+  crypto::Drbg drbg_;
+  mutable std::uint64_t seal_counter_ = 0;
+};
+
+}  // namespace sgxp2p::sgx

@@ -1,0 +1,44 @@
+// Enclave measurements (MRENCLAVE analogue).
+//
+// An enclave's measurement is the hash of the program it runs. Remote
+// attestation (F3) proves to a peer that a specific measurement is executing
+// inside a genuine enclave, which is how execution integrity (P1) is
+// established: a byzantine node that loads a modified program produces a
+// different measurement and fails the peer's check (attack A1).
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sgxp2p::sgx {
+
+inline constexpr std::size_t kMeasurementSize = crypto::kSha256DigestSize;
+
+struct ProgramIdentity {
+  std::string name;     // e.g. "erb"
+  std::string version;  // e.g. "1.0"
+
+  friend bool operator==(const ProgramIdentity&,
+                         const ProgramIdentity&) = default;
+};
+
+using Measurement = crypto::Sha256Digest;
+
+inline Measurement measure(const ProgramIdentity& program) {
+  crypto::Sha256 h;
+  // Length-prefixed fields so ("ab","c") != ("a","bc").
+  std::uint8_t len[8];
+  store_le32(len, static_cast<std::uint32_t>(program.name.size()));
+  store_le32(len + 4, static_cast<std::uint32_t>(program.version.size()));
+  h.update(ByteView(len, sizeof len));
+  h.update(ByteView(reinterpret_cast<const std::uint8_t*>(program.name.data()),
+                    program.name.size()));
+  h.update(
+      ByteView(reinterpret_cast<const std::uint8_t*>(program.version.data()),
+               program.version.size()));
+  return h.finalize();
+}
+
+}  // namespace sgxp2p::sgx

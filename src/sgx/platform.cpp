@@ -1,0 +1,31 @@
+#include "sgx/platform.hpp"
+
+namespace sgxp2p::sgx {
+
+SgxPlatform::SgxPlatform(const TrustedClock& clock, ByteView seed)
+    : clock_(&clock),
+      attestation_root_(
+          crypto::HmacSha256::mac_bytes(seed, to_bytes("attestation-root"))),
+      sealing_root_(
+          crypto::HmacSha256::mac_bytes(seed, to_bytes("sealing-root"))),
+      entropy_(crypto::HmacSha256::mac_bytes(seed, to_bytes("entropy-root"))) {}
+
+crypto::Drbg SgxPlatform::make_enclave_drbg(CpuId cpu) {
+  std::uint8_t info[16];
+  store_le64(info, cpu);
+  store_le64(info + 8, launch_counter_++);
+  Bytes seed = entropy_.generate(32);
+  append(seed, ByteView(info, sizeof info));
+  return crypto::Drbg(seed);
+}
+
+Bytes SgxPlatform::sealing_key(CpuId cpu,
+                               const Measurement& measurement) const {
+  std::uint8_t info[8];
+  store_le64(info, cpu);
+  Bytes input = concat(ByteView(info, sizeof info),
+                       ByteView(measurement.data(), measurement.size()));
+  return crypto::HmacSha256::mac_bytes(sealing_root_, input);
+}
+
+}  // namespace sgxp2p::sgx

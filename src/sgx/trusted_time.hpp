@@ -1,0 +1,22 @@
+// Trusted elapsed time (SGX feature F4).
+//
+// `sgx_get_trusted_time` returns elapsed time relative to a reference point,
+// sourced from the platform rather than the OS — the OS cannot skew it. In
+// the simulator this is the virtual clock (sim::Simulator implements
+// TrustedClock); on the TCP transport it is CLOCK_MONOTONIC. Protocol code
+// only ever sees this interface, which is what makes lockstep execution (P5)
+// sound even on a node whose OS is byzantine.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace sgxp2p::sgx {
+
+class TrustedClock {
+ public:
+  virtual ~TrustedClock() = default;
+  /// Milliseconds since the platform reference point.
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+}  // namespace sgxp2p::sgx

@@ -1,0 +1,98 @@
+// Statistical randomness tests (FIPS 140-2 style smoke battery).
+//
+// Used to check empirically what Theorem 5.1 proves: ERNG/beacon outputs
+// under active adversaries remain indistinguishable-from-uniform by simple
+// statistics. These are the classic monobit, byte chi-square, runs, and
+// serial-correlation tests with generous thresholds suited to the sample
+// sizes the test suite can afford — sanity instruments, not NIST SP 800-22.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sgxp2p::stats {
+
+/// Fraction of one bits (≈ 0.5 for uniform data).
+inline double monobit_fraction(ByteView data) {
+  if (data.empty()) return 0.5;
+  std::uint64_t ones = 0;
+  for (std::uint8_t b : data) {
+    ones += static_cast<std::uint64_t>(__builtin_popcount(b));
+  }
+  return static_cast<double>(ones) / (static_cast<double>(data.size()) * 8.0);
+}
+
+/// Chi-square statistic of the byte histogram against uniform; for uniform
+/// data E[stat] ≈ 255 with σ ≈ √510 ≈ 22.6.
+inline double byte_chi_square(ByteView data) {
+  if (data.empty()) return 0.0;
+  std::uint64_t counts[256] = {};
+  for (std::uint8_t b : data) ++counts[b];
+  double expected = static_cast<double>(data.size()) / 256.0;
+  double stat = 0.0;
+  for (std::uint64_t c : counts) {
+    double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+/// Number of bit runs divided by the expected count 2·n·p·(1−p)+1 ≈ n/2
+/// (ratio ≈ 1 for uniform data).
+inline double runs_ratio(ByteView data) {
+  if (data.size() < 2) return 1.0;
+  std::uint64_t runs = 1;
+  int prev = data[0] & 1;
+  std::uint64_t bits = static_cast<std::uint64_t>(data.size()) * 8;
+  for (std::uint64_t i = 1; i < bits; ++i) {
+    int bit = (data[i / 8] >> (i % 8)) & 1;
+    if (bit != prev) ++runs;
+    prev = bit;
+  }
+  double expected = static_cast<double>(bits) / 2.0 + 1.0;
+  return static_cast<double>(runs) / expected;
+}
+
+/// Lag-1 byte serial correlation (≈ 0 for uniform data).
+inline double serial_correlation(ByteView data) {
+  const std::size_t n = data.size();
+  if (n < 2) return 0.0;
+  double sum_x = 0, sum_x2 = 0, sum_xy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = data[i];
+    double y = data[(i + 1) % n];
+    sum_x += x;
+    sum_x2 += x * x;
+    sum_xy += x * y;
+  }
+  double nd = static_cast<double>(n);
+  double num = nd * sum_xy - sum_x * sum_x;
+  double den = nd * sum_x2 - sum_x * sum_x;
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+struct RandVerdict {
+  double monobit = 0;
+  double chi_square = 0;
+  double runs = 0;
+  double correlation = 0;
+  bool pass = false;
+};
+
+/// Applies the whole battery with thresholds loose enough for a few KiB of
+/// sample: monobit within 2%, chi-square below 400, runs ratio within 5%,
+/// |correlation| below 0.1.
+inline RandVerdict randomness_battery(ByteView data) {
+  RandVerdict v;
+  v.monobit = monobit_fraction(data);
+  v.chi_square = byte_chi_square(data);
+  v.runs = runs_ratio(data);
+  v.correlation = serial_correlation(data);
+  v.pass = std::abs(v.monobit - 0.5) < 0.02 && v.chi_square < 400.0 &&
+           std::abs(v.runs - 1.0) < 0.05 && std::abs(v.correlation) < 0.1;
+  return v;
+}
+
+}  // namespace sgxp2p::stats

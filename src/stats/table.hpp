@@ -1,0 +1,82 @@
+// Table / CSV emission and scaling-fit helpers for the benchmark harness.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sgxp2p::stats {
+
+/// Column-aligned text table (markdown-ish), printed to stdout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+inline std::string fmt_int(std::uint64_t v) { return std::to_string(v); }
+
+/// Least-squares slope of log2(y) against log2(x): the measured scaling
+/// exponent (≈2 for quadratic traffic, ≈3 for cubic).
+inline double loglog_slope(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    double lx = std::log2(x[i]);
+    double ly = std::log2(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (n < 2 || std::abs(denom) < 1e-12) return 0.0;
+  return (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+}  // namespace sgxp2p::stats

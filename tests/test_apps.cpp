@@ -1,0 +1,186 @@
+// Application-layer tests (Appendix H): beacon log integrity and proofs,
+// overlay walks (agreement + spread), group keys, load balancing quorums,
+// and the sanitization model's convergence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/beacon.hpp"
+#include "apps/group_key.hpp"
+#include "apps/load_balancer.hpp"
+#include "apps/random_walk.hpp"
+#include "protocol/sanitizer.hpp"
+
+namespace sgxp2p::apps {
+namespace {
+
+// --- beacon ---
+
+TEST(Beacon, LogChainAndProofs) {
+  BeaconLog log;
+  for (int i = 0; i < 6; ++i) {
+    log.append(Bytes(32, static_cast<std::uint8_t>(i + 1)), 5);
+  }
+  EXPECT_TRUE(log.audit_chain());
+  Bytes root = log.root();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_TRUE(
+        BeaconLog::verify(root, log.entry(i), i, log.size(), log.proof(i)))
+        << "epoch " << i;
+  }
+  // Wrong index / tampered value rejected.
+  EXPECT_FALSE(
+      BeaconLog::verify(root, log.entry(2), 3, log.size(), log.proof(2)));
+  BeaconEntry forged = log.entry(2);
+  forged.value[0] ^= 1;
+  EXPECT_FALSE(
+      BeaconLog::verify(root, forged, 2, log.size(), log.proof(2)));
+}
+
+TEST(Beacon, EndToEndEpochsDistinct) {
+  BeaconLog log = run_beacon(/*n=*/7, /*epochs=*/3, /*byzantine_omitters=*/1,
+                             /*seed=*/99);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_TRUE(log.audit_chain());
+  EXPECT_NE(log.entry(0).value, log.entry(1).value);
+  EXPECT_NE(log.entry(1).value, log.entry(2).value);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(log.entry(i).contributors, 6u);  // ≥ honest count
+  }
+}
+
+// --- overlay / walks ---
+
+TEST(Overlay, ConnectedAndLowDiameter) {
+  Overlay overlay(128, 6);
+  EXPECT_EQ(overlay.size(), 128u);
+  // Reaches everyone, in few hops (ring+chords ⇒ O(log N)).
+  EXPECT_LE(overlay.eccentricity(0), 8u);
+  EXPECT_GE(overlay.neighbors(0).size(), 4u);
+  // Symmetry: if b is a's neighbor, a is b's.
+  for (NodeId a = 0; a < 128; ++a) {
+    for (NodeId b : overlay.neighbors(a)) {
+      const auto& back = overlay.neighbors(b);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), a) != back.end());
+    }
+  }
+}
+
+TEST(Walk, DeterministicPerCoinAndTag) {
+  Overlay overlay(64, 5);
+  Bytes coin(32, 0x5a);
+  auto w1 = common_coin_walk(overlay, 3, 20, coin, 1);
+  auto w2 = common_coin_walk(overlay, 3, 20, coin, 1);
+  EXPECT_EQ(w1.path, w2.path);
+  auto w3 = common_coin_walk(overlay, 3, 20, coin, 2);
+  EXPECT_NE(w1.path, w3.path);
+  Bytes other_coin(32, 0xa5);
+  auto w4 = common_coin_walk(overlay, 3, 20, other_coin, 1);
+  EXPECT_NE(w1.path, w4.path);
+}
+
+TEST(Walk, PathIsValidInOverlay) {
+  Overlay overlay(32, 4);
+  auto w = common_coin_walk(overlay, 0, 15, Bytes(32, 1), 9);
+  ASSERT_EQ(w.path.size(), 16u);
+  for (std::size_t i = 1; i < w.path.size(); ++i) {
+    const auto& nbrs = overlay.neighbors(w.path[i - 1]);
+    EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), w.path[i]) != nbrs.end())
+        << "hop " << i;
+  }
+}
+
+TEST(Walk, EndpointsSpread) {
+  Overlay overlay(64, 5);
+  auto hist = endpoint_histogram(overlay, 0, 12, Bytes(32, 7), 4096);
+  std::uint32_t total = std::accumulate(hist.begin(), hist.end(), 0u);
+  EXPECT_EQ(total, 4096u);
+  // Every node reachable; nothing hogs more than 3x the uniform share.
+  std::uint32_t uniform = 4096 / 64;
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    EXPECT_GT(hist[i], 0u) << "node " << i << " never reached";
+    EXPECT_LT(hist[i], 3 * uniform) << "node " << i << " over-visited";
+  }
+}
+
+// --- group key ---
+
+TEST(GroupKey, DerivationIsLabeledAndDeterministic) {
+  Bytes coin(32, 0x42);
+  Bytes k1 = derive_group_key(coin, to_bytes("payout"));
+  Bytes k2 = derive_group_key(coin, to_bytes("payout"));
+  Bytes k3 = derive_group_key(coin, to_bytes("audit"));
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+}
+
+TEST(GroupKey, SealOpenAndTamper) {
+  Bytes key = derive_group_key(Bytes(32, 9), to_bytes("msg"));
+  Bytes sealed = group_seal(key, 7, to_bytes("secret note"));
+  auto opened = group_open(key, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, to_bytes("secret note"));
+  Bytes bad = sealed;
+  bad.back() ^= 1;
+  EXPECT_FALSE(group_open(key, bad).has_value());
+  Bytes wrong_key = derive_group_key(Bytes(32, 8), to_bytes("msg"));
+  EXPECT_FALSE(group_open(wrong_key, sealed).has_value());
+}
+
+// --- load balancer ---
+
+TEST(LoadBalancer, DeterministicAssignments) {
+  Bytes coin(32, 3);
+  LoadBalancer lb1(coin, 8), lb2(coin, 8);
+  for (std::uint64_t task = 0; task < 100; ++task) {
+    EXPECT_EQ(lb1.assign(task), lb2.assign(task));
+    EXPECT_LT(lb1.assign(task), 8u);
+  }
+}
+
+TEST(LoadBalancer, ReasonablyBalanced) {
+  LoadBalancer lb(Bytes(32, 0x77), 10);
+  auto hist = lb.histogram(10000);
+  for (std::uint32_t c : hist) {
+    EXPECT_GT(c, 800u);
+    EXPECT_LT(c, 1200u);
+  }
+}
+
+TEST(LoadBalancer, QuorumToleratesLiarsAndDuplicates) {
+  PlacementQuorum q(3);
+  EXPECT_FALSE(q.vote(0, 42, 5).has_value());
+  EXPECT_FALSE(q.vote(1, 42, 6).has_value());  // liar
+  EXPECT_FALSE(q.vote(0, 42, 5).has_value());  // duplicate, not counted
+  EXPECT_FALSE(q.vote(2, 42, 5).has_value());
+  auto confirmed = q.vote(3, 42, 5);
+  ASSERT_TRUE(confirmed.has_value());
+  EXPECT_EQ(*confirmed, 5u);
+}
+
+// --- sanitizer model ---
+
+TEST(Sanitizer, PopulationDiesOutAndRoundsConverge) {
+  protocol::SanitizeConfig cfg;
+  cfg.n = 256;
+  cfg.t0 = 127;
+  cfg.p = 1.0 / 16;
+  cfg.instances = 1200;
+  cfg.trials = 40;
+  auto curves = protocol::simulate_sanitization(cfg);
+  // Monte-Carlo stays under the Theorem D.1 bound (within noise) and hits
+  // zero well before the horizon.
+  EXPECT_LT(curves.pr_byz_remaining.back(), 0.05);
+  EXPECT_LT(curves.mean_byzantine.back(), 0.5);
+  // Average per-instance rounds decreasing toward the constant 2.
+  EXPECT_LT(curves.mean_rounds.back(), curves.mean_rounds[100]);
+  EXPECT_LT(curves.mean_rounds.back(), 3.5);
+  // The analytic bound is monotone decreasing once below 1.
+  for (std::size_t i = 600; i + 1 < curves.pr_bound.size(); ++i) {
+    EXPECT_LE(curves.pr_bound[i + 1], curves.pr_bound[i] + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sgxp2p::apps

@@ -1,0 +1,207 @@
+// SGX simulation layer tests: measurement, attestation (quote forging and
+// wrong-program rejection), enclave sealing, per-launch randomness, and the
+// trusted-time plumbing.
+#include <gtest/gtest.h>
+
+#include "net/simulator.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/enclave.hpp"
+#include "sgx/measurement.hpp"
+#include "sgx/platform.hpp"
+
+namespace sgxp2p::sgx {
+namespace {
+
+// Minimal concrete enclave exposing the protected capabilities for testing.
+class ProbeEnclave final : public Enclave {
+ public:
+  using Enclave::Enclave;
+  void deliver(NodeId, ByteView) override {}
+
+  Bytes rand(std::size_t n) { return read_rand().generate(n); }
+  SimTime time() const { return trusted_time(); }
+  Quote make(ByteView data) const { return quote(data); }
+  Bytes do_seal(ByteView d) const { return seal(d); }
+  std::optional<Bytes> do_unseal(ByteView d) const { return unseal(d); }
+};
+
+class NullHost final : public EnclaveHostIface {
+ public:
+  void transfer(NodeId, Bytes) override {}
+};
+
+struct Fixture {
+  sim::Simulator simulator;
+  SgxPlatform platform{simulator, to_bytes("test-platform-seed")};
+  SimIAS ias{platform};
+  NullHost host;
+};
+
+TEST(Measurement, DistinguishesPrograms) {
+  Measurement a = measure({"erb", "1.0"});
+  Measurement b = measure({"erb", "1.1"});
+  Measurement c = measure({"erng", "1.0"});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, measure({"erb", "1.0"}));
+  // Field boundaries matter: ("ab","c") ≠ ("a","bc").
+  EXPECT_NE(measure({"ab", "c"}), measure({"a", "bc"}));
+}
+
+TEST(Attestation, QuoteVerifies) {
+  Fixture fx;
+  ProbeEnclave enclave(fx.platform, 1, {"prog", "1"}, fx.host);
+  Quote q = enclave.make(to_bytes("report-data"));
+  EXPECT_TRUE(fx.ias.verify(q, measure({"prog", "1"})));
+}
+
+TEST(Attestation, WrongProgramRejected) {
+  Fixture fx;
+  ProbeEnclave enclave(fx.platform, 1, {"prog", "1"}, fx.host);
+  Quote q = enclave.make(to_bytes("rd"));
+  EXPECT_FALSE(fx.ias.verify(q, measure({"prog", "2"})));
+  EXPECT_FALSE(fx.ias.verify(q, measure({"other", "1"})));
+}
+
+TEST(Attestation, TamperedQuoteRejected) {
+  Fixture fx;
+  ProbeEnclave enclave(fx.platform, 1, {"prog", "1"}, fx.host);
+  Quote q = enclave.make(to_bytes("rd"));
+  Measurement m = measure({"prog", "1"});
+
+  Quote bad = q;
+  bad.report_data = to_bytes("other data");  // host swaps the bound DH key
+  EXPECT_FALSE(fx.ias.verify(bad, m));
+
+  bad = q;
+  bad.cpu = 999;
+  EXPECT_FALSE(fx.ias.verify(bad, m));
+
+  bad = q;
+  bad.mac[0] ^= 1;
+  EXPECT_FALSE(fx.ias.verify(bad, m));
+
+  bad = q;
+  bad.measurement[0] ^= 1;  // claim a different program under the same MAC
+  EXPECT_FALSE(fx.ias.verify(bad, m));
+}
+
+TEST(Attestation, ForgedQuoteWithoutRootKeyRejected) {
+  Fixture fx;
+  // An adversary without the platform root key fabricates a quote whole.
+  Quote forged;
+  forged.measurement = measure({"prog", "1"});
+  forged.cpu = 1;
+  forged.report_data = to_bytes("attacker key");
+  forged.mac = Bytes(32, 0x41);
+  EXPECT_FALSE(fx.ias.verify(forged, measure({"prog", "1"})));
+}
+
+TEST(Attestation, QuoteSerializationRoundTrip) {
+  Fixture fx;
+  ProbeEnclave enclave(fx.platform, 7, {"prog", "1"}, fx.host);
+  Quote q = enclave.make(to_bytes("bound-data"));
+  Bytes wire = q.serialize();
+  auto parsed = Quote::deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cpu, 7u);
+  EXPECT_EQ(parsed->report_data, to_bytes("bound-data"));
+  EXPECT_TRUE(fx.ias.verify(*parsed, measure({"prog", "1"})));
+  // Truncations fail to parse.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        Quote::deserialize(ByteView(wire.data(), len)).has_value());
+  }
+}
+
+TEST(Enclave, SealUnsealRoundTrip) {
+  Fixture fx;
+  ProbeEnclave enclave(fx.platform, 1, {"prog", "1"}, fx.host);
+  Bytes secret = to_bytes("session keys to persist");
+  Bytes sealed = enclave.do_seal(secret);
+  EXPECT_NE(sealed, secret);
+  auto opened = enclave.do_unseal(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, secret);
+}
+
+TEST(Enclave, SealBoundToProgramAndCpu) {
+  Fixture fx;
+  ProbeEnclave a(fx.platform, 1, {"prog", "1"}, fx.host);
+  ProbeEnclave other_prog(fx.platform, 1, {"prog", "2"}, fx.host);
+  ProbeEnclave other_cpu(fx.platform, 2, {"prog", "1"}, fx.host);
+  Bytes sealed = a.do_seal(to_bytes("secret"));
+  EXPECT_FALSE(other_prog.do_unseal(sealed).has_value());
+  EXPECT_FALSE(other_cpu.do_unseal(sealed).has_value());
+  // Same program, same CPU (a relaunch) can unseal — that is sealing's job.
+  ProbeEnclave relaunch(fx.platform, 1, {"prog", "1"}, fx.host);
+  EXPECT_TRUE(relaunch.do_unseal(sealed).has_value());
+}
+
+TEST(Enclave, TamperedSealedBlobRejected) {
+  Fixture fx;
+  ProbeEnclave enclave(fx.platform, 1, {"prog", "1"}, fx.host);
+  Bytes sealed = enclave.do_seal(to_bytes("secret"));
+  for (std::size_t i = 0; i < sealed.size(); i += 7) {
+    Bytes bad = sealed;
+    bad[i] ^= 0xff;
+    EXPECT_FALSE(enclave.do_unseal(bad).has_value()) << "byte " << i;
+  }
+}
+
+TEST(Enclave, RelaunchGetsFreshRandomness) {
+  // P6's restart story: a relaunched enclave has a fresh DRBG — it cannot
+  // resume the randomness (or the session state) of its previous life.
+  Fixture fx;
+  Bytes first, second;
+  {
+    ProbeEnclave enclave(fx.platform, 1, {"prog", "1"}, fx.host);
+    first = enclave.rand(32);
+  }
+  {
+    ProbeEnclave enclave(fx.platform, 1, {"prog", "1"}, fx.host);
+    second = enclave.rand(32);
+  }
+  EXPECT_NE(first, second);
+}
+
+TEST(Enclave, DistinctCpusDistinctRandomness) {
+  Fixture fx;
+  ProbeEnclave a(fx.platform, 1, {"prog", "1"}, fx.host);
+  ProbeEnclave b(fx.platform, 2, {"prog", "1"}, fx.host);
+  EXPECT_NE(a.rand(32), b.rand(32));
+}
+
+TEST(Enclave, TrustedTimeTracksSimulatorNotHost) {
+  Fixture fx;
+  ProbeEnclave enclave(fx.platform, 1, {"prog", "1"}, fx.host);
+  EXPECT_EQ(enclave.time(), 0);
+  fx.simulator.run_until(1234);
+  EXPECT_EQ(enclave.time(), 1234);
+}
+
+TEST(Platform, DeterministicFromSeed) {
+  sim::Simulator simulator;
+  SgxPlatform p1(simulator, to_bytes("seed-x"));
+  SgxPlatform p2(simulator, to_bytes("seed-x"));
+  EXPECT_EQ(p1.attestation_root_key(), p2.attestation_root_key());
+  Measurement m = measure({"p", "1"});
+  EXPECT_EQ(p1.sealing_key(3, m), p2.sealing_key(3, m));
+  SgxPlatform p3(simulator, to_bytes("seed-y"));
+  EXPECT_NE(p1.attestation_root_key(), p3.attestation_root_key());
+}
+
+TEST(Platform, CrossPlatformQuotesRejected) {
+  // A quote minted on one platform (deployment) fails another's IAS.
+  sim::Simulator simulator;
+  SgxPlatform p1(simulator, to_bytes("deployment-1"));
+  SgxPlatform p2(simulator, to_bytes("deployment-2"));
+  NullHost host;
+  ProbeEnclave enclave(p1, 1, {"prog", "1"}, host);
+  Quote q = enclave.make(to_bytes("rd"));
+  SimIAS ias2(p2);
+  EXPECT_FALSE(ias2.verify(q, measure({"prog", "1"})));
+}
+
+}  // namespace
+}  // namespace sgxp2p::sgx

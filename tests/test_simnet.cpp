@@ -1,0 +1,189 @@
+// Discrete-event simulator and network tests: event ordering, virtual time,
+// delivery bounds, per-pair FIFO, detach semantics, the shared-bandwidth
+// model, traffic metering, and end-to-end determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/simulator.hpp"
+
+namespace sgxp2p::sim {
+namespace {
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(30, [&] { order.push_back(3); });
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(10, [&] {
+    order.push_back(1);
+    s.schedule_in(5, [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), 15);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator s;
+  s.run_until(100);
+  SimTime fired_at = -1;
+  s.schedule(50, [&] { fired_at = s.now(); });  // in the past
+  s.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(10, [&] { ++fired; });
+  s.schedule(20, [&] { ++fired; });
+  s.schedule(30, [&] { ++fired; });
+  s.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+struct NetFixture {
+  Simulator simulator;
+  NetworkConfig cfg;
+  std::unique_ptr<Network> net;
+  std::vector<std::pair<NodeId, Bytes>> received;  // at node 1
+
+  explicit NetFixture(std::uint64_t seed = 1, std::uint64_t bw = 0) {
+    cfg.base_delay = milliseconds(100);
+    cfg.max_jitter = milliseconds(50);
+    cfg.seed = seed;
+    cfg.shared_bandwidth = bw;
+    net = std::make_unique<Network>(simulator, cfg);
+    for (NodeId id = 0; id < 4; ++id) {
+      net->attach(id, [this, id](NodeId from, Bytes blob) {
+        if (id == 1) received.emplace_back(from, std::move(blob));
+      });
+    }
+  }
+};
+
+TEST(Network, DeliversWithinWorstDelay) {
+  NetFixture fx;
+  fx.net->send(0, 1, to_bytes("hi"));
+  fx.simulator.run();
+  ASSERT_EQ(fx.received.size(), 1u);
+  EXPECT_LE(fx.simulator.now(), fx.cfg.worst_delay());
+  EXPECT_GE(fx.simulator.now(), fx.cfg.base_delay);
+}
+
+TEST(Network, PerPairFifo) {
+  NetFixture fx(7);
+  for (int i = 0; i < 50; ++i) {
+    fx.net->send(0, 1, Bytes{static_cast<std::uint8_t>(i)});
+  }
+  fx.simulator.run();
+  ASSERT_EQ(fx.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fx.received[i].second[0], i) << "reordered at " << i;
+  }
+}
+
+TEST(Network, DetachedReceiverDropsQueued) {
+  NetFixture fx;
+  fx.net->send(0, 1, to_bytes("in flight"));
+  fx.net->detach(1);
+  fx.simulator.run();
+  EXPECT_TRUE(fx.received.empty());
+}
+
+TEST(Network, DetachedSenderIgnored) {
+  NetFixture fx;
+  fx.net->detach(0);
+  fx.net->send(0, 1, to_bytes("ghost"));
+  fx.simulator.run();
+  EXPECT_TRUE(fx.received.empty());
+  EXPECT_EQ(fx.net->meter().messages(), 0u);
+}
+
+TEST(Network, SelfSendIgnored) {
+  NetFixture fx;
+  fx.net->send(1, 1, to_bytes("me"));
+  fx.simulator.run();
+  EXPECT_TRUE(fx.received.empty());
+}
+
+TEST(Network, MeterCountsBytesAndMessages) {
+  NetFixture fx;
+  fx.net->send(0, 1, Bytes(10, 0));
+  fx.net->send(2, 1, Bytes(20, 0));
+  fx.net->send(0, 3, Bytes(30, 0));
+  fx.simulator.run();
+  EXPECT_EQ(fx.net->meter().messages(), 3u);
+  EXPECT_EQ(fx.net->meter().bytes(), 60u);
+  fx.net->meter().reset();
+  EXPECT_EQ(fx.net->meter().bytes(), 0u);
+}
+
+TEST(Network, SharedBandwidthDelaysBulk) {
+  // 1000 bytes/s: a 500-byte message adds 500 ms of serialization.
+  NetFixture slow(1, /*bw=*/1000);
+  slow.net->send(0, 1, Bytes(500, 0));
+  slow.net->send(2, 1, Bytes(500, 0));
+  slow.simulator.run();
+  ASSERT_EQ(slow.received.size(), 2u);
+  // Two 500 B messages through a 1 kB/s link: the second lands at ≥ 1 s.
+  EXPECT_GE(slow.simulator.now(), 1000);
+}
+
+TEST(Network, TimelineBucketsBytesByTime) {
+  NetFixture fx;
+  fx.net->meter().enable_timeline(1000);
+  fx.net->send(0, 1, Bytes(10, 0));          // bucket 0
+  fx.simulator.run();
+  fx.simulator.run_until(2500);
+  fx.net->send(2, 1, Bytes(20, 0));          // bucket 2
+  fx.net->send(0, 3, Bytes(5, 0));           // bucket 2
+  fx.simulator.run();
+  const auto& tl = fx.net->meter().timeline();
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0], 10u);
+  EXPECT_EQ(tl[1], 0u);
+  EXPECT_EQ(tl[2], 25u);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto trace = [](std::uint64_t seed) {
+    NetFixture fx(seed);
+    for (int i = 0; i < 20; ++i) {
+      fx.net->send(i % 3 == 1 ? 2 : 0, 1, Bytes{static_cast<std::uint8_t>(i)});
+    }
+    fx.simulator.run();
+    std::vector<std::pair<SimTime, int>> out;
+    out.emplace_back(fx.simulator.now(),
+                     static_cast<int>(fx.received.size()));
+    return out;
+  };
+  EXPECT_EQ(trace(5), trace(5));
+  EXPECT_NE(trace(5), trace(6));
+}
+
+}  // namespace
+}  // namespace sgxp2p::sim

@@ -1,0 +1,156 @@
+// Parameterized sweeps over substrate modules: WOTS/Merkle over message and
+// tree-size grids, overlay families, TCP bus sizes, and sanitization
+// configurations — breadth checks that the building blocks hold across
+// their whole parameter ranges, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/random_walk.hpp"
+#include "common/rng.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/wots.hpp"
+#include "net/tcp_bus.hpp"
+#include "protocol/sanitizer.hpp"
+
+namespace sgxp2p {
+namespace {
+
+// ---------- WOTS across message shapes ----------
+
+class WotsMessages : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WotsMessages, SignVerifyAcrossLengths) {
+  const std::size_t len = GetParam();
+  Bytes seed = crypto::Sha256::hash_bytes(to_bytes("sweep"));
+  crypto::WotsKeyPair kp = crypto::wots_keygen(seed, len);
+  Rng rng(len);
+  Bytes msg(len);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u64());
+  Bytes sig = crypto::wots_sign(kp, len, msg);
+  EXPECT_TRUE(crypto::wots_verify(kp.public_key, len, msg, sig));
+  if (len > 0) {
+    Bytes other = msg;
+    other[0] ^= 1;
+    EXPECT_FALSE(crypto::wots_verify(kp.public_key, len, other, sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, WotsMessages,
+                         ::testing::Values(0u, 1u, 31u, 32u, 33u, 100u, 1000u));
+
+// ---------- Merkle signer across heights ----------
+
+class MerkleHeights : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MerkleHeights, FullCapacityUsable) {
+  const unsigned height = GetParam();
+  crypto::MerkleSigner signer(
+      crypto::Sha256::hash_bytes(to_bytes("h" + std::to_string(height))),
+      height);
+  const std::size_t capacity = std::size_t{1} << height;
+  EXPECT_EQ(signer.remaining(), capacity);
+  // Sign at the first, a middle, and the last slot (signing everything at
+  // height 6 would be slow; slots are independent).
+  std::vector<Bytes> sigs;
+  Bytes msg = to_bytes("capacity");
+  for (std::size_t i = 0; i < capacity; ++i) {
+    Bytes sig = signer.sign(msg);
+    if (i == 0 || i == capacity / 2 || i == capacity - 1) {
+      EXPECT_TRUE(crypto::merkle_verify(signer.public_key(), msg, sig))
+          << "slot " << i;
+    }
+  }
+  EXPECT_EQ(signer.remaining(), 0u);
+  EXPECT_THROW(signer.sign(msg), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, MerkleHeights, ::testing::Values(1u, 2u, 4u));
+
+// ---------- overlay families ----------
+
+using OverlayParam = std::tuple<std::uint32_t, std::uint32_t>;
+class OverlayFamily : public ::testing::TestWithParam<OverlayParam> {};
+
+TEST_P(OverlayFamily, ConnectedSymmetricLowDiameter) {
+  const auto [n, chords] = GetParam();
+  apps::Overlay overlay(n, chords);
+  // Connected: BFS reaches everyone, within the ring+chords diameter bound
+  // of ~N/2^chords ring segments plus chord descent.
+  std::uint32_t ecc = overlay.eccentricity(0);
+  EXPECT_GT(ecc, 0u);
+  EXPECT_LE(ecc, n / (1u << chords) + chords + 2);
+  // Degree bounded by 2(chords+1).
+  for (NodeId id = 0; id < n; ++id) {
+    EXPECT_LE(overlay.neighbors(id).size(), 2u * (chords + 1));
+    EXPECT_GE(overlay.neighbors(id).size(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OverlayFamily,
+                         ::testing::Combine(::testing::Values(8u, 33u, 100u,
+                                                              257u),
+                                            ::testing::Values(2u, 5u)));
+
+// ---------- TCP bus sizes ----------
+
+class TcpBusSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TcpBusSizes, AllToAllDelivery) {
+  const std::uint32_t n = GetParam();
+  net::TcpBus bus(n);
+  std::mutex mu;
+  std::uint32_t received = 0;
+  bus.set_receiver([&](NodeId, NodeId, Bytes) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++received;
+  });
+  ASSERT_TRUE(bus.start());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b) bus.send(a, b, to_bytes("x"));
+    }
+  }
+  const std::uint32_t expect = n * (n - 1);
+  for (int i = 0; i < 300; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::lock_guard<std::mutex> lock(mu);
+    if (received == expect) break;
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(received, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TcpBusSizes, ::testing::Values(2u, 4u, 9u));
+
+// ---------- sanitization configurations ----------
+
+using SanParam = std::tuple<double, std::uint32_t>;
+class SanitizerSweep : public ::testing::TestWithParam<SanParam> {};
+
+TEST_P(SanitizerSweep, HigherPressureSanitizesFaster) {
+  const auto [p, t0] = GetParam();
+  protocol::SanitizeConfig cfg;
+  cfg.n = 4 * t0 + 2;
+  cfg.t0 = t0;
+  cfg.p = p;
+  cfg.instances = 800;
+  cfg.trials = 20;
+  auto curves = protocol::simulate_sanitization(cfg);
+  // Mean byzantine population decreases monotonically in expectation
+  // (compare widely separated points to dodge Monte-Carlo noise).
+  EXPECT_LT(curves.mean_byzantine[700], curves.mean_byzantine[50] + 1e-9);
+  // And ends below its start.
+  EXPECT_LT(curves.mean_byzantine.back(),
+            static_cast<double>(t0) * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SanitizerSweep,
+                         ::testing::Combine(::testing::Values(1.0 / 64,
+                                                              1.0 / 16,
+                                                              1.0 / 4),
+                                            ::testing::Values(15u, 63u)));
+
+}  // namespace
+}  // namespace sgxp2p

@@ -1,0 +1,161 @@
+// TCP transport tests: bus framing and delivery, then full protocol runs
+// (ERB, ERNG) over real localhost sockets with wall-clock rounds. Kept small
+// and fast (sub-second rounds) since CI time is real time here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_bus.hpp"
+#include "net/tcp_testbed.hpp"
+#include "protocol/erb_node.hpp"
+#include "protocol/erng_basic.hpp"
+
+namespace sgxp2p::net {
+namespace {
+
+TEST(TcpBus, DeliversFrames) {
+  TcpBus bus(3);
+  std::mutex mu;
+  std::vector<std::tuple<NodeId, NodeId, Bytes>> got;
+  bus.set_receiver([&](NodeId to, NodeId from, Bytes blob) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.emplace_back(to, from, std::move(blob));
+  });
+  ASSERT_TRUE(bus.start());
+  bus.send(0, 1, to_bytes("a->b"));
+  bus.send(2, 0, to_bytes("c->a"));
+  bus.send(1, 2, to_bytes("b->c"));
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::lock_guard<std::mutex> lock(mu);
+    if (got.size() == 3) break;
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(bus.messages_sent(), 3u);
+  bool saw_ab = false;
+  for (const auto& [to, from, blob] : got) {
+    if (to == 1 && from == 0) {
+      saw_ab = true;
+      EXPECT_EQ(blob, to_bytes("a->b"));
+    }
+  }
+  EXPECT_TRUE(saw_ab);
+}
+
+TEST(TcpBus, LargeAndEmptyFrames) {
+  TcpBus bus(2);
+  std::mutex mu;
+  std::vector<Bytes> got;
+  bus.set_receiver([&](NodeId, NodeId, Bytes blob) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(std::move(blob));
+  });
+  ASSERT_TRUE(bus.start());
+  Bytes big(300000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  bus.send(0, 1, Bytes{});
+  bus.send(0, 1, big);
+  for (int i = 0; i < 200; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::lock_guard<std::mutex> lock(mu);
+    if (got.size() == 2) break;
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got[0].empty());
+  EXPECT_EQ(got[1], big);  // FIFO + intact across partial reads
+}
+
+TEST(TcpBus, SelfAndOutOfRangeSendsIgnored) {
+  TcpBus bus(2);
+  bus.set_receiver([](NodeId, NodeId, Bytes) { FAIL() << "unexpected"; });
+  ASSERT_TRUE(bus.start());
+  bus.send(0, 0, to_bytes("self"));
+  bus.send(0, 9, to_bytes("nowhere"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(bus.messages_sent(), 0u);
+}
+
+TEST(TcpIntegration, ErbOverSockets) {
+  TcpTestbedConfig cfg;
+  cfg.n = 5;
+  cfg.round_ms = 150;
+  TcpTestbed bed(cfg);
+  Bytes msg = to_bytes("tcp broadcast");
+  ASSERT_TRUE(bed.build(
+      [&](NodeId id, sgx::SgxPlatform& platform, sgx::EnclaveHostIface& host,
+          protocol::PeerConfig pc,
+          const sgx::SimIAS& ias) -> std::unique_ptr<protocol::PeerEnclave> {
+        return std::make_unique<protocol::ErbNode>(
+            platform, id, host, pc, ias, NodeId{0}, id == 0 ? msg : Bytes{});
+      }));
+  bed.start();
+  bed.run_rounds(6, [&]() {
+    for (NodeId id = 0; id < cfg.n; ++id) {
+      if (!bed.enclave_as<protocol::ErbNode>(id).result().decided) {
+        return false;
+      }
+    }
+    return true;
+  });
+  bed.locked([&] {
+    for (NodeId id = 0; id < cfg.n; ++id) {
+      const auto& r = bed.enclave_as<protocol::ErbNode>(id).result();
+      EXPECT_TRUE(r.decided) << "node " << id;
+      ASSERT_TRUE(r.value.has_value()) << "node " << id;
+      EXPECT_EQ(*r.value, msg);
+      EXPECT_LE(r.round, 3u);
+    }
+  });
+}
+
+TEST(TcpIntegration, ErngOverSockets) {
+  TcpTestbedConfig cfg;
+  cfg.n = 5;
+  cfg.round_ms = 150;
+  TcpTestbed bed(cfg);
+  ASSERT_TRUE(bed.build(
+      [](NodeId id, sgx::SgxPlatform& platform, sgx::EnclaveHostIface& host,
+         protocol::PeerConfig pc,
+         const sgx::SimIAS& ias) -> std::unique_ptr<protocol::PeerEnclave> {
+        return std::make_unique<protocol::ErngBasicNode>(platform, id, host,
+                                                         pc, ias);
+      }));
+  bed.start();
+  bed.run_rounds(8, [&]() {
+    for (NodeId id = 0; id < cfg.n; ++id) {
+      if (!bed.enclave_as<protocol::ErngBasicNode>(id).result().done) {
+        return false;
+      }
+    }
+    return true;
+  });
+  bed.locked([&] {
+    const auto& r0 = bed.enclave_as<protocol::ErngBasicNode>(0).result();
+    EXPECT_TRUE(r0.done);
+    for (NodeId id = 1; id < cfg.n; ++id) {
+      const auto& r = bed.enclave_as<protocol::ErngBasicNode>(id).result();
+      EXPECT_TRUE(r.done) << "node " << id;
+      EXPECT_EQ(r.value, r0.value) << "node " << id;
+    }
+  });
+}
+
+TEST(TcpIntegration, SteadyClockMonotone) {
+  SteadyClock clock;
+  SimTime t1 = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  SimTime t2 = clock.now();
+  EXPECT_GE(t2 - t1, 15);
+  EXPECT_LT(t2 - t1, 500);
+}
+
+}  // namespace
+}  // namespace sgxp2p::net

@@ -1,0 +1,78 @@
+// Shared helpers for protocol tests: compact testbed construction for each
+// protocol type and common stop predicates.
+#pragma once
+
+#include <memory>
+
+#include "adversary/strategies.hpp"
+#include "net/testbed.hpp"
+#include "protocol/erb_node.hpp"
+#include "protocol/erng_basic.hpp"
+#include "protocol/erng_opt.hpp"
+
+namespace sgxp2p::testutil {
+
+inline sim::TestbedConfig small_config(std::uint32_t n, std::uint64_t seed = 1) {
+  sim::TestbedConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.net.base_delay = milliseconds(100);
+  cfg.net.max_jitter = milliseconds(100);
+  return cfg;
+}
+
+/// ERB testbed: node `initiator` broadcasts `payload`.
+inline sim::Testbed::EnclaveFactory erb_factory(NodeId initiator,
+                                                Bytes payload) {
+  return [initiator, payload](NodeId id, sgx::SgxPlatform& platform,
+                              net::Host& host, protocol::PeerConfig cfg,
+                              const sgx::SimIAS& ias)
+             -> std::unique_ptr<protocol::PeerEnclave> {
+    return std::make_unique<protocol::ErbNode>(
+        platform, id, host, cfg, ias, initiator,
+        id == initiator ? payload : Bytes{});
+  };
+}
+
+inline sim::Testbed::EnclaveFactory erng_basic_factory() {
+  return [](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+            protocol::PeerConfig cfg, const sgx::SimIAS& ias)
+             -> std::unique_ptr<protocol::PeerEnclave> {
+    return std::make_unique<protocol::ErngBasicNode>(platform, id, host, cfg,
+                                                     ias);
+  };
+}
+
+inline sim::Testbed::EnclaveFactory erng_opt_factory(
+    protocol::ErngOptParams params = {}) {
+  return [params](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+                  protocol::PeerConfig cfg, const sgx::SimIAS& ias)
+             -> std::unique_ptr<protocol::PeerEnclave> {
+    return std::make_unique<protocol::ErngOptNode>(platform, id, host, cfg,
+                                                   ias, params);
+  };
+}
+
+/// Stop when every honest node's ErbNode has decided.
+inline std::function<bool()> all_honest_erb_decided(sim::Testbed& bed) {
+  return [&bed]() {
+    for (NodeId id : bed.honest_nodes()) {
+      if (!bed.enclave_as<protocol::ErbNode>(id).result().decided) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+template <typename NodeT>
+std::function<bool()> all_honest_done(sim::Testbed& bed) {
+  return [&bed]() {
+    for (NodeId id : bed.honest_nodes()) {
+      if (!bed.enclave_as<NodeT>(id).result().done) return false;
+    }
+    return true;
+  };
+}
+
+}  // namespace sgxp2p::testutil

@@ -1,0 +1,279 @@
+// sgxp2p-sim — command-line experiment runner.
+//
+// Runs one protocol execution over the deterministic simulator and reports
+// rounds, virtual termination time, message/byte traffic, and per-node
+// outcomes. Every figure in EXPERIMENTS.md can be reproduced ad hoc from
+// this tool; it is also the quickest way to explore adversary behavior.
+//
+//   sgxp2p-sim --protocol erb --n 512 --adversary chain --byz 128
+//   sgxp2p-sim --protocol erng-opt --n 256 --csv
+//   sgxp2p-sim --protocol eba --n 9 --adversary omission --byz 3
+//
+// Flags:
+//   --protocol erb|erng|erng-opt|eba     (default erb)
+//   --n <int>                            network size (default 9)
+//   --t <int>                            byzantine bound (default (n-1)/2,
+//                                        or n/3 for erng-opt)
+//   --adversary none|chain|omission|crash|delay|replay   (default none)
+//   --byz <int>                          byzantine node count (default 0)
+//   --seed <int>                         determinism seed (default 1)
+//   --delta-ms <int>                     one-way delay bound Δ (default 500)
+//   --mode attested|accounted            channel mode (default attested for
+//                                        n ≤ 128, else accounted)
+//   --csv                                one machine-readable line
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "adversary/strategies.hpp"
+#include "net/testbed.hpp"
+#include "protocol/eba.hpp"
+#include "protocol/erb_node.hpp"
+#include "protocol/erng_basic.hpp"
+#include "protocol/erng_opt.hpp"
+
+using namespace sgxp2p;
+
+namespace {
+
+struct Options {
+  std::string protocol = "erb";
+  std::uint32_t n = 9;
+  std::uint32_t t = 0;
+  std::string adversary = "none";
+  std::uint32_t byz = 0;
+  std::uint64_t seed = 1;
+  SimDuration delta_ms = 500;
+  std::string mode;
+  bool csv = false;
+};
+
+const char* flag_value(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  if (const char* v = flag_value(argc, argv, "--protocol")) o.protocol = v;
+  if (const char* v = flag_value(argc, argv, "--n")) o.n = std::atoi(v);
+  if (const char* v = flag_value(argc, argv, "--t")) o.t = std::atoi(v);
+  if (const char* v = flag_value(argc, argv, "--adversary")) o.adversary = v;
+  if (const char* v = flag_value(argc, argv, "--byz")) o.byz = std::atoi(v);
+  if (const char* v = flag_value(argc, argv, "--seed")) o.seed = std::atoll(v);
+  if (const char* v = flag_value(argc, argv, "--delta-ms")) {
+    o.delta_ms = std::atoi(v);
+  }
+  if (const char* v = flag_value(argc, argv, "--mode")) o.mode = v;
+  o.csv = flag_present(argc, argv, "--csv");
+  return o;
+}
+
+std::unique_ptr<adversary::Strategy> make_strategy(
+    const Options& o, NodeId id, std::shared_ptr<adversary::ChainPlan> plan,
+    SimDuration round_ms) {
+  if (id >= o.byz || o.adversary == "none") return nullptr;
+  if (o.adversary == "chain") {
+    return std::make_unique<adversary::ChainStrategy>(plan);
+  }
+  if (o.adversary == "omission") {
+    return std::make_unique<adversary::RandomOmissionStrategy>(0.5, 0.3);
+  }
+  if (o.adversary == "crash") {
+    return std::make_unique<adversary::CrashStrategy>();
+  }
+  if (o.adversary == "delay") {
+    return std::make_unique<adversary::DelayStrategy>(2 * round_ms);
+  }
+  if (o.adversary == "replay") {
+    return std::make_unique<adversary::ReplayStrategy>(round_ms / 4);
+  }
+  std::fprintf(stderr, "unknown adversary '%s'\n", o.adversary.c_str());
+  std::exit(2);
+}
+
+struct Outcome {
+  std::uint32_t rounds = 0;
+  double termination_s = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::string summary;
+};
+
+template <typename NodeT, typename DoneFn, typename SummaryFn>
+Outcome drive(sim::Testbed& bed, std::uint32_t max_rounds, DoneFn done,
+              SummaryFn summarize) {
+  bed.start();
+  Outcome out;
+  out.rounds = bed.run_rounds(max_rounds, [&]() {
+    for (NodeId id : bed.honest_nodes()) {
+      if (!done(bed.enclave_as<NodeT>(id))) return false;
+    }
+    return true;
+  });
+  out.messages = bed.network().meter().messages();
+  out.bytes = bed.network().meter().bytes();
+  SimTime latest = 0;
+  for (NodeId id : bed.honest_nodes()) {
+    latest = std::max(latest, summarize(bed.enclave_as<NodeT>(id), out));
+  }
+  out.termination_s = to_seconds(latest - bed.start_time());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o = parse(argc, argv);
+  if (o.n < 2) {
+    std::fprintf(stderr, "--n must be at least 2\n");
+    return 2;
+  }
+  if (o.byz >= o.n) {
+    std::fprintf(stderr, "--byz must be < n\n");
+    return 2;
+  }
+
+  sim::TestbedConfig cfg;
+  cfg.n = o.n;
+  cfg.seed = o.seed;
+  cfg.net.base_delay = o.delta_ms / 2;
+  cfg.net.max_jitter = o.delta_ms - o.delta_ms / 2;
+  cfg.t = o.t != 0 ? o.t : (o.protocol == "erng-opt" ? std::max(1u, o.n / 3)
+                                                     : (o.n - 1) / 2);
+  if (2 * cfg.t >= o.n) cfg.t = (o.n - 1) / 2;
+  bool accounted = o.mode.empty() ? o.n > 128 : o.mode == "accounted";
+  cfg.mode = accounted ? protocol::ChannelMode::kAccounted
+                       : protocol::ChannelMode::kAttested;
+
+  auto plan = std::make_shared<adversary::ChainPlan>();
+  for (NodeId id = 0; id < o.byz; ++id) plan->order.push_back(id);
+  plan->release = adversary::ChainPlan::Release::kSingleHonest;
+  plan->honest_target = o.byz;
+
+  sim::Testbed bed(cfg);
+  SimDuration round_ms = cfg.effective_round();
+  auto strategies = [&](NodeId id) {
+    return make_strategy(o, id, plan, round_ms);
+  };
+
+  Outcome out;
+  if (o.protocol == "erb") {
+    Bytes payload = to_bytes("cli broadcast payload");
+    bed.build(
+        [&](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+            protocol::PeerConfig pc,
+            const sgx::SimIAS& ias) -> std::unique_ptr<protocol::PeerEnclave> {
+          return std::make_unique<protocol::ErbNode>(
+              platform, id, host, pc, ias, NodeId{0},
+              id == 0 ? payload : Bytes{});
+        },
+        strategies);
+    out = drive<protocol::ErbNode>(
+        bed, cfg.effective_t() + 4,
+        [](protocol::ErbNode& n) { return n.result().decided; },
+        [](protocol::ErbNode& n, Outcome& acc) {
+          acc.summary = n.result().value
+                            ? "accepted m"
+                            : "accepted ⊥";
+          return n.result().decided_at;
+        });
+  } else if (o.protocol == "erng") {
+    bed.build(
+        [](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+           protocol::PeerConfig pc,
+           const sgx::SimIAS& ias) -> std::unique_ptr<protocol::PeerEnclave> {
+          return std::make_unique<protocol::ErngBasicNode>(platform, id, host,
+                                                           pc, ias);
+        },
+        strategies);
+    out = drive<protocol::ErngBasicNode>(
+        bed, cfg.effective_t() + 4,
+        [](protocol::ErngBasicNode& n) { return n.result().done; },
+        [](protocol::ErngBasicNode& n, Outcome& acc) {
+          acc.summary = "r=" + hex_encode(ByteView(n.result().value.data(),
+                                                   std::min<std::size_t>(
+                                                       8, n.result().value
+                                                              .size()))) +
+                        "… |S|=" + std::to_string(n.result().set_size);
+          return n.result().decided_at;
+        });
+  } else if (o.protocol == "erng-opt") {
+    bed.build(
+        [](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+           protocol::PeerConfig pc,
+           const sgx::SimIAS& ias) -> std::unique_ptr<protocol::PeerEnclave> {
+          return std::make_unique<protocol::ErngOptNode>(platform, id, host,
+                                                         pc, ias);
+        },
+        strategies);
+    out = drive<protocol::ErngOptNode>(
+        bed, o.n + 8,
+        [](protocol::ErngOptNode& n) { return n.result().done; },
+        [](protocol::ErngOptNode& n, Outcome& acc) {
+          acc.summary =
+              (n.result().is_bottom
+                   ? std::string("⊥")
+                   : "r=" + hex_encode(ByteView(n.result().value.data(), 8)) +
+                         "…") +
+              " cluster=" + std::to_string(n.result().cluster_size);
+          return n.result().decided_at;
+        });
+  } else if (o.protocol == "eba") {
+    bed.build(
+        [&](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+            protocol::PeerConfig pc,
+            const sgx::SimIAS& ias) -> std::unique_ptr<protocol::PeerEnclave> {
+          return std::make_unique<protocol::EbaNode>(
+              platform, id, host, pc, ias,
+              to_bytes(id % 2 == 0 ? "commit" : "abort"));
+        },
+        strategies);
+    out = drive<protocol::EbaNode>(
+        bed, cfg.effective_t() + 4,
+        [](protocol::EbaNode& n) { return n.result().done; },
+        [](protocol::EbaNode& n, Outcome& acc) {
+          acc.summary = n.result().decision
+                            ? "decided " + to_string(*n.result().decision)
+                            : "decided ⊥";
+          return n.result().decided_at;
+        });
+  } else {
+    std::fprintf(stderr, "unknown protocol '%s'\n", o.protocol.c_str());
+    return 2;
+  }
+
+  if (o.csv) {
+    std::printf("%s,%u,%u,%s,%u,%llu,%u,%.3f,%llu,%llu\n", o.protocol.c_str(),
+                o.n, cfg.t, o.adversary.c_str(), o.byz,
+                static_cast<unsigned long long>(o.seed), out.rounds,
+                out.termination_s,
+                static_cast<unsigned long long>(out.messages),
+                static_cast<unsigned long long>(out.bytes));
+  } else {
+    std::printf("protocol    : %s\n", o.protocol.c_str());
+    std::printf("network     : N=%u t=%u adversary=%s byz=%u seed=%llu "
+                "mode=%s\n",
+                o.n, cfg.t, o.adversary.c_str(), o.byz,
+                static_cast<unsigned long long>(o.seed),
+                accounted ? "accounted" : "attested");
+    std::printf("rounds      : %u (round time %.1f s)\n", out.rounds,
+                to_seconds(round_ms));
+    std::printf("termination : %.3f virtual s\n", out.termination_s);
+    std::printf("traffic     : %llu messages, %.3f MB\n",
+                static_cast<unsigned long long>(out.messages),
+                static_cast<double>(out.bytes) / (1024 * 1024));
+    std::printf("outcome     : %s\n", out.summary.c_str());
+  }
+  return 0;
+}
