@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2c"
+  "../bench/bench_fig2c.pdb"
+  "CMakeFiles/bench_fig2c.dir/bench_fig2c.cpp.o"
+  "CMakeFiles/bench_fig2c.dir/bench_fig2c.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

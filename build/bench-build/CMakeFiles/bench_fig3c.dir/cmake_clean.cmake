@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3c"
+  "../bench/bench_fig3c.pdb"
+  "CMakeFiles/bench_fig3c.dir/bench_fig3c.cpp.o"
+  "CMakeFiles/bench_fig3c.dir/bench_fig3c.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

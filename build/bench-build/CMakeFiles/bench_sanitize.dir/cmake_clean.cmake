@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sanitize"
+  "../bench/bench_sanitize.pdb"
+  "CMakeFiles/bench_sanitize.dir/bench_sanitize.cpp.o"
+  "CMakeFiles/bench_sanitize.dir/bench_sanitize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sanitize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

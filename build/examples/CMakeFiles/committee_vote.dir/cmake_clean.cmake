@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/committee_vote.dir/committee_vote.cpp.o"
+  "CMakeFiles/committee_vote.dir/committee_vote.cpp.o.d"
+  "committee_vote"
+  "committee_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/committee_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/lottery.cpp" "examples/CMakeFiles/lottery.dir/lottery.cpp.o" "gcc" "examples/CMakeFiles/lottery.dir/lottery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sgxp2p_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sgxp2p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/sgxp2p_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/sgxp2p_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sgxp2p_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sgxp2p_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgxp2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

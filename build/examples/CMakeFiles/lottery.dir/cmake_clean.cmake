@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lottery.dir/lottery.cpp.o"
+  "CMakeFiles/lottery.dir/lottery.cpp.o.d"
+  "lottery"
+  "lottery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lottery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_demo.dir/membership_demo.cpp.o"
+  "CMakeFiles/membership_demo.dir/membership_demo.cpp.o.d"
+  "membership_demo"
+  "membership_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

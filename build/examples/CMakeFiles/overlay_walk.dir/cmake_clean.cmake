@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_walk.dir/overlay_walk.cpp.o"
+  "CMakeFiles/overlay_walk.dir/overlay_walk.cpp.o.d"
+  "overlay_walk"
+  "overlay_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_key.dir/threshold_key.cpp.o"
+  "CMakeFiles/threshold_key.dir/threshold_key.cpp.o.d"
+  "threshold_key"
+  "threshold_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxp2p_apps.dir/beacon.cpp.o"
+  "CMakeFiles/sgxp2p_apps.dir/beacon.cpp.o.d"
+  "CMakeFiles/sgxp2p_apps.dir/dkg.cpp.o"
+  "CMakeFiles/sgxp2p_apps.dir/dkg.cpp.o.d"
+  "CMakeFiles/sgxp2p_apps.dir/group_key.cpp.o"
+  "CMakeFiles/sgxp2p_apps.dir/group_key.cpp.o.d"
+  "CMakeFiles/sgxp2p_apps.dir/load_balancer.cpp.o"
+  "CMakeFiles/sgxp2p_apps.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/sgxp2p_apps.dir/random_walk.cpp.o"
+  "CMakeFiles/sgxp2p_apps.dir/random_walk.cpp.o.d"
+  "libsgxp2p_apps.a"
+  "libsgxp2p_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxp2p_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxp2p_channel.dir/handshake.cpp.o"
+  "CMakeFiles/sgxp2p_channel.dir/handshake.cpp.o.d"
+  "CMakeFiles/sgxp2p_channel.dir/secure_link.cpp.o"
+  "CMakeFiles/sgxp2p_channel.dir/secure_link.cpp.o.d"
+  "libsgxp2p_channel.a"
+  "libsgxp2p_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxp2p_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxp2p_common.dir/bytes.cpp.o"
+  "CMakeFiles/sgxp2p_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/sgxp2p_common.dir/log.cpp.o"
+  "CMakeFiles/sgxp2p_common.dir/log.cpp.o.d"
+  "libsgxp2p_common.a"
+  "libsgxp2p_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxp2p_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxp2p_crypto.dir/aead.cpp.o"
+  "CMakeFiles/sgxp2p_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/sgxp2p_crypto.dir/aes.cpp.o"
+  "CMakeFiles/sgxp2p_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/sgxp2p_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/sgxp2p_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/sgxp2p_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/sgxp2p_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/sgxp2p_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/sgxp2p_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/sgxp2p_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/sgxp2p_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/sgxp2p_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/sgxp2p_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/sgxp2p_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/sgxp2p_crypto.dir/shamir.cpp.o.d"
+  "CMakeFiles/sgxp2p_crypto.dir/wots.cpp.o"
+  "CMakeFiles/sgxp2p_crypto.dir/wots.cpp.o.d"
+  "CMakeFiles/sgxp2p_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/sgxp2p_crypto.dir/x25519.cpp.o.d"
+  "libsgxp2p_crypto.a"
+  "libsgxp2p_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxp2p_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/sgxp2p_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/sgxp2p_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/mesh_transport.cpp" "src/net/CMakeFiles/sgxp2p_net.dir/mesh_transport.cpp.o" "gcc" "src/net/CMakeFiles/sgxp2p_net.dir/mesh_transport.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/sgxp2p_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/sgxp2p_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/simulator.cpp" "src/net/CMakeFiles/sgxp2p_net.dir/simulator.cpp.o" "gcc" "src/net/CMakeFiles/sgxp2p_net.dir/simulator.cpp.o.d"
+  "/root/repo/src/net/tcp_bus.cpp" "src/net/CMakeFiles/sgxp2p_net.dir/tcp_bus.cpp.o" "gcc" "src/net/CMakeFiles/sgxp2p_net.dir/tcp_bus.cpp.o.d"
+  "/root/repo/src/net/tcp_testbed.cpp" "src/net/CMakeFiles/sgxp2p_net.dir/tcp_testbed.cpp.o" "gcc" "src/net/CMakeFiles/sgxp2p_net.dir/tcp_testbed.cpp.o.d"
+  "/root/repo/src/net/testbed.cpp" "src/net/CMakeFiles/sgxp2p_net.dir/testbed.cpp.o" "gcc" "src/net/CMakeFiles/sgxp2p_net.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sgx/CMakeFiles/sgxp2p_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/sgxp2p_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/sgxp2p_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sgxp2p_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgxp2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

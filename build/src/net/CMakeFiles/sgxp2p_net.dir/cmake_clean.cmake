@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxp2p_net.dir/host.cpp.o"
+  "CMakeFiles/sgxp2p_net.dir/host.cpp.o.d"
+  "CMakeFiles/sgxp2p_net.dir/mesh_transport.cpp.o"
+  "CMakeFiles/sgxp2p_net.dir/mesh_transport.cpp.o.d"
+  "CMakeFiles/sgxp2p_net.dir/network.cpp.o"
+  "CMakeFiles/sgxp2p_net.dir/network.cpp.o.d"
+  "CMakeFiles/sgxp2p_net.dir/simulator.cpp.o"
+  "CMakeFiles/sgxp2p_net.dir/simulator.cpp.o.d"
+  "CMakeFiles/sgxp2p_net.dir/tcp_bus.cpp.o"
+  "CMakeFiles/sgxp2p_net.dir/tcp_bus.cpp.o.d"
+  "CMakeFiles/sgxp2p_net.dir/tcp_testbed.cpp.o"
+  "CMakeFiles/sgxp2p_net.dir/tcp_testbed.cpp.o.d"
+  "CMakeFiles/sgxp2p_net.dir/testbed.cpp.o"
+  "CMakeFiles/sgxp2p_net.dir/testbed.cpp.o.d"
+  "libsgxp2p_net.a"
+  "libsgxp2p_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxp2p_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/eba.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/eba.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/eba.cpp.o.d"
+  "/root/repo/src/protocol/erb_instance.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/erb_instance.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/erb_instance.cpp.o.d"
+  "/root/repo/src/protocol/erb_node.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/erb_node.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/erb_node.cpp.o.d"
+  "/root/repo/src/protocol/erb_sequence.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/erb_sequence.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/erb_sequence.cpp.o.d"
+  "/root/repo/src/protocol/erng_basic.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/erng_basic.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/erng_basic.cpp.o.d"
+  "/root/repo/src/protocol/erng_opt.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/erng_opt.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/erng_opt.cpp.o.d"
+  "/root/repo/src/protocol/membership.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/membership.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/membership.cpp.o.d"
+  "/root/repo/src/protocol/peer_enclave.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/peer_enclave.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/peer_enclave.cpp.o.d"
+  "/root/repo/src/protocol/rb_early.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/rb_early.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/rb_early.cpp.o.d"
+  "/root/repo/src/protocol/rb_sig.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/rb_sig.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/rb_sig.cpp.o.d"
+  "/root/repo/src/protocol/sanitizer.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/sanitizer.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/sanitizer.cpp.o.d"
+  "/root/repo/src/protocol/strawman.cpp" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/strawman.cpp.o" "gcc" "src/protocol/CMakeFiles/sgxp2p_protocol.dir/strawman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/sgxp2p_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sgxp2p_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sgxp2p_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgxp2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

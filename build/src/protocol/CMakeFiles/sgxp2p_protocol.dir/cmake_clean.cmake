@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxp2p_protocol.dir/eba.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/eba.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/erb_instance.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/erb_instance.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/erb_node.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/erb_node.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/erb_sequence.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/erb_sequence.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/erng_basic.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/erng_basic.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/erng_opt.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/erng_opt.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/membership.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/membership.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/peer_enclave.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/peer_enclave.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/rb_early.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/rb_early.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/rb_sig.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/rb_sig.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/sanitizer.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/sanitizer.cpp.o.d"
+  "CMakeFiles/sgxp2p_protocol.dir/strawman.cpp.o"
+  "CMakeFiles/sgxp2p_protocol.dir/strawman.cpp.o.d"
+  "libsgxp2p_protocol.a"
+  "libsgxp2p_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxp2p_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

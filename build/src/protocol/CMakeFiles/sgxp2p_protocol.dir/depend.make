@@ -1,0 +1,2 @@
+# Empty dependencies file for sgxp2p_protocol.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxp2p_sgx.dir/attestation.cpp.o"
+  "CMakeFiles/sgxp2p_sgx.dir/attestation.cpp.o.d"
+  "CMakeFiles/sgxp2p_sgx.dir/enclave.cpp.o"
+  "CMakeFiles/sgxp2p_sgx.dir/enclave.cpp.o.d"
+  "CMakeFiles/sgxp2p_sgx.dir/platform.cpp.o"
+  "CMakeFiles/sgxp2p_sgx.dir/platform.cpp.o.d"
+  "libsgxp2p_sgx.a"
+  "libsgxp2p_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxp2p_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsgxp2p_sgx.a"
+)

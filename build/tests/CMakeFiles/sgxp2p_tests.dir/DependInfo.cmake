@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adversary_mix.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_adversary_mix.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_adversary_mix.cpp.o.d"
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_dkg.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_dkg.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_dkg.cpp.o.d"
+  "/root/repo/tests/test_erb.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_erb.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_erb.cpp.o.d"
+  "/root/repo/tests/test_erb_instance.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_erb_instance.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_erb_instance.cpp.o.d"
+  "/root/repo/tests/test_erng.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_erng.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_erng.cpp.o.d"
+  "/root/repo/tests/test_erng_opt_more.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_erng_opt_more.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_erng_opt_more.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_membership.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_membership.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_membership.cpp.o.d"
+  "/root/repo/tests/test_multiprocess.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_multiprocess.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_multiprocess.cpp.o.d"
+  "/root/repo/tests/test_peer_enclave.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_peer_enclave.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_peer_enclave.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_sgx.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_sgx.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_sgx.cpp.o.d"
+  "/root/repo/tests/test_shamir_rand.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_shamir_rand.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_shamir_rand.cpp.o.d"
+  "/root/repo/tests/test_simnet.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_simnet.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_simnet.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_tcp.cpp" "tests/CMakeFiles/sgxp2p_tests.dir/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/sgxp2p_tests.dir/test_tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sgxp2p_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sgxp2p_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sgxp2p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/sgxp2p_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/sgxp2p_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sgxp2p_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgxp2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

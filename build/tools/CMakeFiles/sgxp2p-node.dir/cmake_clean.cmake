@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxp2p-node.dir/sgxp2p_node.cpp.o"
+  "CMakeFiles/sgxp2p-node.dir/sgxp2p_node.cpp.o.d"
+  "sgxp2p-node"
+  "sgxp2p-node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxp2p-node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxp2p-sim.dir/sgxp2p_sim.cpp.o"
+  "CMakeFiles/sgxp2p-sim.dir/sgxp2p_sim.cpp.o.d"
+  "sgxp2p-sim"
+  "sgxp2p-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxp2p-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
