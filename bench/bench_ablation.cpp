@@ -72,7 +72,8 @@ bench::RunStats run_opt_phase_ablation(std::uint32_t n, bool one_phase,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = sgxp2p::bench::parse_obs(argc, argv, "ablation");
   std::printf("=== Ablation 1: halt-on-divergence (P4) on/off ===\n");
   std::printf("N=129, chain adversary with f=16\n\n");
   {
@@ -146,5 +147,6 @@ int main() {
                 "intra-cluster ERB traffic from O(γ³) toward O(γ^{5/2}) "
                 "(Appendix F).\n");
   }
+  sgxp2p::bench::finish_obs(obs);
   return 0;
 }

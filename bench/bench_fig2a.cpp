@@ -10,6 +10,7 @@
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
+  auto obs = sgxp2p::bench::parse_obs(argc, argv, "fig2a");
   using namespace sgxp2p;
   int max_exp = bench::flag_int(argc, argv, "--max-exp", 10);
 
@@ -29,5 +30,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper reference: honest ERB terminates in ~2 rounds (~4 s) at every "
       "network size.\n");
+  sgxp2p::bench::finish_obs(obs);
   return 0;
 }

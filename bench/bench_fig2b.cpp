@@ -13,6 +13,7 @@
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
+  auto obs = sgxp2p::bench::parse_obs(argc, argv, "fig2b");
   using namespace sgxp2p;
   int max_exp = bench::flag_int(argc, argv, "--max-exp", 7);
   const double kLinkBytesPerSec = 128.0 * 1024 * 1024;
@@ -53,5 +54,6 @@ int main(int argc, char** argv) {
       "~10^3 s; the pure-protocol column stays flat, the link-adjusted "
       "column reproduces the bend. Use --max-exp 8 for the next point "
       "(minutes of CPU, ~4 GB RAM).\n");
+  sgxp2p::bench::finish_obs(obs);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
+  auto obs = sgxp2p::bench::parse_obs(argc, argv, "fig2c");
   using namespace sgxp2p;
   std::uint32_t n =
       static_cast<std::uint32_t>(bench::flag_int(argc, argv, "--n", 512));
@@ -36,5 +37,6 @@ int main(int argc, char** argv) {
       "honest (their Δ). With Δ = 1 s our worst case is (f+2)·2 s = %u s at "
       "f = %u — same linear shape.\n",
       (n / 4 + 2) * 2, n / 4);
+  sgxp2p::bench::finish_obs(obs);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
+  auto obs = sgxp2p::bench::parse_obs(argc, argv, "fig3a");
   using namespace sgxp2p;
   int max_exp = bench::flag_int(argc, argv, "--max-exp", 10);
 
@@ -66,5 +67,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n(round 1 = INIT+ACKs, round 2 = the N^2 ECHO storm)\n");
   }
+  sgxp2p::bench::finish_obs(obs);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
+  auto obs = sgxp2p::bench::parse_obs(argc, argv, "fig3b");
   using namespace sgxp2p;
   int max_exp = bench::flag_int(argc, argv, "--max-exp", 7);
 
@@ -57,5 +58,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper reference: ~60%% traffic reduction for ERNG-1 at N=512; our "
       "saving at the top of the sweep appears in the last column.\n");
+  sgxp2p::bench::finish_obs(obs);
   return 0;
 }

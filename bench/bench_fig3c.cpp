@@ -12,6 +12,7 @@
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
+  auto obs = sgxp2p::bench::parse_obs(argc, argv, "fig3c");
   using namespace sgxp2p;
   std::uint32_t n =
       static_cast<std::uint32_t>(bench::flag_int(argc, argv, "--n", 512));
@@ -42,5 +43,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper reference: 69 MB honest → 35 MB at fraction 1/4 (a ~50%% "
       "drop); the same monotone decrease appears above.\n");
+  sgxp2p::bench::finish_obs(obs);
   return 0;
 }

@@ -8,10 +8,12 @@
 //   constant 2 as the network sanitizes.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "protocol/sanitizer.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = sgxp2p::bench::parse_obs(argc, argv, "sanitize");
   using namespace sgxp2p;
 
   protocol::SanitizeConfig cfg;
@@ -41,5 +43,6 @@ int main() {
       "for full sanitization; the Monte-Carlo probability above should reach "
       "~0 by then, and the average per-instance round cost should approach "
       "the constant 2 (Theorem D.2).\n");
+  sgxp2p::bench::finish_obs(obs);
   return 0;
 }

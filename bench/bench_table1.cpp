@@ -92,6 +92,7 @@ BaselineRun run_rb_early(std::uint32_t n, bool crash_initiator) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto obs = sgxp2p::bench::parse_obs(argc, argv, "table1");
   int max_n = bench::flag_int(argc, argv, "--max-n", 64);
 
   std::printf("=== Table 1: reliable broadcast — measured comparison ===\n\n");
@@ -159,5 +160,6 @@ int main(int argc, char** argv) {
   lit.add_row({"AD14 [19]", "byzantine+sig", "2t+1", "3t+4", "O(N^4)"});
   lit.add_row({"ERB (here)", "byz + SGX", "2t+1", "min{f+2,t+2}", "O(N^2)"});
   lit.print();
+  sgxp2p::bench::finish_obs(obs);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
+  auto obs = sgxp2p::bench::parse_obs(argc, argv, "table2");
   using namespace sgxp2p;
   int max_n = bench::flag_int(argc, argv, "--max-n", 128);
 
@@ -50,5 +51,6 @@ int main(int argc, char** argv) {
   lit.add_row({"Basic ERNG (here)", "2t+1", "O(N)", "O(N^3)"});
   lit.add_row({"Optimized ERNG (here)", "3t+1", "O(log N)", "O(N log N)"});
   lit.print();
+  sgxp2p::bench::finish_obs(obs);
   return 0;
 }

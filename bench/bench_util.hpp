@@ -12,7 +12,10 @@
 #include <string>
 
 #include "adversary/strategies.hpp"
+#include "common/log.hpp"
 #include "net/testbed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/erb_node.hpp"
 #include "protocol/erng_basic.hpp"
 #include "protocol/erng_opt.hpp"
@@ -161,6 +164,74 @@ inline int flag_int(int argc, char** argv, const std::string& name,
     if (name == argv[i]) return std::atoi(argv[i + 1]);
   }
   return fallback;
+}
+
+// ----- observability plumbing shared by every figure/table bench -----
+
+struct ObsOptions {
+  std::string bench;         // e.g. "fig2a"
+  std::string metrics_path;  // empty → no snapshot written
+  std::string trace_path;    // empty → tracing stays off
+};
+
+/// Handles `--metrics-out [path]` (default `BENCH_<name>.json`) and
+/// `--trace [path]` (default `BENCH_<name>.trace.jsonl`), applies
+/// SGXP2P_LOG_LEVEL, and enables the trace ring when requested. Call first
+/// thing in main(); pair with finish_obs() before returning.
+inline ObsOptions parse_obs(int argc, char** argv,
+                            const std::string& bench_name) {
+  Logger::instance().init_from_env();
+  ObsOptions o;
+  o.bench = bench_name;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto take_path = [&](const std::string& fallback) {
+      if (i + 1 < argc && argv[i + 1][0] != '-') return std::string(argv[++i]);
+      return fallback;
+    };
+    if (arg == "--metrics-out") {
+      o.metrics_path = take_path("BENCH_" + bench_name + ".json");
+    } else if (arg == "--trace") {
+      o.trace_path = take_path("BENCH_" + bench_name + ".trace.jsonl");
+    }
+  }
+  if (!o.trace_path.empty()) obs::TraceRecorder::global().enable();
+  return o;
+}
+
+/// Writes the metrics snapshot (`{"bench":…,"metrics":…}`) and the JSONL
+/// trace to the paths chosen by parse_obs().
+inline void finish_obs(const ObsOptions& o) {
+  if (!o.metrics_path.empty()) {
+    std::string json = "{\"bench\":\"" + obs::json_escape(o.bench) +
+                       "\",\"metrics\":" +
+                       obs::MetricsRegistry::global().to_json() + "}\n";
+    std::FILE* f = std::fopen(o.metrics_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   o.metrics_path.c_str());
+    } else {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("\nmetrics snapshot written to %s\n",
+                  o.metrics_path.c_str());
+    }
+  }
+  if (!o.trace_path.empty()) {
+    const auto& tr = obs::TraceRecorder::global();
+    if (tr.dropped() > 0) {
+      std::fprintf(stderr,
+                   "warning: trace ring dropped %llu events; timeline is "
+                   "truncated\n",
+                   static_cast<unsigned long long>(tr.dropped()));
+    }
+    if (!tr.write_file(o.trace_path)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", o.trace_path.c_str());
+    } else {
+      std::printf("trace (%zu events) written to %s\n", tr.size(),
+                  o.trace_path.c_str());
+    }
+  }
 }
 
 }  // namespace sgxp2p::bench

@@ -1,5 +1,6 @@
 #include "channel/secure_link.hpp"
 
+#include "common/log.hpp"
 #include "common/serde.hpp"
 #include "crypto/aead.hpp"
 
@@ -16,6 +17,15 @@ Bytes direction_aad(NodeId from, NodeId to, const sgx::Measurement& program) {
 }
 }  // namespace
 
+ChannelMetrics& ChannelMetrics::get() {
+  static ChannelMetrics metrics{
+      obs::MetricsRegistry::global().counter("channel.sealed"),
+      obs::MetricsRegistry::global().counter("channel.opened"),
+      obs::MetricsRegistry::global().counter("channel.replay_rejected"),
+      obs::MetricsRegistry::global().counter("channel.mac_failed")};
+  return metrics;
+}
+
 SecureLink::SecureLink(NodeId self, NodeId peer, LinkKeys keys,
                        const sgx::Measurement& program)
     : self_(self),
@@ -30,6 +40,7 @@ Bytes SecureLink::seal(ByteView plaintext) {
   std::uint8_t nonce[crypto::kAeadNonceSize] = {};
   store_le64(nonce, send_seq_++);
   ++sealed_count_;
+  ChannelMetrics::get().sealed.inc();
   return crypto::aead_seal(keys_.send_key, ByteView(nonce, sizeof nonce),
                            aad_send_, plaintext);
 }
@@ -37,17 +48,22 @@ Bytes SecureLink::seal(ByteView plaintext) {
 std::optional<Bytes> SecureLink::open(ByteView blob) {
   if (blob.size() < crypto::kAeadOverhead) {
     ++rejected_count_;
+    ChannelMetrics::get().mac_failed.inc();
     return std::nullopt;
   }
   // The wire sequence number rides in the nonce (authenticated by the AEAD).
   std::uint64_t seq = load_le64(blob.data());
   if (seq < recv_next_ || recv_seen_.contains(seq)) {
+    LOG_DEBUG("channel: replayed seq ", seq, " rejected");
     ++rejected_count_;
+    ++replay_count_;
+    ChannelMetrics::get().replay_rejected.inc();
     return std::nullopt;  // replay
   }
   auto plaintext = crypto::aead_open(keys_.recv_key, aad_recv_, blob);
   if (!plaintext) {
     ++rejected_count_;
+    ChannelMetrics::get().mac_failed.inc();
     return std::nullopt;
   }
   // Mark accepted; compact the window when the low end becomes contiguous.
@@ -57,6 +73,7 @@ std::optional<Bytes> SecureLink::open(ByteView blob) {
     ++recv_next_;
   }
   ++opened_count_;
+  ChannelMetrics::get().opened.inc();
   return plaintext;
 }
 

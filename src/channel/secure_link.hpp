@@ -20,6 +20,7 @@
 #include "channel/handshake.hpp"
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "obs/metrics.hpp"
 #include "sgx/measurement.hpp"
 
 namespace sgxp2p::channel {
@@ -44,6 +45,9 @@ class SecureLink {
   [[nodiscard]] std::uint64_t sealed_count() const { return sealed_count_; }
   [[nodiscard]] std::uint64_t opened_count() const { return opened_count_; }
   [[nodiscard]] std::uint64_t rejected_count() const { return rejected_count_; }
+  /// Rejections that were replays (already-accepted sequence numbers), a
+  /// subset of rejected_count(); the rest failed the MAC/length checks.
+  [[nodiscard]] std::uint64_t replay_count() const { return replay_count_; }
 
  private:
   NodeId self_;
@@ -59,6 +63,17 @@ class SecureLink {
   std::uint64_t sealed_count_ = 0;
   std::uint64_t opened_count_ = 0;
   std::uint64_t rejected_count_ = 0;
+  std::uint64_t replay_count_ = 0;
+};
+
+/// Process-wide channel.* registry handles, shared by every SecureLink (one
+/// resolution instead of one per link — setup builds N² links).
+struct ChannelMetrics {
+  obs::Counter& sealed;
+  obs::Counter& opened;
+  obs::Counter& replay_rejected;
+  obs::Counter& mac_failed;
+  static ChannelMetrics& get();
 };
 
 }  // namespace sgxp2p::channel

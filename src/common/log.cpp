@@ -1,20 +1,50 @@
 #include "common/log.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace sgxp2p {
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return std::nullopt;
+}
 
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
-void Logger::write(LogLevel level, const std::string& message) {
+void Logger::init_from_env() {
+  const char* env = std::getenv("SGXP2P_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (auto level = parse_log_level(env)) {
+    set_level(*level);
+  } else {
+    write(LogLevel::Warn,
+          log_detail::format_args("unknown SGXP2P_LOG_LEVEL '", env,
+                                  "' (expected trace|debug|info|warn|error|"
+                                  "off)"));
+  }
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
   static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
                                            "WARN", "ERROR", "OFF"};
   std::lock_guard<std::mutex> lock(mu_);
-  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
-               message.c_str());
+  std::fprintf(stderr, "[%s] %.*s\n", kNames[static_cast<int>(level)],
+               static_cast<int>(message.size()), message.data());
 }
 
 }  // namespace sgxp2p

@@ -2,16 +2,29 @@
 //
 // The simulator is single-threaded but the TCP transport is not, so emission
 // is serialized with a mutex. Verbosity defaults to Warn to keep test and
-// benchmark output clean; examples raise it for narration.
+// benchmark output clean; examples raise it for narration, and tools/benches
+// honor the SGXP2P_LOG_LEVEL environment variable via init_from_env().
+//
+// Hot-path discipline: the level gate is checked before any formatting, and
+// formatting appends into a reused thread-local buffer instead of building a
+// std::ostringstream per call; std::to_string handles arithmetic arguments
+// and only genuinely stream-only types fall back to an ostringstream.
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <type_traits>
 
 namespace sgxp2p {
 
 enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Case-insensitive level name ("trace", "debug", "info", "warn"/"warning",
+/// "error", "off"/"none"); nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 class Logger {
  public:
@@ -21,7 +34,10 @@ class Logger {
   [[nodiscard]] LogLevel level() const { return level_; }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
 
-  void write(LogLevel level, const std::string& message);
+  /// Applies SGXP2P_LOG_LEVEL from the environment when set and parseable.
+  void init_from_env();
+
+  void write(LogLevel level, std::string_view message);
 
  private:
   Logger() = default;
@@ -30,12 +46,36 @@ class Logger {
 };
 
 namespace log_detail {
-template <typename... Args>
-std::string format_args(Args&&... args) {
-  std::ostringstream oss;
-  (oss << ... << args);
-  return oss.str();
+
+template <typename T>
+void append_arg(std::string& out, T&& value) {
+  using D = std::remove_cvref_t<T>;
+  if constexpr (std::is_same_v<D, bool>) {
+    out += value ? "true" : "false";
+  } else if constexpr (std::is_same_v<D, char>) {
+    out += value;
+  } else if constexpr (std::is_convertible_v<D, std::string_view>) {
+    out += std::string_view(value);
+  } else if constexpr (std::is_arithmetic_v<D>) {
+    out += std::to_string(value);
+  } else {
+    std::ostringstream oss;  // rare: types with only operator<<
+    oss << value;
+    out += oss.str();
+  }
 }
+
+/// Formats into a thread-local buffer reused across calls; the returned view
+/// is valid until the same thread logs again (Logger::write copies it to
+/// stderr immediately).
+template <typename... Args>
+std::string_view format_args(Args&&... args) {
+  thread_local std::string buffer;
+  buffer.clear();
+  (append_arg(buffer, std::forward<Args>(args)), ...);
+  return buffer;
+}
+
 }  // namespace log_detail
 
 #define SGXP2P_LOG(level, ...)                                              \

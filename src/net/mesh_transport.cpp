@@ -61,7 +61,13 @@ SimTime RealtimeClock::now() const {
 }
 
 MeshTransport::MeshTransport(NodeId self, std::vector<PeerAddress> peers)
-    : self_(self), addresses_(std::move(peers)) {
+    : self_(self),
+      addresses_(std::move(peers)),
+      sends_ctr_(&obs::MetricsRegistry::global().counter("net.mesh.sends")),
+      sent_bytes_ctr_(
+          &obs::MetricsRegistry::global().counter("net.mesh.bytes")),
+      received_ctr_(
+          &obs::MetricsRegistry::global().counter("net.mesh.received")) {
   peers_.resize(addresses_.size());
   for (auto& p : peers_) p = std::make_unique<Peer>();
 }
@@ -176,6 +182,8 @@ void MeshTransport::send(NodeId to, ByteView blob) {
   if (write_all(peer.fd, frame.data(), frame.size())) {
     ++messages_sent_;
     bytes_sent_ += blob.size();
+    sends_ctr_->inc();
+    sent_bytes_ctr_->inc(blob.size());
   }
 }
 
@@ -195,7 +203,10 @@ bool MeshTransport::read_ready(NodeId peer_id) {
     peer.rx.erase(peer.rx.begin(), peer.rx.begin() + kFrameHeader + len);
     // Transport-level binding: the frame's claimed sender must be the
     // connection's peer.
-    if (from == peer_id && receiver_) receiver_(from, std::move(payload));
+    if (from == peer_id && receiver_) {
+      received_ctr_->inc();
+      receiver_(from, std::move(payload));
+    }
   }
   return true;
 }

@@ -22,6 +22,7 @@
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 #include "sgx/trusted_time.hpp"
 
 namespace sgxp2p::net {
@@ -82,6 +83,11 @@ class MeshTransport {
   int wake_pipe_[2] = {-1, -1};
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  // Registry handles (net.mesh.*); counters are relaxed atomics, so the I/O
+  // thread and send() callers may bump them without extra locking.
+  obs::Counter* sends_ctr_;
+  obs::Counter* sent_bytes_ctr_;
+  obs::Counter* received_ctr_;
 };
 
 }  // namespace sgxp2p::net

@@ -2,10 +2,25 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
 namespace sgxp2p::sim {
 
 Network::Network(Simulator& simulator, NetworkConfig config)
-    : simulator_(&simulator), config_(config), jitter_rng_(config.seed) {}
+    : simulator_(&simulator),
+      config_(config),
+      jitter_rng_(config.seed),
+      sends_ctr_(obs::MetricsRegistry::global().counter("net.sends")),
+      bytes_ctr_(obs::MetricsRegistry::global().counter("net.bytes")),
+      delivered_ctr_(obs::MetricsRegistry::global().counter("net.delivered")),
+      delivered_bytes_ctr_(
+          obs::MetricsRegistry::global().counter("net.delivered_bytes")),
+      dropped_ctr_(obs::MetricsRegistry::global().counter("net.dropped")),
+      size_hist_(obs::MetricsRegistry::global().histogram(
+          "net.msg_bytes", {32, 64, 128, 256, 512, 1024, 4096, 16384})),
+      delay_hist_(obs::MetricsRegistry::global().histogram(
+          "net.delay_ms", {100, 200, 300, 400, 500, 750, 1000, 2000, 5000})) {}
 
 void Network::attach(NodeId id, DeliverFn sink) {
   sinks_[id] = std::move(sink);
@@ -19,6 +34,9 @@ void Network::send(NodeId from, NodeId to, Bytes blob) {
   if (!attached(from) || !attached(to) || from == to) return;
   SimTime now = simulator_->now();
   meter_.record(blob.size(), now);
+  sends_ctr_.inc();
+  bytes_ctr_.inc(blob.size());
+  size_hist_.observe(static_cast<std::int64_t>(blob.size()));
   SimDuration jitter =
       config_.max_jitter > 0
           ? static_cast<SimDuration>(jitter_rng_.next_below(
@@ -42,10 +60,23 @@ void Network::send(NodeId from, NodeId to, Bytes blob) {
   arrival = std::max(arrival, last);
   last = arrival;
 
+  delay_hist_.observe(arrival - now);
+  obs::trace_event(now, from, "net", "send", obs::fnum("to", to),
+                   obs::fnum("bytes", static_cast<std::int64_t>(blob.size())),
+                   obs::fnum("arrival", arrival));
+
   simulator_->schedule(
       arrival, [this, from, to, blob = std::move(blob)]() mutable {
         auto it = sinks_.find(to);
-        if (it == sinks_.end()) return;  // receiver left the network
+        if (it == sinks_.end()) {
+          dropped_ctr_.inc();  // receiver left the network
+          LOG_DEBUG("net: drop ", from, "->", to, " (receiver detached)");
+          obs::trace_event(simulator_->now(), to, "net", "drop",
+                           obs::fnum("from", from));
+          return;
+        }
+        delivered_ctr_.inc();
+        delivered_bytes_ctr_.inc(blob.size());
         it->second(from, std::move(blob));
       });
 }

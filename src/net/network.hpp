@@ -22,6 +22,7 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "net/simulator.hpp"
+#include "obs/metrics.hpp"
 
 namespace sgxp2p::sim {
 
@@ -42,7 +43,9 @@ struct NetworkConfig {
 /// time-bucketed byte timeline (used to show per-round traffic profiles).
 class TrafficMeter {
  public:
-  void record(std::size_t bytes, SimTime now = 0) {
+  /// `now` is mandatory: a defaulted timestamp used to silently fold
+  /// un-timestamped calls into bucket 0 and skew the timeline.
+  void record(std::size_t bytes, SimTime now) {
     ++messages_;
     bytes_ += bytes;
     if (bucket_ms_ > 0) {
@@ -102,6 +105,15 @@ class Network {
   NetworkConfig config_;
   Rng jitter_rng_;
   TrafficMeter meter_;
+  // Registry handles (net.*). The meter stays per-network (tests compare
+  // meters of separate testbeds); the registry aggregates process-wide.
+  obs::Counter& sends_ctr_;
+  obs::Counter& bytes_ctr_;
+  obs::Counter& delivered_ctr_;
+  obs::Counter& delivered_bytes_ctr_;
+  obs::Counter& dropped_ctr_;
+  obs::Histogram& size_hist_;
+  obs::Histogram& delay_hist_;
   std::unordered_map<NodeId, DeliverFn> sinks_;
   // FIFO guarantee: next admissible delivery time per ordered pair.
   std::unordered_map<std::uint64_t, SimTime> last_delivery_;

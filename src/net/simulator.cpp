@@ -4,8 +4,22 @@
 
 namespace sgxp2p::sim {
 
+Simulator::Simulator()
+    : scheduled_ctr_(
+          obs::MetricsRegistry::global().counter("sim.events_scheduled")),
+      fired_ctr_(obs::MetricsRegistry::global().counter("sim.events_fired")),
+      depth_gauge_(obs::MetricsRegistry::global().gauge("sim.queue_depth")),
+      depth_peak_(obs::MetricsRegistry::global().gauge("sim.queue_peak")),
+      wait_hist_(obs::MetricsRegistry::global().histogram(
+          "sim.event_wait_ms",
+          {0, 1, 10, 100, 250, 500, 1000, 2000, 5000, 10000})) {}
+
 void Simulator::schedule(SimTime at, std::function<void()> fn) {
-  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+  queue_.push(Event{std::max(at, now_), next_seq_++, now_, std::move(fn)});
+  scheduled_ctr_.inc();
+  auto depth = static_cast<std::int64_t>(queue_.size());
+  depth_gauge_.set(depth);
+  depth_peak_.max_of(depth);
 }
 
 bool Simulator::step() {
@@ -15,6 +29,9 @@ bool Simulator::step() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.at;
+  fired_ctr_.inc();
+  depth_gauge_.set(static_cast<std::int64_t>(queue_.size()));
+  wait_hist_.observe(ev.at - ev.queued_at);
   ev.fn();
   return true;
 }

@@ -13,12 +13,15 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 #include "sgx/trusted_time.hpp"
 
 namespace sgxp2p::sim {
 
 class Simulator : public sgx::TrustedClock {
  public:
+  Simulator();
+
   [[nodiscard]] SimTime now() const override { return now_; }
 
   /// Schedules `fn` at absolute virtual time `at` (clamped to now).
@@ -41,6 +44,7 @@ class Simulator : public sgx::TrustedClock {
   struct Event {
     SimTime at;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    SimTime queued_at;  // enqueue time, for the sim.event_wait_ms histogram
     std::function<void()> fn;
   };
   struct Later {
@@ -53,6 +57,14 @@ class Simulator : public sgx::TrustedClock {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  // Registry handles (sim.*), resolved once at construction; incrementing
+  // them is a relaxed atomic add, cheap enough for the accounted benches.
+  obs::Counter& scheduled_ctr_;
+  obs::Counter& fired_ctr_;
+  obs::Gauge& depth_gauge_;
+  obs::Gauge& depth_peak_;
+  obs::Histogram& wait_hist_;
 };
 
 }  // namespace sgxp2p::sim

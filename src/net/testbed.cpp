@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
 #include "common/serde.hpp"
 
 namespace sgxp2p::sim {
@@ -99,6 +100,8 @@ void Testbed::run_setup() {
 void Testbed::start() {
   // S2: synchronized start at a public reference time.
   t0_ = simulator_.now() + milliseconds(10);
+  LOG_INFO("testbed: start N=", cfg_.n, " t=", cfg_.effective_t(),
+           " seed=", cfg_.seed, " round_ms=", cfg_.effective_round());
   for (auto& enclave : enclaves_) enclave->start_protocol(t0_);
 }
 

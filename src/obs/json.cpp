@@ -1,0 +1,214 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sgxp2p::obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse_document() {
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string_value();
+    if (c == 't') {
+      if (!literal("true")) return std::nullopt;
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return std::nullopt;
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      if (!literal("null")) return std::nullopt;
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  std::optional<std::string> parse_raw_string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // The repo only emits \u00xx control escapes; encode as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_string_value() {
+    auto s = parse_raw_string();
+    if (!s) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    v.string = std::move(*s);
+    return v;
+  }
+
+  std::optional<JsonValue> parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool integral = true;
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        integral = false;
+        ++pos_;
+      } else if ((c == '-' || c == '+') && pos_ > start &&
+                 (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')) {
+        ++pos_;  // exponent sign
+      } else {
+        break;
+      }
+    }
+    if (!digits) return std::nullopt;
+    std::string token(text_.substr(start, pos_ - start));
+    JsonValue v;
+    if (integral) {
+      v.type = JsonValue::Type::kInt;
+      v.integer = std::strtoll(token.c_str(), nullptr, 10);
+    } else {
+      v.type = JsonValue::Type::kDouble;
+      v.number = std::strtod(token.c_str(), nullptr);
+    }
+    return v;
+  }
+
+  std::optional<JsonValue> parse_array() {
+    if (!eat('[')) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (eat(']')) return v;
+    while (true) {
+      auto item = parse_value();
+      if (!item) return std::nullopt;
+      v.array.push_back(std::move(*item));
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!eat('{')) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (eat('}')) return v;
+    while (true) {
+      skip_ws();
+      auto key = parse_raw_string();
+      if (!key) return std::nullopt;
+      if (!eat(':')) return std::nullopt;
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      v.object.emplace_back(std::move(*key), std::move(*value));
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace sgxp2p::obs

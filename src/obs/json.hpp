@@ -1,0 +1,63 @@
+// Minimal JSON reader for the observability tooling.
+//
+// Parses the subset the repo itself emits (objects, arrays, strings,
+// integer/decimal numbers, booleans, null) — enough for the metrics JSON
+// round-trip test, the trace analyzer, and the bench-output smoke check,
+// without taking a dependency the container doesn't have. Numbers are held
+// as int64 when the text is integral (metric values, virtual times) and as
+// double otherwise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sgxp2p::obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::int64_t integer = 0;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const {
+    return type == Type::kInt || type == Type::kDouble;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    if (type == Type::kInt) return integer;
+    if (type == Type::kDouble) return static_cast<std::int64_t>(number);
+    return fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0) const {
+    if (type == Type::kInt) return static_cast<double>(integer);
+    if (type == Type::kDouble) return number;
+    return fallback;
+  }
+};
+
+/// Strict parse of a complete JSON document; nullopt on any syntax error or
+/// trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace sgxp2p::obs

@@ -1,0 +1,208 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace sgxp2p::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                    bounds_.end(),
+            "Histogram: bounds must be strictly increasing");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(std::int64_t v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsRegistry::full_name(std::string_view name,
+                                       std::string_view label) {
+  std::string out(name);
+  if (!label.empty()) {
+    out += '{';
+    out += label;
+    out += '}';
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view label) {
+  std::string key = full_name(name, label);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::move(key), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view label) {
+  std::string key = full_name(name, label);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::move(key), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::int64_t> bounds,
+                                      std::string_view label) {
+  std::string key = full_name(name, label);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::move(key),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.push_back({name, c->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.push_back({name, g->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.push_back(
+        {name, h->bounds(), h->bucket_counts(), h->count(), h->sum()});
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+const CounterSample* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+void append_i64(std::string& out, std::int64_t v) { out += std::to_string(v); }
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(c.name);
+    out += "\":";
+    append_u64(out, c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(g.name);
+    out += "\":";
+    append_i64(out, g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(h.name);
+    out += "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      append_i64(out, h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ',';
+      append_u64(out, h.buckets[i]);
+    }
+    out += "],\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum\":";
+    append_i64(out, h.sum);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sgxp2p::obs

@@ -1,0 +1,166 @@
+// MetricsRegistry — process-wide named counters, gauges, and fixed-bucket
+// histograms.
+//
+// The registry is the single measurement surface of the repo: the simulator,
+// network, channel, and protocol layers all register instruments here, the
+// benches and tools serialize a snapshot to JSON (`BENCH_<name>.json`), and
+// the determinism tests compare snapshots across same-seed runs.
+//
+// Hot-path cost model: instrument handles are resolved once (a mutex-guarded
+// map lookup) and cached by the instrumented component; after that an
+// increment is a single relaxed atomic add, so the O(N³)-message accounted
+// benches stay simulable with metrics permanently on. Values are relaxed
+// atomics because the TCP transports touch them from I/O threads; the
+// simulator itself is single-threaded, so snapshots taken between runs are
+// exact and deterministic.
+//
+// Labels are a cheap single dimension: `counter("erb.send", "INIT")`
+// registers the instrument `erb.send{INIT}`. Snapshots iterate name-sorted
+// maps, so serialization order — and therefore the JSON byte stream — is
+// deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgxp2p::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if larger (high-water marks).
+  void max_of(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Histogram with fixed explicit upper bounds (strictly increasing); values
+/// above the last bound land in an implicit overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v);
+
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const {
+    return bounds_;
+  }
+  /// Bucket counts, size bounds().size() + 1 (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+  friend bool operator==(const CounterSample&, const CounterSample&) = default;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+  friend bool operator==(const GaugeSample&, const GaugeSample&) = default;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  friend bool operator==(const HistogramSample&,
+                         const HistogramSample&) = default;
+};
+
+/// Point-in-time copy of every registered instrument, name-sorted.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+
+  [[nodiscard]] const CounterSample* find_counter(std::string_view name) const;
+
+  /// Stable serialization: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{"bounds":[...],"buckets":[...],"count":c,"sum":s}}}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns a stable reference; registering the same name+label twice
+  /// returns the same instrument.
+  Counter& counter(std::string_view name, std::string_view label = {});
+  Gauge& gauge(std::string_view name, std::string_view label = {});
+  /// `bounds` only applies on first registration of the instrument.
+  Histogram& histogram(std::string_view name, std::vector<std::int64_t> bounds,
+                       std::string_view label = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zeroes every value; registrations (and handed-out references) survive.
+  void reset();
+  [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
+
+  /// The process-wide registry every component instruments by default.
+  static MetricsRegistry& global();
+
+ private:
+  static std::string full_name(std::string_view name, std::string_view label);
+
+  mutable std::mutex mu_;  // guards the maps; values are atomics
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Escapes a string for inclusion in a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+}  // namespace sgxp2p::obs

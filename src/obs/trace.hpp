@@ -1,0 +1,107 @@
+// TraceRecorder — structured per-run event capture with JSONL export.
+//
+// Records flat events {vt, node, component, event, fields…} into a
+// preallocated ring buffer. Recording is designed for the simulator hot
+// path:
+//   - zero-cost when disabled: one branch on a plain bool, no allocation;
+//   - allocation-light when enabled: events are fixed-size PODs whose keys,
+//     component, and event names must be string literals (the recorder
+//     stores the pointers, never copies), and numeric fields are int64.
+//
+// Time is always the simulator's virtual clock, so two same-seed runs emit
+// byte-identical JSONL — the determinism test in tests/test_obs.cpp holds
+// the repo to that.
+//
+// When the ring overflows the oldest events are dropped (and counted);
+// tools warn when dropped() > 0 so a truncated timeline is never silently
+// presented as complete.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sgxp2p::obs {
+
+/// One key/value field. `key` and `str` must be string literals (or
+/// otherwise outlive the recorder). A null `str` means the value is `num`.
+struct TraceField {
+  const char* key = nullptr;
+  std::int64_t num = 0;
+  const char* str = nullptr;
+};
+
+/// Numeric field shorthand: fnum("round", 3).
+inline TraceField fnum(const char* key, std::int64_t v) {
+  return TraceField{key, v, nullptr};
+}
+/// String field shorthand: fstr("type", "INIT").
+inline TraceField fstr(const char* key, const char* v) {
+  return TraceField{key, 0, v};
+}
+
+struct TraceEvent {
+  SimTime vt = 0;
+  std::uint32_t node = 0;
+  const char* component = nullptr;
+  const char* event = nullptr;
+  std::array<TraceField, 4> fields{};  // unused tail entries have key==null
+};
+
+class TraceRecorder {
+ public:
+  /// The process-wide recorder every component writes to.
+  static TraceRecorder& global();
+
+  /// Starts recording into a ring of `capacity` events (preallocated).
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(const TraceEvent& ev) {
+    if (!enabled_) return;
+    push(ev);
+  }
+
+  /// Drops all recorded events (and the dropped counter); keeps the enabled
+  /// state and capacity.
+  void reset();
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Writes one JSON object per line, oldest event first:
+  ///   {"vt":12,"node":3,"component":"erb","event":"send","type":"INIT",...}
+  void write_jsonl(std::ostream& os) const;
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Returns false when the file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+ private:
+  void push(const TraceEvent& ev);
+
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;   // index of the oldest event
+  std::size_t count_ = 0;  // number of valid events
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+/// Convenience emitter: single branch when tracing is off.
+inline void trace_event(SimTime vt, std::uint32_t node, const char* component,
+                        const char* event, TraceField f0 = {},
+                        TraceField f1 = {}, TraceField f2 = {},
+                        TraceField f3 = {}) {
+  TraceRecorder& tr = TraceRecorder::global();
+  if (!tr.enabled()) return;
+  tr.record(TraceEvent{vt, node, component, event, {f0, f1, f2, f3}});
+}
+
+}  // namespace sgxp2p::obs

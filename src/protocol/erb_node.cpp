@@ -47,6 +47,14 @@ void ErbNode::refresh_status() {
                         : std::nullopt;
     result_.round = instance_->accept_round();
     result_.decided_at = trusted_time();
+    obs_counter("decides").inc();
+    obs::MetricsRegistry::global()
+        .histogram("erb.decide_latency_ms",
+                   {1000, 2000, 4000, 8000, 16000, 60000, 300000, 1200000})
+        .observe(result_.decided_at - start_time());
+    obs_event("decide", obs::fnum("round", result_.round),
+              obs::fnum("bottom", result_.value.has_value() ? 0 : 1),
+              obs::fnum("latency_ms", result_.decided_at - start_time()));
   }
 }
 

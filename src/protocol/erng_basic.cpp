@@ -56,6 +56,11 @@ void ErngBasicNode::finalize(std::uint32_t round) {
   result_.done = true;
   result_.round = round;
   result_.decided_at = trusted_time();
+  obs_counter("decides").inc();
+  obs::MetricsRegistry::global()
+      .histogram("erng.decide_latency_ms",
+                 {1000, 2000, 4000, 8000, 16000, 60000, 300000, 1200000})
+      .observe(result_.decided_at - start_time());
   Bytes acc(kRandSize, 0);
   std::size_t count = 0;
   for (const auto& [initiator, inst] : instances_) {
@@ -67,6 +72,9 @@ void ErngBasicNode::finalize(std::uint32_t round) {
   result_.set_size = count;
   result_.is_bottom = (count == 0);
   result_.value = std::move(acc);
+  obs_event("decide", obs::fnum("round", round),
+            obs::fnum("set_size", static_cast<std::int64_t>(count)),
+            obs::fnum("bottom", result_.is_bottom ? 1 : 0));
 }
 
 void ErngBasicNode::on_round_begin(std::uint32_t round) {

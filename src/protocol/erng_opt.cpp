@@ -91,6 +91,8 @@ void ErngOptNode::on_round_begin(std::uint32_t round) {
     }
     if (chosen_) {
       s_chosen_.insert(config().self);
+      obs_counter("cluster_chosen").inc();
+      obs_event("cluster_chosen", obs::fnum("fallback", fallback_ ? 1 : 0));
       Val v{MsgType::kChosen, config().self, my_seq(), round, {}};
       for (NodeId peer : peers()) send_val(peer, v);
     }
@@ -108,6 +110,10 @@ void ErngOptNode::on_round_begin(std::uint32_t round) {
       if (params_.one_phase) gamma2 = 1;
       if (read_rand().next_below(gamma2) == 0) {
         result_.second_phase = true;
+        obs_counter("second_phase_initiators").inc();
+        obs_event("second_phase_init",
+                  obs::fnum("cluster", static_cast<std::int64_t>(
+                                           cluster_.size())));
         ErbConfig cfg;
         cfg.self = config().self;
         cfg.instance = InstanceId{config().self, my_seq()};
@@ -145,11 +151,26 @@ void ErngOptNode::on_round_begin(std::uint32_t round) {
     result_.is_bottom = true;
     result_.round = round;
     result_.decided_at = trusted_time();
+    record_decide();
   }
+}
+
+void ErngOptNode::record_decide() {
+  obs_counter("decides").inc();
+  obs::MetricsRegistry::global()
+      .histogram("erng.decide_latency_ms",
+                 {1000, 2000, 4000, 8000, 16000, 60000, 300000, 1200000})
+      .observe(result_.decided_at - start_time());
+  obs_event("decide", obs::fnum("round", result_.round),
+            obs::fnum("set_size", static_cast<std::int64_t>(result_.set_size)),
+            obs::fnum("bottom", result_.is_bottom ? 1 : 0));
 }
 
 void ErngOptNode::send_final(std::uint32_t round) {
   final_sent_ = true;
+  obs_event("final_sent", obs::fnum("round", round),
+            obs::fnum("instances",
+                      static_cast<std::int64_t>(instances_.size())));
   std::vector<Bytes> values;
   for (const auto& [initiator, inst] : instances_) {
     if (inst.has_value() && inst.value().size() == kRandSize) {
@@ -181,6 +202,7 @@ void ErngOptNode::try_output(std::uint32_t round) {
     result_.set_size = values->size();
     result_.round = round;
     result_.decided_at = trusted_time();
+    record_decide();
     return;
   }
 }

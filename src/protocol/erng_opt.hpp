@@ -80,6 +80,7 @@ class ErngOptNode final : public PeerEnclave {
   void fix_cluster_parameters();
   void send_final(std::uint32_t round);
   void try_output(std::uint32_t round);
+  void record_decide();
 
   ErngOptParams params_;
   std::uint32_t gamma_ = 0;

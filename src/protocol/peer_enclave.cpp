@@ -9,11 +9,25 @@
 
 namespace sgxp2p::protocol {
 
+namespace {
+/// Maps a program identity onto the stable metric/trace namespace. Static
+/// strings only: trace events store the pointer.
+const char* obs_namespace(const std::string& program_name) {
+  if (program_name.rfind("erng", 0) == 0) return "erng";
+  if (program_name.rfind("erb", 0) == 0) return "erb";
+  if (program_name.rfind("eba", 0) == 0) return "eba";
+  return "peer";
+}
+}  // namespace
+
 PeerEnclave::PeerEnclave(sgx::SgxPlatform& platform, sgx::CpuId cpu,
                          const sgx::ProgramIdentity& program,
                          sgx::EnclaveHostIface& host, PeerConfig config,
                          const sgx::SimIAS& ias)
-    : sgx::Enclave(platform, cpu, program, host), cfg_(config), ias_(&ias) {
+    : sgx::Enclave(platform, cpu, program, host),
+      cfg_(config),
+      ias_(&ias),
+      obs_ns_(obs_namespace(program.name)) {
   CHECK_MSG(cfg_.n >= 1 && cfg_.self < cfg_.n, "PeerEnclave: bad id/size");
   CHECK_MSG(2 * cfg_.t < cfg_.n, "PeerEnclave: t must satisfy t < N/2");
   dh_private_ = read_rand().generate(crypto::kX25519KeySize);
@@ -68,6 +82,8 @@ void PeerEnclave::start_protocol(SimTime t0) {
   CHECK_MSG(!started_, "start_protocol called twice");
   started_ = true;
   start_time_ = t0;
+  obs_event("protocol_start", obs::fnum("t0", t0),
+            obs::fnum("n", cfg_.n), obs::fnum("t", cfg_.t));
   on_protocol_start();
 }
 
@@ -82,7 +98,33 @@ void PeerEnclave::on_tick() {
   if (!started_ || halted_) return;
   std::uint32_t rnd = current_round();
   if (rnd == 0) return;
+  if (rounds_ctr_ == nullptr) rounds_ctr_ = &obs_counter("round_begin");
+  rounds_ctr_->inc();
+  obs_event("round_begin", obs::fnum("round", rnd));
   on_round_begin(rnd);
+}
+
+void PeerEnclave::halt_self() {
+  if (halted_) return;
+  halted_ = true;
+  obs_counter("halts").inc();
+  obs_event("halt", obs::fnum("round", current_round()));
+}
+
+obs::Counter& PeerEnclave::obs_counter(const char* name, const char* label) {
+  std::string full(obs_ns_);
+  full += '.';
+  full += name;
+  return obs::MetricsRegistry::global().counter(full, label);
+}
+
+void PeerEnclave::obs_event(const char* event, obs::TraceField f0,
+                            obs::TraceField f1, obs::TraceField f2,
+                            obs::TraceField f3) {
+  obs::TraceRecorder& tr = obs::TraceRecorder::global();
+  if (!tr.enabled()) return;  // skip the trusted_time() read when off
+  tr.record(obs::TraceEvent{trusted_time(), cfg_.self, obs_ns_, event,
+                            {f0, f1, f2, f3}});
 }
 
 void PeerEnclave::deliver(NodeId from, ByteView blob) {
@@ -111,6 +153,20 @@ void PeerEnclave::send_val(NodeId to, const Val& val) {
   if (halted_ || to == cfg_.self) return;
   Bytes blob = seal_for(to, serialize(val));
   send_stats_.count(val.type, blob.size());
+  auto slot = static_cast<std::size_t>(val.type);
+  if (slot < SendStats::kTypeSlots) {
+    if (type_counters_[slot] == nullptr) {
+      type_counters_[slot] = &obs_counter("send", msg_type_name(val.type));
+    }
+    type_counters_[slot]->inc();
+  }
+  if (send_bytes_ctr_ == nullptr) {
+    send_bytes_ctr_ = &obs_counter("send_bytes");
+  }
+  send_bytes_ctr_->inc(blob.size());
+  obs_event("send", obs::fstr("type", msg_type_name(val.type)),
+            obs::fnum("to", to), obs::fnum("round", val.round),
+            obs::fnum("bytes", static_cast<std::int64_t>(blob.size())));
   ocall_transfer(to, std::move(blob));
 }
 

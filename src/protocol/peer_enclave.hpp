@@ -23,6 +23,8 @@
 #include "channel/secure_link.hpp"
 #include "common/ids.hpp"
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/wire.hpp"
 #include "sgx/attestation.hpp"
 #include "sgx/enclave.hpp"
@@ -39,8 +41,11 @@ struct PeerConfig {
   ChannelMode mode = ChannelMode::kAttested;
 };
 
-/// Per-type send counters (ERB/ERNG message classes), used by the benches to
-/// report the paper's INIT/ECHO/ACK sizing remarks.
+/// Per-node per-type send counters (ERB/ERNG message classes), used by the
+/// benches to report the paper's INIT/ECHO/ACK sizing remarks. The registry
+/// carries the process-wide aggregate as `<ns>.send{TYPE}` counters; this
+/// struct remains the per-enclave view (a registry label per node would mean
+/// N×|types| instruments at benchmark scale).
 struct SendStats {
   static constexpr std::size_t kTypeSlots = 16;
   std::uint64_t by_type[kTypeSlots] = {};
@@ -114,7 +119,7 @@ class PeerEnclave : public sgx::Enclave {
   void send_val(NodeId to, const Val& val);
 
   /// P4: the node detected its own divergence (ACK shortfall) and leaves.
-  void halt_self() { halted_ = true; }
+  void halt_self();
 
   /// Installs/overrides the expected instance sequence for a peer — used by
   /// the membership extension when a join record (id, seq₀) is admitted.
@@ -124,6 +129,20 @@ class PeerEnclave : public sgx::Enclave {
 
   /// All peer ids with an established link, ascending.
   [[nodiscard]] std::vector<NodeId> peers() const;
+
+  // ----- observability (namespace = "erb", "erng", or "eba") -----
+
+  /// Synchronous start time T0, for decision-latency instrumentation.
+  [[nodiscard]] SimTime start_time() const { return start_time_; }
+  /// The metric/trace namespace this enclave reports under.
+  [[nodiscard]] const char* obs_ns() const { return obs_ns_; }
+  /// Registry counter `<ns>.<name>{label}`; resolved once then cached by
+  /// the registry, so fine to call on warm paths.
+  obs::Counter& obs_counter(const char* name, const char* label = "");
+  /// Trace event stamped with trusted time, self id, and the namespace.
+  void obs_event(const char* event, obs::TraceField f0 = {},
+                 obs::TraceField f1 = {}, obs::TraceField f2 = {},
+                 obs::TraceField f3 = {});
 
  private:
   Bytes seal_for(NodeId to, ByteView plaintext);
@@ -140,6 +159,11 @@ class PeerEnclave : public sgx::Enclave {
   bool halted_ = false;
   SimTime start_time_ = 0;
   SendStats send_stats_;
+  // Cached registry handles for the send hot path.
+  const char* obs_ns_;
+  obs::Counter* type_counters_[SendStats::kTypeSlots] = {};
+  obs::Counter* send_bytes_ctr_ = nullptr;
+  obs::Counter* rounds_ctr_ = nullptr;
 };
 
 }  // namespace sgxp2p::protocol

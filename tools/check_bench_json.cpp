@@ -1,0 +1,134 @@
+// check_bench_json — python-free smoke check for the bench metrics output.
+//
+// Optionally runs a bench binary (everything after `--` is the command),
+// then parses the JSON file it was told to emit and validates the contract
+// documented in docs/OBSERVABILITY.md:
+//   * top-level object with a "bench" string and a "metrics" object;
+//   * "metrics" has "counters", "gauges", and "histograms" objects;
+//   * the net.sends counter exists and is a positive integer (every bench
+//     moves at least one simulated message);
+//   * every histogram carries equal-length-plus-one "bounds"/"buckets"
+//     arrays and integral "count"/"sum".
+//
+//   check_bench_json BENCH_fig2a.json -- ./bench_fig2a --max-exp 3 --metrics-out BENCH_fig2a.json
+//   check_bench_json existing.json
+//
+// Exit status 0 = valid, 1 = invalid or missing, 2 = bench command failed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+using sgxp2p::obs::JsonValue;
+using sgxp2p::obs::json_parse;
+
+namespace {
+
+int fail(const char* what) {
+  std::fprintf(stderr, "check_bench_json: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: check_bench_json <json-path> [-- bench-cmd ...]\n");
+    return 1;
+  }
+  const char* path = argv[1];
+
+  // Run the bench first when a command follows `--`.
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--") != 0) continue;
+    std::string cmd;
+    for (int j = i + 1; j < argc; ++j) {
+      if (!cmd.empty()) cmd += ' ';
+      cmd += argv[j];
+    }
+    if (cmd.empty()) return fail("empty bench command after --");
+    std::printf("running: %s\n", cmd.c_str());
+    int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "check_bench_json: bench exited with %d\n", rc);
+      return 2;
+    }
+    break;
+  }
+
+  std::ifstream in(path);
+  if (!in) return fail("metrics JSON file missing");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto doc = json_parse(buf.str());
+  if (!doc) return fail("file is not valid JSON");
+  if (!doc->is_object()) return fail("top level is not an object");
+
+  const JsonValue* bench = doc->get("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string.empty()) {
+    return fail("missing \"bench\" name");
+  }
+  const JsonValue* metrics = doc->get("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return fail("missing \"metrics\" object");
+  }
+  const JsonValue* counters = metrics->get("counters");
+  const JsonValue* gauges = metrics->get("gauges");
+  const JsonValue* histograms = metrics->get("histograms");
+  if (counters == nullptr || !counters->is_object()) {
+    return fail("metrics.counters missing");
+  }
+  if (gauges == nullptr || !gauges->is_object()) {
+    return fail("metrics.gauges missing");
+  }
+  if (histograms == nullptr || !histograms->is_object()) {
+    return fail("metrics.histograms missing");
+  }
+
+  const JsonValue* net_sends = counters->get("net.sends");
+  if (net_sends == nullptr || net_sends->type != JsonValue::Type::kInt) {
+    return fail("counters[\"net.sends\"] missing or non-integral");
+  }
+  if (net_sends->integer <= 0) return fail("net.sends is not positive");
+
+  for (const auto& [name, h] : histograms->object) {
+    const JsonValue* bounds = h.get("bounds");
+    const JsonValue* buckets = h.get("buckets");
+    const JsonValue* count = h.get("count");
+    const JsonValue* sum = h.get("sum");
+    if (bounds == nullptr || !bounds->is_array() || buckets == nullptr ||
+        !buckets->is_array() ||
+        buckets->array.size() != bounds->array.size() + 1) {
+      std::fprintf(stderr, "check_bench_json: histogram %s malformed\n",
+                   name.c_str());
+      return 1;
+    }
+    if (count == nullptr || count->type != JsonValue::Type::kInt ||
+        sum == nullptr || sum->type != JsonValue::Type::kInt) {
+      std::fprintf(stderr, "check_bench_json: histogram %s count/sum bad\n",
+                   name.c_str());
+      return 1;
+    }
+    std::int64_t bucket_total = 0;
+    for (const JsonValue& b : buckets->array) bucket_total += b.as_int();
+    if (bucket_total != count->integer) {
+      std::fprintf(stderr,
+                   "check_bench_json: histogram %s buckets don't sum to "
+                   "count\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("ok: %s (bench=%s, net.sends=%lld, %zu counters, "
+              "%zu histograms)\n",
+              path, bench->string.c_str(),
+              static_cast<long long>(net_sends->integer),
+              counters->object.size(), histograms->object.size());
+  return 0;
+}

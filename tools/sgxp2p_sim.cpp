@@ -21,13 +21,23 @@
 //   --mode attested|accounted            channel mode (default attested for
 //                                        n ≤ 128, else accounted)
 //   --csv                                one machine-readable line
+//   --metrics-out [path]                 write metrics snapshot JSON
+//                                        (default sim_metrics.json)
+//   --trace [path]                       record + write a JSONL event trace
+//                                        (default sim_trace.jsonl)
+//
+// SGXP2P_LOG_LEVEL=trace|debug|info|warn|error|off raises/lowers stderr
+// logging verbosity.
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 
 #include "adversary/strategies.hpp"
+#include "common/log.hpp"
 #include "net/testbed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/eba.hpp"
 #include "protocol/erb_node.hpp"
 #include "protocol/erng_basic.hpp"
@@ -47,6 +57,8 @@ struct Options {
   SimDuration delta_ms = 500;
   std::string mode;
   bool csv = false;
+  std::string metrics_path;  // empty → no snapshot written
+  std::string trace_path;    // empty → tracing stays off
 };
 
 const char* flag_value(int argc, char** argv, const char* name) {
@@ -76,6 +88,15 @@ Options parse(int argc, char** argv) {
   }
   if (const char* v = flag_value(argc, argv, "--mode")) o.mode = v;
   o.csv = flag_present(argc, argv, "--csv");
+  if (flag_present(argc, argv, "--metrics-out")) {
+    const char* v = flag_value(argc, argv, "--metrics-out");
+    o.metrics_path =
+        (v != nullptr && v[0] != '-') ? v : "sim_metrics.json";
+  }
+  if (flag_present(argc, argv, "--trace")) {
+    const char* v = flag_value(argc, argv, "--trace");
+    o.trace_path = (v != nullptr && v[0] != '-') ? v : "sim_trace.jsonl";
+  }
   return o;
 }
 
@@ -134,7 +155,9 @@ Outcome drive(sim::Testbed& bed, std::uint32_t max_rounds, DoneFn done,
 }  // namespace
 
 int main(int argc, char** argv) {
+  Logger::instance().init_from_env();
   Options o = parse(argc, argv);
+  if (!o.trace_path.empty()) obs::TraceRecorder::global().enable();
   if (o.n < 2) {
     std::fprintf(stderr, "--n must be at least 2\n");
     return 2;
@@ -274,6 +297,35 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(out.messages),
                 static_cast<double>(out.bytes) / (1024 * 1024));
     std::printf("outcome     : %s\n", out.summary.c_str());
+  }
+
+  if (!o.metrics_path.empty()) {
+    std::string json = "{\"bench\":\"sim-" + obs::json_escape(o.protocol) +
+                       "\",\"metrics\":" +
+                       obs::MetricsRegistry::global().to_json() + "}\n";
+    std::FILE* f = std::fopen(o.metrics_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   o.metrics_path.c_str());
+    } else {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "metrics snapshot written to %s\n",
+                   o.metrics_path.c_str());
+    }
+  }
+  if (!o.trace_path.empty()) {
+    const auto& tr = obs::TraceRecorder::global();
+    if (tr.dropped() > 0) {
+      std::fprintf(stderr, "warning: trace ring dropped %llu events\n",
+                   static_cast<unsigned long long>(tr.dropped()));
+    }
+    if (!tr.write_file(o.trace_path)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", o.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace (%zu events) written to %s\n", tr.size(),
+                   o.trace_path.c_str());
+    }
   }
   return 0;
 }

@@ -1,0 +1,213 @@
+// sgxp2p-trace — offline analyzer for JSONL traces emitted by the benches
+// (`--trace`) and sgxp2p-sim.
+//
+// Reads one trace file and reconstructs, from the raw event stream:
+//   * a per-round table of protocol sends by message type (INIT/ECHO/ACK/…),
+//     whose grand total matches the bench's reported message count in honest
+//     runs (setup-phase traffic bypasses the simulated network and is not
+//     traced either, so the two totals line up);
+//   * the honest-decision latency distribution (per-node protocol_start →
+//     decide, virtual ms);
+//   * a byzantine-chain stall heuristic: maximal runs of rounds that tick
+//     (round_begin) but carry no protocol traffic and produce no decision —
+//     the signature of the Section 6.3 chain adversary delaying release.
+//
+//   sgxp2p-trace BENCH_fig2a.trace.jsonl
+//
+// Exit status: 0 on success, 1 on unreadable input, 2 on malformed lines.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using sgxp2p::obs::JsonValue;
+using sgxp2p::obs::json_parse;
+
+namespace {
+
+bool is_protocol_component(const std::string& c) {
+  // Everything that isn't infrastructure (net/sim/channel) is a protocol
+  // namespace: erb, erng, eba, peer.
+  return c != "net" && c != "sim" && c != "channel";
+}
+
+struct RoundRow {
+  std::map<std::string, std::uint64_t> by_type;  // INIT → count
+  std::uint64_t sends = 0;
+  std::uint64_t begins = 0;   // round_begin events seen for this round
+  std::uint64_t decides = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fprintf(stderr, "usage: sgxp2p-trace <trace.jsonl>\n");
+    return argc == 2 ? 0 : 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  std::map<std::int64_t, RoundRow> rounds;
+  std::set<std::string> types_seen;
+  std::map<std::uint32_t, std::int64_t> start_vt;   // node → protocol_start vt
+  std::vector<std::int64_t> decide_latency_ms;      // one per decide event
+  std::uint64_t total_events = 0;
+  std::uint64_t bad_lines = 0;
+  std::uint64_t net_sends = 0;
+  std::uint64_t net_drops = 0;
+  std::uint64_t halts = 0;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto doc = json_parse(line);
+    if (!doc || !doc->is_object()) {
+      if (++bad_lines <= 3) {
+        std::fprintf(stderr, "malformed JSON on line %zu\n", lineno);
+      }
+      continue;
+    }
+    ++total_events;
+    const JsonValue* comp = doc->get("component");
+    const JsonValue* event = doc->get("event");
+    const JsonValue* vt = doc->get("vt");
+    const JsonValue* node = doc->get("node");
+    if (comp == nullptr || event == nullptr || vt == nullptr ||
+        node == nullptr) {
+      ++bad_lines;
+      continue;
+    }
+    const std::string& c = comp->string;
+    const std::string& e = event->string;
+
+    if (c == "net") {
+      if (e == "send") ++net_sends;
+      if (e == "drop") ++net_drops;
+      continue;
+    }
+    if (!is_protocol_component(c)) continue;
+
+    if (e == "protocol_start") {
+      start_vt.emplace(static_cast<std::uint32_t>(node->as_int()),
+                       vt->as_int());
+    } else if (e == "round_begin") {
+      const JsonValue* r = doc->get("round");
+      if (r != nullptr) ++rounds[r->as_int()].begins;
+    } else if (e == "send") {
+      const JsonValue* r = doc->get("round");
+      const JsonValue* t = doc->get("type");
+      std::int64_t rd = r != nullptr ? r->as_int() : 0;
+      RoundRow& row = rounds[rd];
+      ++row.sends;
+      std::string type = t != nullptr && t->is_string() ? t->string : "?";
+      ++row.by_type[type];
+      types_seen.insert(type);
+    } else if (e == "decide") {
+      const JsonValue* r = doc->get("round");
+      if (r != nullptr) ++rounds[r->as_int()].decides;
+      auto it = start_vt.find(static_cast<std::uint32_t>(node->as_int()));
+      std::int64_t t0 = it != start_vt.end() ? it->second : 0;
+      decide_latency_ms.push_back(vt->as_int() - t0);
+    } else if (e == "halt") {
+      ++halts;
+    }
+  }
+
+  if (total_events == 0) {
+    std::fprintf(stderr, "no events in %s\n", argv[1]);
+    return 2;
+  }
+
+  // --- Per-round message table ---
+  std::printf("=== per-round protocol sends (%s) ===\n", argv[1]);
+  std::printf("%8s", "round");
+  for (const std::string& t : types_seen) std::printf(" %8s", t.c_str());
+  std::printf(" %8s %8s\n", "total", "decides");
+  std::uint64_t grand_total = 0;
+  for (const auto& [round, row] : rounds) {
+    std::printf("%8lld", static_cast<long long>(round));
+    for (const std::string& t : types_seen) {
+      auto it = row.by_type.find(t);
+      std::printf(" %8llu", static_cast<unsigned long long>(
+                                it != row.by_type.end() ? it->second : 0));
+    }
+    std::printf(" %8llu %8llu\n", static_cast<unsigned long long>(row.sends),
+                static_cast<unsigned long long>(row.decides));
+    grand_total += row.sends;
+  }
+  std::printf("protocol sends total : %llu\n",
+              static_cast<unsigned long long>(grand_total));
+  std::printf("network sends/drops  : %llu / %llu\n",
+              static_cast<unsigned long long>(net_sends),
+              static_cast<unsigned long long>(net_drops));
+  if (halts > 0) {
+    std::printf("halts (P4 divergence): %llu\n",
+                static_cast<unsigned long long>(halts));
+  }
+
+  // --- Decision latency distribution ---
+  if (!decide_latency_ms.empty()) {
+    std::sort(decide_latency_ms.begin(), decide_latency_ms.end());
+    auto pct = [&](double p) {
+      std::size_t idx = static_cast<std::size_t>(
+          p * static_cast<double>(decide_latency_ms.size() - 1));
+      return decide_latency_ms[idx];
+    };
+    std::printf("\n=== decision latency (virtual ms, %zu decisions) ===\n",
+                decide_latency_ms.size());
+    std::printf("min %lld  p50 %lld  p90 %lld  max %lld\n",
+                static_cast<long long>(decide_latency_ms.front()),
+                static_cast<long long>(pct(0.5)), static_cast<long long>(pct(0.9)),
+                static_cast<long long>(decide_latency_ms.back()));
+  } else {
+    std::printf("\nno decide events — run did not terminate or decisions "
+                "were not traced\n");
+  }
+
+  // --- Chain-stall heuristic ---
+  // A "stalled" round ticks but moves no protocol messages and decides
+  // nothing; the Section 6.3 chain adversary produces long runs of these
+  // while it withholds the release.
+  std::int64_t stall_start = 0;
+  std::uint64_t stall_len = 0, best_len = 0;
+  std::int64_t best_start = 0;
+  for (const auto& [round, row] : rounds) {
+    if (row.begins > 0 && row.sends == 0 && row.decides == 0) {
+      if (stall_len == 0) stall_start = round;
+      ++stall_len;
+      if (stall_len > best_len) {
+        best_len = stall_len;
+        best_start = stall_start;
+      }
+    } else {
+      stall_len = 0;
+    }
+  }
+  if (best_len >= 3) {
+    std::printf("\nstall detected: rounds %lld..%lld (%llu quiet rounds) — "
+                "consistent with a chain/delay adversary\n",
+                static_cast<long long>(best_start),
+                static_cast<long long>(best_start +
+                                       static_cast<std::int64_t>(best_len) - 1),
+                static_cast<unsigned long long>(best_len));
+  }
+
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "%llu malformed line(s) skipped\n",
+                 static_cast<unsigned long long>(bad_lines));
+    return 2;
+  }
+  return 0;
+}
