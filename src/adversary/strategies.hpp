@@ -159,6 +159,44 @@ class CorruptStrategy final : public Strategy {
   bool inject_;
 };
 
+/// Rollback attack against recovery: the host stores checkpoints faithfully
+/// but answers the relaunched enclave's restore request with the OLDEST
+/// sealed blob it holds. The blob decrypts fine (the sealing key is stable
+/// across relaunches), so only the monotonic-counter check can expose the
+/// rollback — which is exactly what the recovery tests assert.
+class StaleSealReplayStrategy final : public Strategy {
+ public:
+  std::optional<Bytes> on_restore(const std::vector<Bytes>& history) override {
+    if (history.empty()) return std::nullopt;
+    return history.front();
+  }
+};
+
+/// Crash-restart fault: communication is dead (both directions) inside
+/// [down_from, down_until), faithful outside it. Models the OS-level view of
+/// a crash that recovery later repairs — useful on nodes whose enclave the
+/// harness kills and relaunches at those same times.
+class CrashRestartStrategy final : public Strategy {
+ public:
+  CrashRestartStrategy(SimTime down_from, SimTime down_until)
+      : down_from_(down_from), down_until_(down_until) {}
+
+  void on_send(HostContext& ctx, NodeId to, Bytes blob) override {
+    if (!down(ctx)) ctx.forward(to, std::move(blob));
+  }
+  void on_receive(HostContext& ctx, NodeId from, Bytes blob) override {
+    if (!down(ctx)) ctx.deliver(from, std::move(blob));
+  }
+  [[nodiscard]] bool is_byzantine() const override { return false; }
+
+ private:
+  [[nodiscard]] bool down(const HostContext& ctx) const {
+    return ctx.now() >= down_from_ && ctx.now() < down_until_;
+  }
+  SimTime down_from_;
+  SimTime down_until_;
+};
+
 /// Shared plan for the colluding chain of Section 6.3: byzantine node k
 /// relays the broadcast only to byzantine node k+1 each round (then P4
 /// eliminates k); the final link releases the message — to one designated

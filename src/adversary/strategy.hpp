@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -52,6 +53,16 @@ class Strategy {
   /// Inbound: `blob` arrived from `from`. Default: faithful delivery.
   virtual void on_receive(HostContext& ctx, NodeId from, Bytes blob) {
     ctx.deliver(from, std::move(blob));
+  }
+
+  /// Recovery: the relaunched enclave asks its host for the sealed
+  /// checkpoint. `history` is every sealed blob the host ever stored, oldest
+  /// first. An honest host returns the latest; a byzantine host may return a
+  /// stale one (rollback attempt, defeated by the monotonic counter), garbage,
+  /// or nothing. The blob is sealed — the host cannot read or forge it.
+  virtual std::optional<Bytes> on_restore(const std::vector<Bytes>& history) {
+    if (history.empty()) return std::nullopt;
+    return history.back();
   }
 
   [[nodiscard]] virtual bool is_byzantine() const { return true; }

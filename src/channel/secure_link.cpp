@@ -36,6 +36,47 @@ SecureLink::SecureLink(NodeId self, NodeId peer, LinkKeys keys,
       send_seq_(keys_.send_seq0),
       recv_next_(keys_.recv_seq0) {}
 
+Bytes SecureLink::serialize() const {
+  BinaryWriter w;
+  w.str("sgxp2p-link-v1");
+  w.u32(self_);
+  w.u32(peer_);
+  w.bytes(keys_.send_key);
+  w.bytes(keys_.recv_key);
+  w.u64(send_seq_);
+  w.u64(recv_next_);
+  w.u32(static_cast<std::uint32_t>(recv_seen_.size()));
+  for (std::uint64_t seq : recv_seen_) w.u64(seq);
+  return w.take();
+}
+
+std::optional<SecureLink> SecureLink::deserialize(
+    ByteView data, const sgx::Measurement& program) {
+  BinaryReader r(data);
+  if (r.str() != "sgxp2p-link-v1") return std::nullopt;
+  NodeId self = r.u32();
+  NodeId peer = r.u32();
+  LinkKeys keys;
+  keys.send_key = r.bytes();
+  keys.recv_key = r.bytes();
+  // Seed the counters from the saved live values: the restored link resumes
+  // mid-stream (no nonce reuse, replay window intact).
+  keys.send_seq0 = r.u64();
+  keys.recv_seq0 = r.u64();
+  std::uint32_t n_seen = r.u32();
+  if (!r.ok() || n_seen > 1 << 20) return std::nullopt;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t i = 0; i < n_seen; ++i) seen.insert(r.u64());
+  if (!r.done()) return std::nullopt;
+  if (keys.send_key.size() != crypto::kAeadKeySize ||
+      keys.recv_key.size() != crypto::kAeadKeySize) {
+    return std::nullopt;
+  }
+  SecureLink link(self, peer, std::move(keys), program);
+  link.recv_seen_ = std::move(seen);
+  return link;
+}
+
 Bytes SecureLink::seal(ByteView plaintext) {
   std::uint8_t nonce[crypto::kAeadNonceSize] = {};
   store_le64(nonce, send_seq_++);

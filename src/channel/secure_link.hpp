@@ -41,6 +41,17 @@ class SecureLink {
   /// across rounds is the protocol layer's P5 check.
   std::optional<Bytes> open(ByteView blob);
 
+  /// Checkpoint support (src/recovery/): serializes the full link state —
+  /// directional keys, send sequence, and the replay window — so a sealed
+  /// enclave checkpoint can preserve an established channel across a crash.
+  /// The output contains key material and must only ever travel inside
+  /// Enclave::seal.
+  [[nodiscard]] Bytes serialize() const;
+  /// Restores a link from serialize() output. `program` must be the same
+  /// measurement the link was built with (it is part of the AAD).
+  static std::optional<SecureLink> deserialize(
+      ByteView data, const sgx::Measurement& program);
+
   [[nodiscard]] NodeId peer() const { return peer_; }
   [[nodiscard]] std::uint64_t sealed_count() const { return sealed_count_; }
   [[nodiscard]] std::uint64_t opened_count() const { return opened_count_; }

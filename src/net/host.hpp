@@ -28,9 +28,17 @@ class Host final : public sgx::EnclaveHostIface, public adversary::HostContext {
   /// real SGX; here the harness constructs both and ties them together.)
   void attach_enclave(sgx::Enclave& enclave) { enclave_ = &enclave; }
 
+  /// Unbinds the enclave (crash injection: the enclave object is about to be
+  /// destroyed while the host survives and keeps its sealed storage).
+  void detach_enclave() { enclave_ = nullptr; }
+
   void set_colluders(std::vector<NodeId> ids) { colluders_ = std::move(ids); }
 
   [[nodiscard]] bool is_byzantine() const { return strategy_->is_byzantine(); }
+
+  /// The host's OS behavior — the recovery layer consults it for checkpoint
+  /// storage decisions (Strategy::on_restore).
+  [[nodiscard]] adversary::Strategy& strategy() { return *strategy_; }
 
   // --- sgx::EnclaveHostIface (OCALLs from the enclave) ---
   void transfer(NodeId to, Bytes blob) override {

@@ -64,7 +64,10 @@ bool TcpTestbed::build(const EnclaveFactory& make_enclave) {
 
   bus_->set_receiver([this](NodeId to, NodeId from, Bytes blob) {
     std::lock_guard<std::mutex> lock(state_mu_);
-    if (to < enclaves_.size()) enclaves_[to]->deliver(from, blob);
+    // A crashed node's slot is null until recover_node(); drop its frames.
+    if (to < enclaves_.size() && enclaves_[to] != nullptr) {
+      enclaves_[to]->deliver(from, blob);
+    }
   });
   return bus_->start();
 }
@@ -89,7 +92,9 @@ std::uint32_t TcpTestbed::run_rounds(std::uint32_t max_rounds,
     }
     {
       std::lock_guard<std::mutex> lock(state_mu_);
-      for (auto& enclave : enclaves_) enclave->on_tick();
+      for (auto& enclave : enclaves_) {
+        if (enclave) enclave->on_tick();
+      }
     }
     // Let the round's traffic complete before evaluating the predicate.
     SimTime round_end = boundary + cfg_.round_ms - cfg_.round_ms / 8;
@@ -107,6 +112,33 @@ std::uint32_t TcpTestbed::run_rounds(std::uint32_t max_rounds,
   }
   rounds_run_ += max_rounds;
   return max_rounds;
+}
+
+void TcpTestbed::crash_node(NodeId id) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  CHECK_MSG(id < enclaves_.size() && enclaves_[id] != nullptr,
+            "crash_node: no such enclave");
+  enclaves_[id].reset();
+}
+
+protocol::PeerEnclave& TcpTestbed::recover_node(
+    NodeId id, const EnclaveFactory& make_enclave,
+    const std::function<void(protocol::PeerEnclave&)>& before_start) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  CHECK_MSG(id < enclaves_.size() && enclaves_[id] == nullptr,
+            "recover_node: node still running");
+  protocol::PeerConfig pc;
+  pc.self = id;
+  pc.n = cfg_.n;
+  pc.t = cfg_.t;
+  pc.round_ms = cfg_.round_ms;
+  pc.mode = protocol::ChannelMode::kAttested;
+  auto enclave = make_enclave(id, platform_, *hosts_[id], pc, *ias_);
+  CHECK_MSG(enclave != nullptr, "recover_node: factory returned null");
+  enclaves_[id] = std::move(enclave);
+  if (before_start) before_start(*enclaves_[id]);
+  enclaves_[id]->start_protocol(t0_);
+  return *enclaves_[id];
 }
 
 }  // namespace sgxp2p::net

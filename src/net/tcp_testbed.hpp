@@ -51,6 +51,18 @@ class TcpTestbed {
   std::uint32_t run_rounds(std::uint32_t max_rounds,
                            const std::function<bool()>& stop_when = {});
 
+  /// Crash injection: destroys node `id`'s enclave under the state lock.
+  /// Inbound frames for it are dropped until recover_node(). The socket
+  /// mesh stays up — only the enclave dies, as in the simulator testbed.
+  void crash_node(NodeId id);
+
+  /// Relaunches a crashed node: rebuilds the enclave, runs `before_start`
+  /// (restore + re-handshakes) under the lock, and starts it at the
+  /// original T0 so its trusted-time round clock matches the others.
+  protocol::PeerEnclave& recover_node(
+      NodeId id, const EnclaveFactory& make_enclave,
+      const std::function<void(protocol::PeerEnclave&)>& before_start = {});
+
   /// Runs `fn` under the state lock (for inspecting results).
   template <typename Fn>
   auto locked(Fn&& fn) {

@@ -113,13 +113,16 @@ std::uint32_t Testbed::run_rounds(std::uint32_t max_rounds,
     SimTime boundary =
         t0_ + static_cast<SimTime>(rounds_run_ + r - 1) * rt;
     simulator_.run_until(boundary);
+    // Crash/recovery injection runs first so a node killed "at round R"
+    // never observes R's tick and a node relaunched at R ticks immediately.
+    if (round_hook_) round_hook_(rounds_run_ + r);
     // Trusted timers fire: every live enclave observes the new round.
     for (NodeId id = 0; id < cfg_.n; ++id) {
-      if (network_.attached(id)) enclaves_[id]->on_tick();
+      if (enclaves_[id] && network_.attached(id)) enclaves_[id]->on_tick();
     }
     // P4: nodes that halted leave the network immediately.
     for (NodeId id = 0; id < cfg_.n; ++id) {
-      if (enclaves_[id]->halted() && network_.attached(id)) {
+      if (enclaves_[id] && enclaves_[id]->halted() && network_.attached(id)) {
         network_.detach(id);
       }
     }
@@ -132,6 +135,37 @@ std::uint32_t Testbed::run_rounds(std::uint32_t max_rounds,
   }
   rounds_run_ += max_rounds;
   return max_rounds;
+}
+
+void Testbed::kill_enclave(NodeId id) {
+  CHECK_MSG(id < cfg_.n && enclaves_.at(id) != nullptr,
+            "kill_enclave: no such enclave");
+  if (network_.attached(id)) network_.detach(id);
+  hosts_[id]->detach_enclave();
+  enclaves_[id].reset();  // everything in-enclave is gone
+}
+
+protocol::PeerEnclave& Testbed::relaunch_enclave(
+    NodeId id, const EnclaveFactory& make_enclave,
+    const std::function<void(protocol::PeerEnclave&)>& before_start) {
+  CHECK_MSG(id < cfg_.n && enclaves_.at(id) == nullptr,
+            "relaunch_enclave: node still running");
+  protocol::PeerConfig pc;
+  pc.self = id;
+  pc.n = cfg_.n;
+  pc.t = cfg_.effective_t();
+  pc.round_ms = cfg_.effective_round();
+  pc.mode = cfg_.mode;
+  auto enclave = make_enclave(id, platform_, *hosts_[id], pc, *ias_);
+  CHECK_MSG(enclave != nullptr, "relaunch_enclave: factory returned null");
+  hosts_[id]->attach_enclave(*enclave);
+  hosts_[id]->connect();
+  enclaves_[id] = std::move(enclave);
+  if (before_start) before_start(*enclaves_[id]);
+  // Same T0 as everyone else: trusted time puts the relaunched enclave into
+  // the current round, not round 1.
+  enclaves_[id]->start_protocol(t0_);
+  return *enclaves_[id];
 }
 
 std::vector<NodeId> Testbed::live_nodes() const {

@@ -66,6 +66,33 @@ class Testbed {
   std::uint32_t run_rounds(std::uint32_t max_rounds,
                            const std::function<bool()>& stop_when = {});
 
+  // ----- crash / recovery injection (src/recovery/) -----
+
+  /// Hook fired at every round boundary BEFORE the enclaves tick, with the
+  /// round number about to begin. The RecoveryCoordinator uses it to drive
+  /// checkpoints, crashes, and relaunches in lockstep with the protocol.
+  void set_round_hook(std::function<void(std::uint32_t)> hook) {
+    round_hook_ = std::move(hook);
+  }
+
+  /// Crash injection: destroys node `id`'s enclave (all in-enclave state is
+  /// lost) and detaches it from the network. The host object survives, as
+  /// does any host-side sealed storage.
+  void kill_enclave(NodeId id);
+
+  /// Relaunches a previously killed node: builds a fresh enclave via the
+  /// factory, reattaches host + network, runs `before_start` (checkpoint
+  /// restore + re-handshakes happen there), then starts the protocol at the
+  /// original T0 so the trusted-time round clock stays aligned.
+  protocol::PeerEnclave& relaunch_enclave(
+      NodeId id, const EnclaveFactory& make_enclave,
+      const std::function<void(protocol::PeerEnclave&)>& before_start = {});
+
+  /// False after kill_enclave(id) until the node is relaunched.
+  [[nodiscard]] bool has_enclave(NodeId id) const {
+    return enclaves_.at(id) != nullptr;
+  }
+
   // ----- access -----
   [[nodiscard]] protocol::PeerEnclave& enclave(NodeId id) {
     return *enclaves_.at(id);
@@ -101,6 +128,7 @@ class Testbed {
   std::vector<std::unique_ptr<protocol::PeerEnclave>> enclaves_;
   SimTime t0_ = 0;
   std::uint32_t rounds_run_ = 0;
+  std::function<void(std::uint32_t)> round_hook_;
 };
 
 }  // namespace sgxp2p::sim

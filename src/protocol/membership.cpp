@@ -7,38 +7,65 @@
 namespace sgxp2p::protocol {
 
 namespace {
-Bytes encode_join_record(NodeId joiner, std::uint64_t seq0) {
+struct JoinRecord {
+  NodeId joiner = kNoNode;
+  std::uint64_t seq0 = 0;
+  bool rejoin = false;
+};
+
+Bytes encode_join_record(NodeId joiner, std::uint64_t seq0, bool rejoin) {
   BinaryWriter w;
   w.u32(joiner);
   w.u64(seq0);
+  w.u8(rejoin ? 1 : 0);
   return w.take();
 }
 
-std::optional<std::pair<NodeId, std::uint64_t>> decode_join_record(
-    ByteView data) {
+std::optional<JoinRecord> decode_join_record(ByteView data) {
   BinaryReader r(data);
-  NodeId joiner = r.u32();
-  std::uint64_t seq0 = r.u64();
+  JoinRecord rec;
+  rec.joiner = r.u32();
+  rec.seq0 = r.u64();
+  rec.rejoin = r.u8() != 0;
   if (!r.done()) return std::nullopt;
-  return std::pair{joiner, seq0};
+  return rec;
 }
 
-Bytes encode_roster(const std::vector<NodeId>& roster) {
+struct WelcomePayload {
+  std::vector<NodeId> roster;
+  std::vector<std::pair<NodeId, std::uint64_t>> seqs;
+};
+
+/// WELCOME carries the roster and the sponsor's post-window sequence table,
+/// so a (re)joiner with no prior P6 state converges to the members' view.
+Bytes encode_welcome(const WelcomePayload& wp) {
   BinaryWriter w;
-  w.u32(static_cast<std::uint32_t>(roster.size()));
-  for (NodeId id : roster) w.u32(id);
+  w.u32(static_cast<std::uint32_t>(wp.roster.size()));
+  for (NodeId id : wp.roster) w.u32(id);
+  w.u32(static_cast<std::uint32_t>(wp.seqs.size()));
+  for (const auto& [id, seq] : wp.seqs) {
+    w.u32(id);
+    w.u64(seq);
+  }
   return w.take();
 }
 
-std::optional<std::vector<NodeId>> decode_roster(ByteView data) {
+std::optional<WelcomePayload> decode_welcome(ByteView data) {
   BinaryReader r(data);
+  WelcomePayload wp;
   std::uint32_t n = r.u32();
   if (!r.ok() || n > 1 << 20) return std::nullopt;
-  std::vector<NodeId> out;
-  out.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.u32());
+  wp.roster.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) wp.roster.push_back(r.u32());
+  std::uint32_t n_seqs = r.u32();
+  if (!r.ok() || n_seqs > 1 << 20) return std::nullopt;
+  wp.seqs.reserve(n_seqs);
+  for (std::uint32_t i = 0; i < n_seqs; ++i) {
+    NodeId id = r.u32();
+    wp.seqs.emplace_back(id, r.u64());
+  }
   if (!r.done()) return std::nullopt;
-  return out;
+  return wp;
 }
 }  // namespace
 
@@ -78,17 +105,24 @@ void RosterNode::perform(const ErbInstance::Sends& sends) {
 
 void RosterNode::close_window(std::size_t w) {
   // Admission: members that accepted the (joiner, seq₀) record install it.
+  // For a rejoin the joiner is already in the roster, so only its sequence
+  // entry is refreshed; a fresh join grows the roster too.
+  NodeId welcome_target = kNoNode;
   if (instance_ && instance_->accepted() && instance_->has_value()) {
     auto record = decode_join_record(instance_->value());
-    if (record && !in_roster(record->first)) {
-      roster_.push_back(record->first);
-      std::sort(roster_.begin(), roster_.end());
-      admitted_.push_back(record->first);
-      install_peer_seq(record->first, record->second);
-      if (welcome_due_ && welcome_to_ == record->first) {
-        Val welcome{MsgType::kWelcome, config().self, my_seq(), 0,
-                    encode_roster(roster_)};
-        send_val(welcome_to_, welcome);
+    if (record && record->rejoin == in_roster(record->joiner)) {
+      if (!record->rejoin) {
+        roster_.push_back(record->joiner);
+        std::sort(roster_.begin(), roster_.end());
+        admitted_.push_back(record->joiner);
+      }
+      // A restored rejoiner decides its own record; its my_seq is tracked
+      // separately, so only install entries for OTHER nodes.
+      if (record->joiner != config().self) {
+        install_peer_seq(record->joiner, record->seq0);
+      }
+      if (welcome_due_ && welcome_to_ == record->joiner) {
+        welcome_target = welcome_to_;
       }
     }
   }
@@ -98,6 +132,19 @@ void RosterNode::close_window(std::size_t w) {
   welcome_to_ = kNoNode;
   current_window_ = w + 1;
   bump_all_seqs();
+  // WELCOME goes out after the bump so the carried sequence table matches
+  // what every member holds at the start of the next window.
+  if (welcome_target != kNoNode && welcome_target != config().self) {
+    WelcomePayload wp;
+    wp.roster = roster_;
+    for (NodeId id : roster_) {
+      wp.seqs.emplace_back(
+          id, id == config().self ? my_seq() : expected_seq(id).value_or(0));
+    }
+    Val welcome{MsgType::kWelcome, config().self, my_seq(), 0,
+                encode_welcome(wp)};
+    send_val(welcome_target, welcome);
+  }
 }
 
 void RosterNode::on_round_begin(std::uint32_t round) {
@@ -116,10 +163,14 @@ void RosterNode::on_round_begin(std::uint32_t round) {
   std::uint32_t ws = window_start(w);
   const JoinPlanEntry* entry = w < plan_.size() ? &plan_[w] : nullptr;
 
-  // Joiner: announce to the sponsor in the window's first round.
+  // (Re)joiner: announce to the sponsor in the window's first round. A
+  // fresh join announces while not yet a member; a rejoin announces while
+  // re-admission is pending (set by the recovery layer at relaunch) and
+  // keeps retrying across consecutive plan entries until a WELCOME lands.
   if (entry != nullptr && round == ws && config().self == entry->joiner &&
-      !is_member_) {
-    Val join{MsgType::kJoin, config().self, my_seq(), round, {}};
+      (entry->rejoin ? rejoin_pending_ : !is_member_)) {
+    Val join{entry->rejoin ? MsgType::kRejoin : MsgType::kJoin, config().self,
+             my_seq(), round, {}};
     send_val(entry->sponsor, join);
   }
 
@@ -134,8 +185,8 @@ void RosterNode::on_round_begin(std::uint32_t round) {
     cfg.start_round = ws + 1;
     cfg.max_rounds = window() - 1;
     cfg.is_initiator = true;
-    cfg.init_payload =
-        encode_join_record(pending_join_->first, pending_join_->second);
+    cfg.init_payload = encode_join_record(
+        pending_join_->first, pending_join_->second, entry->rejoin);
     instance_ = std::make_unique<ErbInstance>(std::move(cfg));
     welcome_due_ = true;
     welcome_to_ = pending_join_->first;
@@ -153,12 +204,15 @@ void RosterNode::on_val(NodeId from, const Val& val) {
   const JoinPlanEntry* entry = w < plan_.size() ? &plan_[w] : nullptr;
 
   switch (val.type) {
-    case MsgType::kJoin: {
-      // Sponsor side: accept the joiner's announcement in round w·W+1.
-      if (entry == nullptr || !is_member_) break;
+    case MsgType::kJoin:
+    case MsgType::kRejoin: {
+      // Sponsor side: accept the (re)joiner's announcement in round w·W+1.
+      // A JOIN must come from outside the roster, a REJOIN from inside it.
+      bool rejoin = val.type == MsgType::kRejoin;
+      if (entry == nullptr || !is_member_ || entry->rejoin != rejoin) break;
       if (config().self != entry->sponsor || from != entry->joiner) break;
       if (val.round != round || round != window_start(w)) break;
-      if (in_roster(from)) break;
+      if (in_roster(from) != rejoin) break;
       pending_join_ = {from, val.seq};
       break;
     }
@@ -173,24 +227,79 @@ void RosterNode::on_val(NodeId from, const Val& val) {
       break;
     }
     case MsgType::kWelcome: {
-      // Joiner side: adopt the sponsor's roster and become a member. The
-      // WELCOME lands at the first tick of the window AFTER the join, so
-      // match it against our own plan entry rather than the current one.
-      if (is_member_) break;
-      auto mine = std::find_if(
-          plan_.begin(), plan_.end(),
-          [&](const JoinPlanEntry& e) { return e.joiner == config().self; });
-      if (mine == plan_.end() || from != mine->sponsor) break;
-      auto roster = decode_roster(val.payload);
-      if (!roster || roster->empty()) break;
-      roster_ = std::move(*roster);
+      // (Re)joiner side: adopt the sponsor's roster + sequence table and
+      // become a member. The WELCOME lands at the first tick of the window
+      // AFTER the join, so match it against our own plan entries rather
+      // than the current one — any of our scheduled sponsors may answer
+      // (retry across sponsors).
+      if (is_member_ && !rejoin_pending_) break;
+      bool from_my_sponsor = std::any_of(
+          plan_.begin(), plan_.end(), [&](const JoinPlanEntry& e) {
+            return e.joiner == config().self && e.sponsor == from;
+          });
+      if (!from_my_sponsor) break;
+      auto welcome = decode_welcome(val.payload);
+      if (!welcome || welcome->roster.empty()) break;
+      roster_ = std::move(welcome->roster);
       std::sort(roster_.begin(), roster_.end());
+      for (const auto& [id, seq] : welcome->seqs) {
+        if (id != config().self) install_peer_seq(id, seq);
+      }
       if (in_roster(config().self)) is_member_ = true;
+      rejoin_pending_ = false;
       break;
     }
     default:
       break;
   }
+}
+
+Bytes RosterNode::export_membership_state() const {
+  BinaryWriter w;
+  w.str("sgxp2p-roster-v1");
+  w.u32(static_cast<std::uint32_t>(roster_.size()));
+  for (NodeId id : roster_) w.u32(id);
+  w.u8(is_member_ ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(admitted_.size()));
+  for (NodeId id : admitted_) w.u32(id);
+  w.u64(current_window_);
+  return w.take();
+}
+
+bool RosterNode::import_membership_state(ByteView data) {
+  BinaryReader r(data);
+  if (r.str() != "sgxp2p-roster-v1") return false;
+  std::uint32_t n_roster = r.u32();
+  if (!r.ok() || n_roster > 1 << 20) return false;
+  std::vector<NodeId> roster;
+  roster.reserve(n_roster);
+  for (std::uint32_t i = 0; i < n_roster; ++i) roster.push_back(r.u32());
+  bool is_member = r.u8() != 0;
+  std::uint32_t n_admitted = r.u32();
+  if (!r.ok() || n_admitted > 1 << 20) return false;
+  std::vector<NodeId> admitted;
+  admitted.reserve(n_admitted);
+  for (std::uint32_t i = 0; i < n_admitted; ++i) admitted.push_back(r.u32());
+  std::uint64_t window = r.u64();
+  if (!r.done()) return false;
+  roster_ = std::move(roster);
+  std::sort(roster_.begin(), roster_.end());
+  is_member_ = is_member;
+  admitted_ = std::move(admitted);
+  current_window_ = static_cast<std::size_t>(window);
+  return true;
+}
+
+void RosterNode::reset_to_fresh_joiner() {
+  // The checkpoint was lost or rejected: nothing beyond the public initial
+  // roster can be trusted, so re-enter through the join machinery like a
+  // newcomer. The roster keeps its constructor-time (public) value.
+  is_member_ = false;
+  rejoin_pending_ = true;
+  instance_.reset();
+  pending_join_.reset();
+  welcome_due_ = false;
+  welcome_to_ = kNoNode;
 }
 
 }  // namespace sgxp2p::protocol

@@ -22,6 +22,18 @@
 // tests verify. A crashed/byzantine sponsor merely makes the join fail (the
 // joiner retries with another sponsor in a later window); it cannot split
 // the roster.
+//
+// Recovery extension (src/recovery/): a crashed-and-relaunched member is
+// re-admitted through the same window machinery. A plan entry with
+// `rejoin = true` schedules a REJOIN: the relaunched node re-announces a
+// sequence number to its sponsor, the sponsor ERB-broadcasts the
+// (rejoiner, seq) record over the roster, and members refresh their
+// sequence-table entry for the rejoiner instead of growing the roster. The
+// closing WELCOME carries the roster *and* the current sequence table, so a
+// rejoiner whose checkpoint was lost (or rejected as stale) still converges
+// to the members' P6 state. Consecutive rejoin entries with different
+// sponsors realize retry-with-backoff: a window whose sponsor is dead
+// simply closes empty and the next entry retries.
 #pragma once
 
 #include <map>
@@ -37,9 +49,10 @@ namespace sgxp2p::protocol {
 struct JoinPlanEntry {
   NodeId joiner = kNoNode;
   NodeId sponsor = kNoNode;
+  bool rejoin = false;  // re-admission of an existing member after a crash
 };
 
-class RosterNode final : public PeerEnclave {
+class RosterNode : public PeerEnclave {
  public:
   /// `initial_roster` must be the same on every node (public knowledge,
   /// like the paper's identifier list); `plan[w]` is window w's join.
@@ -59,10 +72,26 @@ class RosterNode final : public PeerEnclave {
   [[nodiscard]] static sgx::ProgramIdentity program() {
     return {"roster", "1.0"};
   }
+  /// True while a relaunched node is still awaiting re-admission.
+  [[nodiscard]] bool rejoin_pending() const { return rejoin_pending_; }
 
  protected:
   void on_round_begin(std::uint32_t round) override;
   void on_val(NodeId from, const Val& val) override;
+
+  // ----- checkpoint / recovery support (src/recovery/) -----
+
+  /// Serializes the membership view (roster, member bit, admission history,
+  /// current window index). Paired with export_core_state() in checkpoints.
+  [[nodiscard]] Bytes export_membership_state() const;
+  bool import_membership_state(ByteView data);
+  /// Relaunch with a valid checkpoint: state is restored, but announce the
+  /// own sequence through a REJOIN window so members refresh their entry.
+  void begin_rejoin() { rejoin_pending_ = true; }
+  /// Relaunch without a usable checkpoint: drop membership and re-enter
+  /// through the join machinery as a fresh joiner (WELCOME resupplies the
+  /// roster and sequence table).
+  void reset_to_fresh_joiner();
 
  private:
   [[nodiscard]] bool in_roster(NodeId id) const;
@@ -91,6 +120,7 @@ class RosterNode final : public PeerEnclave {
   std::optional<std::pair<NodeId, std::uint64_t>> pending_join_;  // sponsor's
   bool welcome_due_ = false;                // sponsor: send WELCOME at close
   NodeId welcome_to_ = kNoNode;
+  bool rejoin_pending_ = false;             // relaunched, awaiting WELCOME
 };
 
 }  // namespace sgxp2p::protocol

@@ -182,6 +182,55 @@ std::vector<NodeId> PeerEnclave::peers() const {
   return out;
 }
 
+Bytes PeerEnclave::export_core_state() const {
+  BinaryWriter w;
+  w.str("sgxp2p-core-v1");
+  w.u64(my_seq_);
+  // Name-sorted serialization so same-seed checkpoints are byte-identical.
+  std::vector<std::pair<NodeId, std::uint64_t>> seqs(peer_seq_.begin(),
+                                                     peer_seq_.end());
+  std::sort(seqs.begin(), seqs.end());
+  w.u32(static_cast<std::uint32_t>(seqs.size()));
+  for (const auto& [id, seq] : seqs) {
+    w.u32(id);
+    w.u64(seq);
+  }
+  std::vector<NodeId> link_ids = peers();
+  w.u32(static_cast<std::uint32_t>(
+      cfg_.mode == ChannelMode::kAttested ? link_ids.size() : 0));
+  if (cfg_.mode == ChannelMode::kAttested) {
+    for (NodeId id : link_ids) w.bytes(links_.at(id).serialize());
+  }
+  return w.take();
+}
+
+bool PeerEnclave::import_core_state(ByteView data) {
+  BinaryReader r(data);
+  if (r.str() != "sgxp2p-core-v1") return false;
+  std::uint64_t my_seq = r.u64();
+  std::uint32_t n_seqs = r.u32();
+  if (!r.ok() || n_seqs > 1 << 20) return false;
+  std::unordered_map<NodeId, std::uint64_t> seqs;
+  for (std::uint32_t i = 0; i < n_seqs; ++i) {
+    NodeId id = r.u32();
+    seqs[id] = r.u64();
+  }
+  std::uint32_t n_links = r.u32();
+  if (!r.ok() || n_links > 1 << 20) return false;
+  std::unordered_map<NodeId, channel::SecureLink> links;
+  for (std::uint32_t i = 0; i < n_links; ++i) {
+    auto link = channel::SecureLink::deserialize(r.bytes(), measurement());
+    if (!link) return false;
+    NodeId peer = link->peer();
+    links.insert_or_assign(peer, std::move(*link));
+  }
+  if (!r.done()) return false;
+  my_seq_ = my_seq;
+  peer_seq_ = std::move(seqs);
+  for (auto& [id, link] : links) links_.insert_or_assign(id, std::move(link));
+  return true;
+}
+
 Bytes PeerEnclave::seal_for(NodeId to, ByteView plaintext) {
   if (cfg_.mode == ChannelMode::kAttested) {
     auto it = links_.find(to);

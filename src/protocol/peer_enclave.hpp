@@ -130,6 +130,18 @@ class PeerEnclave : public sgx::Enclave {
   /// All peer ids with an established link, ascending.
   [[nodiscard]] std::vector<NodeId> peers() const;
 
+  // ----- checkpoint support (src/recovery/) -----
+
+  /// Serializes P6-critical runtime state: the own instance sequence, the
+  /// peer sequence table, and every SecureLink (session keys + replay
+  /// windows). Contains key material — callers must pass the result through
+  /// Enclave::seal before it reaches the host.
+  [[nodiscard]] Bytes export_core_state() const;
+  /// Restores export_core_state() output into a freshly launched enclave
+  /// (same program, same CPU). Links are reinstated as-is; a subsequent
+  /// re-attested handshake replaces them with fresh keys.
+  bool import_core_state(ByteView data);
+
   // ----- observability (namespace = "erb", "erng", or "eba") -----
 
   /// Synchronous start time T0, for decision-latency instrumentation.

@@ -28,7 +28,8 @@ enum class MsgType : std::uint8_t {
   kFinal = 5,
   kSetup = 6,
   kJoin = 7,     // membership (Appendix G): joiner → sponsor
-  kWelcome = 8,  // membership: sponsor → joiner, carries the roster
+  kWelcome = 8,  // membership: sponsor → joiner, carries roster + seq table
+  kRejoin = 9,   // recovery: relaunched member → sponsor, re-announces seq
 };
 
 struct Val {
@@ -60,7 +61,7 @@ inline std::optional<Val> parse_val(ByteView data) {
   val.round = r.u32();
   val.payload = r.bytes();
   if (!r.done()) return std::nullopt;
-  if (type < 1 || type > 8) return std::nullopt;
+  if (type < 1 || type > 9) return std::nullopt;
   val.type = static_cast<MsgType>(type);
   return val;
 }
@@ -75,6 +76,7 @@ inline const char* msg_type_name(MsgType t) {
     case MsgType::kSetup: return "SETUP";
     case MsgType::kJoin: return "JOIN";
     case MsgType::kWelcome: return "WELCOME";
+    case MsgType::kRejoin: return "REJOIN";
   }
   return "?";
 }

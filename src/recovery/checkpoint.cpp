@@ -1,0 +1,19 @@
+#include "recovery/checkpoint.hpp"
+
+namespace sgxp2p::recovery {
+
+RecoveryMetrics& RecoveryMetrics::get() {
+  auto& reg = obs::MetricsRegistry::global();
+  static RecoveryMetrics metrics{reg.counter("recovery.checkpoints"),
+                                 reg.counter("recovery.checkpoint_bytes"),
+                                 reg.counter("recovery.restores_ok"),
+                                 reg.counter("recovery.rollback_detected"),
+                                 reg.counter("recovery.restore_invalid"),
+                                 reg.counter("recovery.fresh_fallbacks"),
+                                 reg.counter("recovery.crashes"),
+                                 reg.counter("recovery.relaunches"),
+                                 reg.counter("recovery.rejoins")};
+  return metrics;
+}
+
+}  // namespace sgxp2p::recovery

@@ -1,0 +1,79 @@
+// Host-side checkpoint storage + the periodic checkpoint driver.
+//
+// The CheckpointStore is UNTRUSTED state: it models the disk of the host
+// OS. It keeps every sealed blob the enclave ever produced (a real host
+// could; assuming it only keeps the latest would hide the rollback attack
+// this subsystem exists to defeat). At restore time the blob handed back is
+// chosen by the host's adversary Strategy — honest hosts return the newest,
+// StaleSealReplayStrategy returns the oldest.
+//
+// The CheckpointManager is the harness-side scheduler: at every round
+// boundary it asks the enclave to seal a snapshot when the interval is due.
+// In real SGX this would be the enclave's own timer; here the testbed's
+// round hook drives it so checkpoints land deterministically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "adversary/strategy.hpp"
+#include "common/bytes.hpp"
+#include "obs/metrics.hpp"
+#include "recovery/recoverable_node.hpp"
+
+namespace sgxp2p::recovery {
+
+/// Registry-backed counters under the `recovery.*` namespace.
+struct RecoveryMetrics {
+  obs::Counter& checkpoints;        // snapshots sealed
+  obs::Counter& checkpoint_bytes;   // total sealed bytes
+  obs::Counter& restores_ok;        // checkpoints adopted at relaunch
+  obs::Counter& rollback_detected;  // stale blobs caught by the counter
+  obs::Counter& restore_invalid;    // unseal/parse failures
+  obs::Counter& fresh_fallbacks;    // relaunches re-admitted as fresh joiners
+  obs::Counter& crashes;            // enclaves destroyed
+  obs::Counter& relaunches;         // enclaves brought back
+  obs::Counter& rejoins;            // re-admissions completed
+  static RecoveryMetrics& get();
+};
+
+class CheckpointStore {
+ public:
+  void store(Bytes sealed) { history_.push_back(std::move(sealed)); }
+  [[nodiscard]] const std::vector<Bytes>& history() const { return history_; }
+  [[nodiscard]] bool empty() const { return history_.empty(); }
+
+  /// Restore request, answered by the host's (possibly byzantine) strategy.
+  [[nodiscard]] std::optional<Bytes> fetch(
+      adversary::Strategy& strategy) const {
+    return strategy.on_restore(history_);
+  }
+
+ private:
+  std::vector<Bytes> history_;
+};
+
+class CheckpointManager {
+ public:
+  /// Seals a snapshot of `node` into `store` every `interval_rounds`. Both
+  /// references must outlive the manager (the coordinator rebuilds the
+  /// manager whenever the enclave object is replaced).
+  CheckpointManager(RecoverableNode& node, CheckpointStore& store,
+                    std::uint32_t interval_rounds)
+      : node_(&node), store_(&store), interval_(interval_rounds) {}
+
+  /// Round-boundary driver.
+  void on_round(std::uint32_t round) {
+    if (interval_ == 0 || round % interval_ != 0) return;
+    if (!node_->started() || node_->halted() || !node_->is_member()) return;
+    store_->store(node_->take_checkpoint());
+  }
+
+ private:
+  RecoverableNode* node_;
+  CheckpointStore* store_;
+  std::uint32_t interval_;
+};
+
+}  // namespace sgxp2p::recovery

@@ -1,0 +1,82 @@
+// RecoveryCoordinator — crash → checkpoint → relaunch → re-attest → rejoin.
+//
+// Scripts a single crash/recovery episode on a sim::Testbed of
+// RecoverableNodes, driven from the testbed's round hook so every step
+// lands at a deterministic round boundary:
+//
+//   every k rounds   each live member seals a checkpoint into its host's
+//                    (untrusted) CheckpointStore
+//   crash_round      the victim's enclave is destroyed — all in-enclave
+//                    state is gone; the host and its store survive
+//   recover_round    a fresh enclave is launched, asks its host for the
+//                    sealed checkpoint (the host's Strategy answers — this
+//                    is where StaleSealReplayStrategy bites), restores or
+//                    falls back to fresh-joiner status, and re-runs the
+//                    attested handshake with every live peer (the peers'
+//                    replay windows have advanced; restored session keys
+//                    are unusable by design)
+//   rejoin window    the membership plan's rejoin/join entries re-admit the
+//                    node; the coordinator records when re-admission lands
+//
+// Everything observable is exported through recovery.* metrics and
+// "recovery" trace events, so two same-seed runs emit identical timelines.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/testbed.hpp"
+#include "recovery/checkpoint.hpp"
+#include "recovery/recoverable_node.hpp"
+
+namespace sgxp2p::recovery {
+
+struct RecoveryPlan {
+  NodeId victim = kNoNode;
+  std::uint32_t crash_round = 0;    // kill at this boundary (0 = never)
+  std::uint32_t recover_round = 0;  // relaunch at this boundary (0 = never)
+  std::uint32_t checkpoint_interval = 2;  // rounds between snapshots
+};
+
+class RecoveryCoordinator {
+ public:
+  /// `factory` rebuilds a RecoverableNode for the relaunch; it must produce
+  /// the same program + plan as the original build (public knowledge).
+  RecoveryCoordinator(sim::Testbed& bed, sim::Testbed::EnclaveFactory factory,
+                      RecoveryPlan plan);
+
+  /// Hooks the testbed's round boundary. Call after Testbed::build().
+  void install();
+
+  [[nodiscard]] const CheckpointStore& store(NodeId id) const {
+    return stores_.at(id);
+  }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] bool relaunched() const { return relaunched_; }
+  /// Outcome of the restore attempt at recover_round.
+  [[nodiscard]] RestoreOutcome restore_outcome() const { return outcome_; }
+  /// True when the node was re-admitted as a fresh joiner (stale/lost seal).
+  [[nodiscard]] bool used_fresh_fallback() const { return fallback_; }
+  /// True once the victim is a member again with no rejoin pending.
+  [[nodiscard]] bool rejoin_complete() const { return rejoined_; }
+  [[nodiscard]] std::uint32_t rejoin_round() const { return rejoin_round_; }
+
+ private:
+  void on_round(std::uint32_t round);
+  void crash(std::uint32_t round);
+  void recover(std::uint32_t round);
+
+  sim::Testbed* bed_;
+  sim::Testbed::EnclaveFactory factory_;
+  RecoveryPlan plan_;
+  std::vector<CheckpointStore> stores_;
+  std::vector<std::unique_ptr<CheckpointManager>> managers_;
+  RestoreOutcome outcome_ = RestoreOutcome::kInvalid;
+  bool crashed_ = false;
+  bool relaunched_ = false;
+  bool fallback_ = false;
+  bool rejoined_ = false;
+  std::uint32_t rejoin_round_ = 0;
+};
+
+}  // namespace sgxp2p::recovery

@@ -1,0 +1,82 @@
+#include "recovery/recoverable_node.hpp"
+
+#include "common/serde.hpp"
+#include "obs/trace.hpp"
+#include "recovery/checkpoint.hpp"
+
+namespace sgxp2p::recovery {
+
+namespace {
+constexpr std::size_t kReseedBytes = 32;
+}  // namespace
+
+Bytes RecoverableNode::take_checkpoint() {
+  BinaryWriter w;
+  w.str("sgxp2p-ckpt-v1");
+  // Anti-rollback version: the platform counter survives the enclave, so
+  // after a crash only the newest blob matches counter_read().
+  w.u64(monotonic_increment());
+  w.u32(current_round());
+  w.bytes(read_rand().generate(kReseedBytes));
+  w.bytes(export_core_state());
+  w.bytes(export_membership_state());
+  Bytes sealed = seal(w.take());
+  auto& m = RecoveryMetrics::get();
+  m.checkpoints.inc();
+  m.checkpoint_bytes.inc(sealed.size());
+  obs::trace_event(trusted_time(), config().self, "recovery", "checkpoint",
+                   obs::fnum("round", current_round()),
+                   obs::fnum("counter",
+                             static_cast<std::int64_t>(monotonic_read())),
+                   obs::fnum("bytes", static_cast<std::int64_t>(sealed.size())));
+  return sealed;
+}
+
+RestoreOutcome RecoverableNode::restore_checkpoint(ByteView sealed) {
+  auto& m = RecoveryMetrics::get();
+  auto plain = unseal(sealed);
+  if (!plain) {
+    m.restore_invalid.inc();
+    return RestoreOutcome::kInvalid;
+  }
+  BinaryReader r(*plain);
+  if (r.str() != "sgxp2p-ckpt-v1") {
+    m.restore_invalid.inc();
+    return RestoreOutcome::kInvalid;
+  }
+  std::uint64_t counter = r.u64();
+  std::uint32_t round = r.u32();
+  Bytes reseed = r.bytes();
+  Bytes core = r.bytes();
+  Bytes membership = r.bytes();
+  if (!r.done() || reseed.size() != kReseedBytes) {
+    m.restore_invalid.inc();
+    return RestoreOutcome::kInvalid;
+  }
+  if (counter != monotonic_read()) {
+    // The host handed back a blob other than the newest — rollback attempt.
+    m.rollback_detected.inc();
+    obs::trace_event(trusted_time(), config().self, "recovery",
+                     "rollback_detected", obs::fnum("blob_counter", counter),
+                     obs::fnum("counter",
+                               static_cast<std::int64_t>(monotonic_read())));
+    return RestoreOutcome::kStale;
+  }
+  if (!import_core_state(core) || !import_membership_state(membership)) {
+    m.restore_invalid.inc();
+    return RestoreOutcome::kInvalid;
+  }
+  // Forward secrecy across the crash: mix the checkpointed material into the
+  // fresh per-launch DRBG rather than replacing it.
+  read_rand().reseed(reseed);
+  // The restored sequence table is valid, but members must still refresh
+  // this node's entry through a REJOIN window (and the WELCOME re-syncs us).
+  begin_rejoin();
+  m.restores_ok.inc();
+  obs::trace_event(trusted_time(), config().self, "recovery", "restore_ok",
+                   obs::fnum("ckpt_round", round),
+                   obs::fnum("counter", static_cast<std::int64_t>(counter)));
+  return RestoreOutcome::kRestored;
+}
+
+}  // namespace sgxp2p::recovery

@@ -1,0 +1,50 @@
+// RecoverableNode — a RosterNode that can crash and come back.
+//
+// Checkpoints (paper Section 4, P6 restart note + SGX monotonic counters):
+// the enclave periodically seals a versioned snapshot of everything a
+// relaunch needs to continue the lockstep execution — its own and its
+// peers' instance sequence numbers (P6), the per-peer session keys and
+// replay windows (P2/P6), the membership view, and DRBG reseed material.
+// The snapshot is handed to the untrusted host, which is free to store it,
+// lose it, or keep every version it ever saw.
+//
+// Rollback protection: each take_checkpoint() increments the platform
+// monotonic counter for this (CPU, program) and binds the NEW counter value
+// into the sealed blob. The counter survives enclave destruction, so at
+// restore time exactly one blob — the latest — carries the current counter
+// value. A byzantine host replaying an older sealed blob produces a blob
+// that unseals fine but fails the counter comparison: the relaunch reports
+// kStale, refuses the state, and falls back to fresh re-admission through
+// the join machinery (reset_to_fresh_joiner), where the WELCOME resupplies
+// the roster and sequence table.
+#pragma once
+
+#include "protocol/membership.hpp"
+
+namespace sgxp2p::recovery {
+
+enum class RestoreOutcome {
+  kRestored,  // state adopted; node continues as a member (REJOIN confirms)
+  kStale,     // monotonic counter mismatch — rollback attempt detected
+  kInvalid,   // unseal/parse failure (truncated, forged, wrong enclave)
+};
+
+class RecoverableNode final : public protocol::RosterNode {
+ public:
+  using RosterNode::RosterNode;
+
+  /// Seals a snapshot of all protocol-critical state for host-side storage.
+  /// Increments the monotonic counter and binds the new value in.
+  [[nodiscard]] Bytes take_checkpoint();
+
+  /// Unseals and validates a host-provided checkpoint. On kRestored the
+  /// state is adopted and the node is flagged for a REJOIN announcement;
+  /// on any other outcome the node is untouched — call recover_fresh().
+  RestoreOutcome restore_checkpoint(ByteView sealed);
+
+  /// Fallback when no valid checkpoint exists: drop to fresh-joiner status
+  /// and re-enter through a scheduled join window.
+  void recover_fresh() { reset_to_fresh_joiner(); }
+};
+
+}  // namespace sgxp2p::recovery

@@ -13,13 +13,16 @@ Enclave::Enclave(SgxPlatform& platform, CpuId cpu,
       host_(&host),
       drbg_(platform.make_enclave_drbg(cpu)) {}
 
-Bytes Enclave::seal(ByteView data) const {
+Bytes Enclave::seal(ByteView data) {
   Bytes key = platform_->sealing_key(cpu_, measurement_);
   // Sealing key is 32 bytes; expand to the AEAD's 64-byte enc+mac key.
   Bytes aead_key =
       crypto::hkdf_expand(key, to_bytes("seal"), crypto::kAeadKeySize);
-  std::uint8_t nonce[crypto::kAeadNonceSize] = {};
-  store_le64(nonce, seal_counter_++);
+  // Random 96-bit nonce from the enclave DRBG (invisible to the host). A
+  // counter restarting at 0 on relaunch would reuse nonces under the fixed
+  // sealing key; the DRBG stream never repeats across launches.
+  std::uint8_t nonce[crypto::kAeadNonceSize];
+  drbg_.generate(nonce, sizeof nonce);
   return crypto::aead_seal(aead_key, ByteView(nonce, sizeof nonce), {}, data);
 }
 

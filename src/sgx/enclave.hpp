@@ -14,8 +14,9 @@
 // delay/replay to omission.
 //
 // Lifecycle: destroying an Enclave destroys all its state. A relaunched
-// enclave gets a fresh DRBG and no session keys, so it cannot rejoin an
-// ongoing execution (the paper's P6 note on restarts).
+// enclave gets a fresh DRBG and no session keys (the paper's P6 note on
+// restarts); rejoining an ongoing execution requires sealed, rollback-
+// protected checkpoints plus re-attestation — see src/recovery/.
 #pragma once
 
 #include <cstdint>
@@ -75,9 +76,22 @@ class Enclave {
   }
 
   /// Sealing: encrypt state for storage by the host. Only this program on
-  /// this CPU can unseal.
-  [[nodiscard]] Bytes seal(ByteView data) const;
+  /// this CPU can unseal. The nonce is drawn from the enclave DRBG — a
+  /// per-launch counter would repeat after a relaunch while the sealing key
+  /// (CPU + measurement) stays fixed, giving the host two ciphertexts under
+  /// one (key, nonce) pair.
+  [[nodiscard]] Bytes seal(ByteView data);
   [[nodiscard]] std::optional<Bytes> unseal(ByteView sealed) const;
+
+  /// Anti-rollback: the platform monotonic counter for this (CPU, program).
+  /// Survives enclave destruction — binding a counter value into sealed
+  /// state lets a relaunch detect a host replaying a stale blob.
+  [[nodiscard]] std::uint64_t monotonic_read() const {
+    return platform_->counter_read(cpu_, measurement_);
+  }
+  std::uint64_t monotonic_increment() {
+    return platform_->counter_increment(cpu_, measurement_);
+  }
 
   /// OCALL: hand a blob to the host for transfer.
   void ocall_transfer(NodeId to, Bytes blob) {
@@ -90,7 +104,6 @@ class Enclave {
   Measurement measurement_;
   EnclaveHostIface* host_;
   crypto::Drbg drbg_;
-  mutable std::uint64_t seal_counter_ = 0;
 };
 
 }  // namespace sgxp2p::sgx

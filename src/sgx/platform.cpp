@@ -19,6 +19,16 @@ crypto::Drbg SgxPlatform::make_enclave_drbg(CpuId cpu) {
   return crypto::Drbg(seed);
 }
 
+std::uint64_t SgxPlatform::counter_read(CpuId cpu,
+                                        const Measurement& m) const {
+  auto it = counters_.find({cpu, m});
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t SgxPlatform::counter_increment(CpuId cpu, const Measurement& m) {
+  return ++counters_[{cpu, m}];
+}
+
 Bytes SgxPlatform::sealing_key(CpuId cpu,
                                const Measurement& measurement) const {
   std::uint8_t info[8];

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 
 #include "common/bytes.hpp"
 #include "crypto/drbg.hpp"
@@ -50,12 +52,24 @@ class SgxPlatform {
     return attestation_root_;
   }
 
+  /// Monotonic counters (SGX's anti-rollback primitive, sgx_create/
+  /// increment_monotonic_counter). One counter per (CPU, measurement); the
+  /// value lives in the platform "hardware", so it survives enclave
+  /// destruction and relaunch. The host has no API to decrement or reset it
+  /// — a sealed blob bound to an old counter value is therefore detectable
+  /// as a rollback by any later incarnation of the same program.
+  [[nodiscard]] std::uint64_t counter_read(CpuId cpu,
+                                           const Measurement& m) const;
+  /// Increments and returns the new value (first increment returns 1).
+  std::uint64_t counter_increment(CpuId cpu, const Measurement& m);
+
  private:
   const TrustedClock* clock_;
   Bytes attestation_root_;
   Bytes sealing_root_;
   crypto::Drbg entropy_;
   std::uint64_t launch_counter_ = 0;
+  std::map<std::pair<CpuId, Measurement>, std::uint64_t> counters_;
 };
 
 }  // namespace sgxp2p::sgx

@@ -21,8 +21,10 @@ class ProbeEnclave final : public Enclave {
   Bytes rand(std::size_t n) { return read_rand().generate(n); }
   SimTime time() const { return trusted_time(); }
   Quote make(ByteView data) const { return quote(data); }
-  Bytes do_seal(ByteView d) const { return seal(d); }
+  Bytes do_seal(ByteView d) { return seal(d); }  // draws the DRBG nonce
   std::optional<Bytes> do_unseal(ByteView d) const { return unseal(d); }
+  std::uint64_t ctr_read() const { return monotonic_read(); }
+  std::uint64_t ctr_inc() { return monotonic_increment(); }
 };
 
 class NullHost final : public EnclaveHostIface {
@@ -147,6 +149,86 @@ TEST(Enclave, TamperedSealedBlobRejected) {
     bad[i] ^= 0xff;
     EXPECT_FALSE(enclave.do_unseal(bad).has_value()) << "byte " << i;
   }
+}
+
+TEST(Enclave, TruncatedSealedBlobRejected) {
+  Fixture fx;
+  ProbeEnclave enclave(fx.platform, 1, {"prog", "1"}, fx.host);
+  Bytes sealed = enclave.do_seal(to_bytes("secret"));
+  for (std::size_t len = 0; len < sealed.size(); ++len) {
+    EXPECT_FALSE(
+        enclave.do_unseal(ByteView(sealed.data(), len)).has_value())
+        << "length " << len;
+  }
+  EXPECT_TRUE(enclave.do_unseal(sealed).has_value());
+}
+
+TEST(Enclave, CrossCpuAndCrossMeasurementUnsealFails) {
+  // The sealing key is derived from (CPU, measurement): any other enclave —
+  // same program elsewhere, or another program here — gets nullopt, not a
+  // wrong plaintext.
+  Fixture fx;
+  ProbeEnclave a(fx.platform, 1, {"prog", "1"}, fx.host);
+  Bytes sealed = a.do_seal(to_bytes("bound state"));
+  ProbeEnclave cross_cpu(fx.platform, 9, {"prog", "1"}, fx.host);
+  ProbeEnclave cross_meas(fx.platform, 1, {"prog", "9"}, fx.host);
+  EXPECT_FALSE(cross_cpu.do_unseal(sealed).has_value());
+  EXPECT_FALSE(cross_meas.do_unseal(sealed).has_value());
+}
+
+TEST(Enclave, SealNonceFreshAcrossRelaunch) {
+  // Regression: a per-launch seal counter restarts at 0 after a relaunch
+  // while the sealing key stays fixed, so two lives sealing with counter
+  // nonces would hand the host two ciphertexts under one (key, nonce) pair.
+  // With DRBG nonces every sealed blob — within and across launches — must
+  // start with a distinct nonce.
+  Fixture fx;
+  Bytes plaintext = to_bytes("same plaintext every time");
+  std::vector<Bytes> blobs;
+  {
+    ProbeEnclave first(fx.platform, 1, {"prog", "1"}, fx.host);
+    blobs.push_back(first.do_seal(plaintext));
+    blobs.push_back(first.do_seal(plaintext));
+  }
+  ProbeEnclave relaunch(fx.platform, 1, {"prog", "1"}, fx.host);
+  blobs.push_back(relaunch.do_seal(plaintext));
+  blobs.push_back(relaunch.do_seal(plaintext));
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    ASSERT_TRUE(relaunch.do_unseal(blobs[i]).has_value());
+    for (std::size_t j = i + 1; j < blobs.size(); ++j) {
+      EXPECT_NE(Bytes(blobs[i].begin(), blobs[i].begin() + 12),
+                Bytes(blobs[j].begin(), blobs[j].begin() + 12))
+          << "nonce reuse between seal " << i << " and " << j;
+    }
+  }
+}
+
+TEST(Enclave, MonotonicCounterSurvivesRelaunch) {
+  Fixture fx;
+  {
+    ProbeEnclave first(fx.platform, 1, {"prog", "1"}, fx.host);
+    EXPECT_EQ(first.ctr_read(), 0u);
+    EXPECT_EQ(first.ctr_inc(), 1u);
+    EXPECT_EQ(first.ctr_inc(), 2u);
+    EXPECT_EQ(first.ctr_read(), 2u);
+  }
+  // The counter lives in the platform, not the enclave: a relaunch sees the
+  // previous life's value — that is what defeats sealed-state rollback.
+  ProbeEnclave relaunch(fx.platform, 1, {"prog", "1"}, fx.host);
+  EXPECT_EQ(relaunch.ctr_read(), 2u);
+  EXPECT_EQ(relaunch.ctr_inc(), 3u);
+}
+
+TEST(Enclave, MonotonicCounterPerCpuAndProgram) {
+  Fixture fx;
+  ProbeEnclave a(fx.platform, 1, {"prog", "1"}, fx.host);
+  ProbeEnclave other_cpu(fx.platform, 2, {"prog", "1"}, fx.host);
+  ProbeEnclave other_prog(fx.platform, 1, {"prog", "2"}, fx.host);
+  a.ctr_inc();
+  a.ctr_inc();
+  EXPECT_EQ(a.ctr_read(), 2u);
+  EXPECT_EQ(other_cpu.ctr_read(), 0u);
+  EXPECT_EQ(other_prog.ctr_read(), 0u);
 }
 
 TEST(Enclave, RelaunchGetsFreshRandomness) {

@@ -8,9 +8,11 @@
 //   sgxp2p-sim --protocol erb --n 512 --adversary chain --byz 128
 //   sgxp2p-sim --protocol erng-opt --n 256 --csv
 //   sgxp2p-sim --protocol eba --n 9 --adversary omission --byz 3
+//   sgxp2p-sim --protocol recovery --n 6 --crash-at 3 --recover-after 4
+//   sgxp2p-sim --protocol recovery --n 6 --stale-replay
 //
 // Flags:
-//   --protocol erb|erng|erng-opt|eba     (default erb)
+//   --protocol erb|erng|erng-opt|eba|recovery   (default erb)
 //   --n <int>                            network size (default 9)
 //   --t <int>                            byzantine bound (default (n-1)/2,
 //                                        or n/3 for erng-opt)
@@ -26,12 +28,27 @@
 //   --trace [path]                       record + write a JSONL event trace
 //                                        (default sim_trace.jsonl)
 //
+// recovery-scenario flags (--protocol recovery): node 1 of an N-member
+// roster crashes, its host keeps the sealed checkpoints, the node
+// relaunches, restores (or falls back to fresh re-admission), re-attests,
+// rejoins through the membership windows, then participates in the roster
+// ERB that admits one more fresh node — the post-recovery liveness proof.
+//   --crash-at <round>                   kill the victim's enclave (default 6)
+//   --recover-after <rounds>             relaunch delay (default 4)
+//   --checkpoint-every <rounds>          seal interval (default 2)
+//   --stale-replay                       the victim's host answers the
+//                                        restore with its OLDEST sealed blob
+//                                        (rollback attempt → counter trips →
+//                                        fresh re-admission path)
+//
 // SGXP2P_LOG_LEVEL=trace|debug|info|warn|error|off raises/lowers stderr
 // logging verbosity.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "adversary/strategies.hpp"
 #include "common/log.hpp"
@@ -42,6 +59,7 @@
 #include "protocol/erb_node.hpp"
 #include "protocol/erng_basic.hpp"
 #include "protocol/erng_opt.hpp"
+#include "recovery/coordinator.hpp"
 
 using namespace sgxp2p;
 
@@ -59,6 +77,11 @@ struct Options {
   bool csv = false;
   std::string metrics_path;  // empty → no snapshot written
   std::string trace_path;    // empty → tracing stays off
+  // recovery scenario
+  std::uint32_t crash_at = 6;
+  std::uint32_t recover_after = 4;
+  std::uint32_t checkpoint_every = 2;
+  bool stale_replay = false;
 };
 
 const char* flag_value(int argc, char** argv, const char* name) {
@@ -87,6 +110,16 @@ Options parse(int argc, char** argv) {
     o.delta_ms = std::atoi(v);
   }
   if (const char* v = flag_value(argc, argv, "--mode")) o.mode = v;
+  if (const char* v = flag_value(argc, argv, "--crash-at")) {
+    o.crash_at = std::atoi(v);
+  }
+  if (const char* v = flag_value(argc, argv, "--recover-after")) {
+    o.recover_after = std::atoi(v);
+  }
+  if (const char* v = flag_value(argc, argv, "--checkpoint-every")) {
+    o.checkpoint_every = std::atoi(v);
+  }
+  o.stale_replay = flag_present(argc, argv, "--stale-replay");
   o.csv = flag_present(argc, argv, "--csv");
   if (flag_present(argc, argv, "--metrics-out")) {
     const char* v = flag_value(argc, argv, "--metrics-out");
@@ -178,6 +211,17 @@ int main(int argc, char** argv) {
   bool accounted = o.mode.empty() ? o.n > 128 : o.mode == "accounted";
   cfg.mode = accounted ? protocol::ChannelMode::kAccounted
                        : protocol::ChannelMode::kAttested;
+  if (o.protocol == "recovery") {
+    if (o.n < 4) {
+      std::fprintf(stderr, "--protocol recovery needs --n >= 4\n");
+      return 2;
+    }
+    // One extra node joins fresh after the recovery (the liveness proof), so
+    // the testbed is one node larger than the initial roster.
+    cfg.n = o.n + 1;
+    cfg.t = o.t != 0 ? o.t : (o.n - 1) / 2;
+    cfg.mode = protocol::ChannelMode::kAttested;
+  }
 
   auto plan = std::make_shared<adversary::ChainPlan>();
   for (NodeId id = 0; id < o.byz; ++id) plan->order.push_back(id);
@@ -271,6 +315,81 @@ int main(int argc, char** argv) {
                             : "decided ⊥";
           return n.result().decided_at;
         });
+  } else if (o.protocol == "recovery") {
+    const NodeId victim = 1;
+    const NodeId extra = o.n;  // joins fresh after the recovery completes
+    const std::uint32_t W = cfg.t + 2;  // membership window length
+    const std::uint32_t crash_at = o.crash_at;
+    const std::uint32_t recover_at = crash_at + o.recover_after;
+    // First membership window starting at or after the relaunch round.
+    const std::size_t w_rejoin = (recover_at - 1 + W - 1) / W;
+    std::vector<NodeId> roster0;
+    for (NodeId id = 0; id < o.n; ++id) roster0.push_back(id);
+    std::vector<protocol::JoinPlanEntry> join_plan(w_rejoin + 3);
+    join_plan[w_rejoin] = {victim, NodeId{0}, true};
+    join_plan[w_rejoin + 1] = {victim, NodeId{2}, true};  // sponsor retry
+    join_plan[w_rejoin + 2] = {extra, NodeId{0}, false};  // fresh ERB proof
+
+    sim::Testbed::EnclaveFactory factory =
+        [roster0, join_plan](NodeId id, sgx::SgxPlatform& platform,
+                             net::Host& host, protocol::PeerConfig pc,
+                             const sgx::SimIAS& ias)
+        -> std::unique_ptr<protocol::PeerEnclave> {
+      return std::make_unique<recovery::RecoverableNode>(
+          platform, id, host, pc, ias, roster0, join_plan);
+    };
+    bed.build(factory, [&](NodeId id) -> std::unique_ptr<adversary::Strategy> {
+      if (o.stale_replay && id == victim) {
+        return std::make_unique<adversary::StaleSealReplayStrategy>();
+      }
+      return nullptr;
+    });
+
+    recovery::RecoveryPlan rp;
+    rp.victim = victim;
+    rp.crash_round = crash_at;
+    rp.recover_round = recover_at;
+    rp.checkpoint_interval = o.checkpoint_every;
+    recovery::RecoveryCoordinator coord(bed, factory, rp);
+    coord.install();
+
+    bed.start();
+    auto everyone_converged = [&]() {
+      if (!coord.rejoin_complete()) return false;
+      for (NodeId id = 0; id < cfg.n; ++id) {
+        if (!bed.has_enclave(id)) return false;
+        auto& node = bed.enclave_as<recovery::RecoverableNode>(id);
+        const auto& roster = node.roster();
+        if (!node.is_member() || roster.size() != o.n + 1 ||
+            std::find(roster.begin(), roster.end(), extra) == roster.end()) {
+          return false;
+        }
+      }
+      return true;
+    };
+    out.rounds = bed.run_rounds(
+        static_cast<std::uint32_t>((w_rejoin + 4) * W), everyone_converged);
+    out.messages = bed.network().meter().messages();
+    out.bytes = bed.network().meter().bytes();
+    out.termination_s = to_seconds(bed.simulator().now() - bed.start_time());
+
+    const char* restore_str =
+        !coord.used_fresh_fallback() ? "checkpoint restored"
+        : coord.restore_outcome() == recovery::RestoreOutcome::kStale
+            ? "stale seal detected, fresh re-admission"
+            : "no valid seal, fresh re-admission";
+    out.summary = "crash@" + std::to_string(crash_at) + " relaunch@" +
+                  std::to_string(recover_at) + " [" + restore_str + "]";
+    if (coord.rejoin_complete()) {
+      out.summary +=
+          " rejoined@" + std::to_string(coord.rejoin_round()) +
+          (everyone_converged()
+               ? "; post-recovery join ERB decided, all " +
+                     std::to_string(cfg.n) + " nodes agree on the roster"
+               : "; post-recovery join did NOT converge");
+    } else {
+      out.summary += " rejoin did NOT complete";
+    }
   } else {
     std::fprintf(stderr, "unknown protocol '%s'\n", o.protocol.c_str());
     return 2;
