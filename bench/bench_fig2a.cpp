@@ -13,15 +13,23 @@ int main(int argc, char** argv) {
   auto obs = sgxp2p::bench::parse_obs(argc, argv, "fig2a");
   using namespace sgxp2p;
   int max_exp = bench::flag_int(argc, argv, "--max-exp", 10);
+  int jobs = bench::sweep_jobs(argc, argv);
 
   std::printf("=== Figure 2a: ERB honest termination vs N ===\n");
   std::printf("round time = 2s (Delta = 1s); times are virtual seconds\n\n");
 
+  auto runs = bench::run_sweep<bench::RunStats>(
+      static_cast<std::size_t>(max_exp), jobs, [&](std::size_t i) {
+        int e = static_cast<int>(i) + 1;
+        return bench::run_erb(1u << e, 0, protocol::ChannelMode::kAccounted,
+                              42 + e);
+      });
+
   stats::Table table({"N", "rounds", "one round (s)", "ERB termination (s)",
                       "messages"});
-  for (int e = 1; e <= max_exp; ++e) {
-    std::uint32_t n = 1u << e;
-    auto r = bench::run_erb(n, 0, protocol::ChannelMode::kAccounted, 42 + e);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::uint32_t n = 1u << (i + 1);
+    const auto& r = runs[i];
     table.add_row({std::to_string(n), std::to_string(r.rounds),
                    stats::fmt(2.0), stats::fmt(r.termination_s),
                    stats::fmt_int(r.messages)});

@@ -16,37 +16,44 @@ int main(int argc, char** argv) {
   auto obs = sgxp2p::bench::parse_obs(argc, argv, "fig2b");
   using namespace sgxp2p;
   int max_exp = bench::flag_int(argc, argv, "--max-exp", 7);
+  int jobs = bench::sweep_jobs(argc, argv);
   const double kLinkBytesPerSec = 128.0 * 1024 * 1024;
-  const double kRoundSec = 2.0;
 
   std::printf("=== Figure 2b: ERNG termination vs N ===\n");
   std::printf("basic = Algorithm 3; optimized = Algorithm 6 (2N/3 fallback "
               "cluster, as the paper used at these sizes)\n\n");
 
+  // Sweep points flattened as (exponent, variant) pairs: even index =
+  // ERNG-basic, odd index = ERNG-opt at the same N.
+  std::size_t count = max_exp >= 2 ? 2 * static_cast<std::size_t>(max_exp - 1)
+                                   : 0;
+  auto runs = bench::run_sweep<bench::RunStats>(
+      count, jobs, [&](std::size_t i) {
+        int e = 2 + static_cast<int>(i / 2);
+        std::uint32_t n = 1u << e;
+        return i % 2 == 0
+                   ? bench::run_erng_basic(n, protocol::ChannelMode::kAccounted,
+                                           11 + e)
+                   : bench::run_erng_opt(n, /*force_fallback=*/true,
+                                         protocol::ChannelMode::kAccounted,
+                                         11 + e, /*one_phase=*/true);
+      });
+
   stats::Table table({"N", "variant", "rounds", "term (s)",
                       "term w/ 128MB/s link (s)", "MB"});
-  for (int e = 2; e <= max_exp; ++e) {
-    std::uint32_t n = 1u << e;
-    for (int variant = 0; variant < 2; ++variant) {
-      bench::RunStats r =
-          variant == 0
-              ? bench::run_erng_basic(n, protocol::ChannelMode::kAccounted,
-                                      11 + e)
-              : bench::run_erng_opt(n, /*force_fallback=*/true,
-                                    protocol::ChannelMode::kAccounted, 11 + e,
-                                    /*one_phase=*/true);
-      // Bandwidth model: all traffic ultimately serializes through the
-      // shared testbed link, so termination cannot beat bytes / bandwidth.
-      double adjusted = std::max(
-          r.termination_s, static_cast<double>(r.bytes) / kLinkBytesPerSec);
-      (void)kRoundSec;
-      table.add_row({std::to_string(n),
-                     variant == 0 ? "ERNG-basic" : "ERNG-opt",
-                     std::to_string(r.rounds), stats::fmt(r.termination_s),
-                     stats::fmt(adjusted),
-                     stats::fmt(static_cast<double>(r.bytes) / (1024 * 1024),
-                                3)});
-    }
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::uint32_t n = 1u << (2 + i / 2);
+    const auto& r = runs[i];
+    // Bandwidth model: all traffic ultimately serializes through the
+    // shared testbed link, so termination cannot beat bytes / bandwidth.
+    double adjusted = std::max(
+        r.termination_s, static_cast<double>(r.bytes) / kLinkBytesPerSec);
+    table.add_row({std::to_string(n),
+                   i % 2 == 0 ? "ERNG-basic" : "ERNG-opt",
+                   std::to_string(r.rounds), stats::fmt(r.termination_s),
+                   stats::fmt(adjusted),
+                   stats::fmt(static_cast<double>(r.bytes) / (1024 * 1024),
+                              3)});
   }
   table.print();
   std::printf(

@@ -6,6 +6,7 @@
 // linearly with the number of actively byzantine nodes f (389 s at f = N/4
 // versus 4 s honest, on their testbed). Round complexity is min{f+2, t+2}.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "stats/table.hpp"
@@ -15,18 +16,30 @@ int main(int argc, char** argv) {
   using namespace sgxp2p;
   std::uint32_t n =
       static_cast<std::uint32_t>(bench::flag_int(argc, argv, "--n", 512));
+  int jobs = bench::sweep_jobs(argc, argv);
 
   std::printf("=== Figure 2c: ERB termination vs byzantine fraction (N=%u) ===\n",
               n);
   std::printf("byzantine strategy: Section 6.3 chain (relay to one byzantine "
               "node per round, release to one honest node at the end)\n\n");
 
+  std::vector<std::uint32_t> denoms;
+  for (std::uint32_t denom = n; denom >= 4; denom /= 2) denoms.push_back(denom);
+
+  auto runs = bench::run_sweep<bench::RunStats>(
+      denoms.size(), jobs, [&](std::size_t i) {
+        std::uint32_t denom = denoms[i];
+        // fraction 1/denom of the network is byzantine
+        return bench::run_erb(n, n / denom, protocol::ChannelMode::kAccounted,
+                              1000 + denom);
+      });
+
   stats::Table table({"fraction", "f", "rounds", "termination (s)",
                       "f+2 (theory)"});
-  for (std::uint32_t denom = n; denom >= 4; denom /= 2) {
-    std::uint32_t f = n / denom;  // fraction 1/denom of the network
-    auto r = bench::run_erb(n, f, protocol::ChannelMode::kAccounted,
-                            1000 + denom);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::uint32_t denom = denoms[i];
+    std::uint32_t f = n / denom;
+    const auto& r = runs[i];
     table.add_row({"1/" + std::to_string(denom), std::to_string(f),
                    std::to_string(r.rounds), stats::fmt(r.termination_s),
                    std::to_string(f + 2)});

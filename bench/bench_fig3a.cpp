@@ -15,17 +15,22 @@ int main(int argc, char** argv) {
   auto obs = sgxp2p::bench::parse_obs(argc, argv, "fig3a");
   using namespace sgxp2p;
   int max_exp = bench::flag_int(argc, argv, "--max-exp", 10);
+  int jobs = bench::sweep_jobs(argc, argv);
 
   std::printf("=== Figure 3a: ERB traffic vs N (Th vs Ex) ===\n\n");
 
+  auto runs = bench::run_sweep<bench::RunStats>(
+      static_cast<std::size_t>(max_exp), jobs, [&](std::size_t i) {
+        int e = static_cast<int>(i) + 1;
+        return bench::run_erb(1u << e, 0, protocol::ChannelMode::kAccounted,
+                              7 + e);
+      });
   std::vector<double> ns, mbs;
   std::vector<std::uint64_t> msgs;
-  for (int e = 1; e <= max_exp; ++e) {
-    std::uint32_t n = 1u << e;
-    auto r = bench::run_erb(n, 0, protocol::ChannelMode::kAccounted, 7 + e);
-    ns.push_back(n);
-    mbs.push_back(static_cast<double>(r.bytes) / (1024.0 * 1024.0));
-    msgs.push_back(r.messages);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    ns.push_back(1u << (i + 1));
+    mbs.push_back(static_cast<double>(runs[i].bytes) / (1024.0 * 1024.0));
+    msgs.push_back(runs[i].messages);
   }
   // Normalize Th = c·N² at the middle sample.
   std::size_t mid = ns.size() / 2;

@@ -15,22 +15,32 @@ int main(int argc, char** argv) {
   auto obs = sgxp2p::bench::parse_obs(argc, argv, "fig3b");
   using namespace sgxp2p;
   int max_exp = bench::flag_int(argc, argv, "--max-exp", 7);
+  int jobs = bench::sweep_jobs(argc, argv);
 
   std::printf("=== Figure 3b: ERNG traffic vs N (Ex/Th, basic vs optimized) ===\n\n");
 
+  // Flattened (exponent, variant) sweep: even index = ERNG-0 (basic), odd =
+  // ERNG-1 (optimized, the paper's Fig. 3b configuration — cluster fixed to
+  // 2N/3, every member initiating; the sampled two-phase regime needs
+  // larger N).
+  std::size_t count = max_exp >= 2 ? 2 * static_cast<std::size_t>(max_exp - 1)
+                                   : 0;
+  auto runs = bench::run_sweep<bench::RunStats>(
+      count, jobs, [&](std::size_t i) {
+        int e = 2 + static_cast<int>(i / 2);
+        std::uint32_t n = 1u << e;
+        return i % 2 == 0
+                   ? bench::run_erng_basic(n, protocol::ChannelMode::kAccounted,
+                                           3 + e)
+                   : bench::run_erng_opt(n, /*force_fallback=*/true,
+                                         protocol::ChannelMode::kAccounted,
+                                         3 + e, /*one_phase=*/true);
+      });
   std::vector<double> ns, mb0, mb1;
-  for (int e = 2; e <= max_exp; ++e) {
-    std::uint32_t n = 1u << e;
-    auto r0 =
-        bench::run_erng_basic(n, protocol::ChannelMode::kAccounted, 3 + e);
-    // The paper's Fig. 3b configuration: cluster fixed to 2N/3, every member
-    // initiating (the sampled two-phase regime needs larger N).
-    auto r1 = bench::run_erng_opt(n, /*force_fallback=*/true,
-                                  protocol::ChannelMode::kAccounted, 3 + e,
-                                  /*one_phase=*/true);
-    ns.push_back(n);
-    mb0.push_back(static_cast<double>(r0.bytes) / (1024.0 * 1024.0));
-    mb1.push_back(static_cast<double>(r1.bytes) / (1024.0 * 1024.0));
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    ns.push_back(1u << (2 + i / 2));
+    mb0.push_back(static_cast<double>(runs[i].bytes) / (1024.0 * 1024.0));
+    mb1.push_back(static_cast<double>(runs[i + 1].bytes) / (1024.0 * 1024.0));
   }
   std::size_t mid = ns.size() / 2;
   double c0 = mb0[mid] / std::pow(ns[mid], 3.0);          // Th-ERNG-0: c·N³

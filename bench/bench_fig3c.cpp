@@ -16,24 +16,38 @@ int main(int argc, char** argv) {
   using namespace sgxp2p;
   std::uint32_t n =
       static_cast<std::uint32_t>(bench::flag_int(argc, argv, "--n", 512));
+  int jobs = bench::sweep_jobs(argc, argv);
 
   std::printf("=== Figure 3c: ERB traffic vs byzantine fraction (N=%u) ===\n\n",
               n);
 
-  // Honest reference point (f = 0) for normalization.
-  auto honest = bench::run_erb(n, 0, protocol::ChannelMode::kAccounted, 2024);
-  double honest_mb = static_cast<double>(honest.bytes) / (1024.0 * 1024.0);
+  // Point 0 is the honest reference (f = 0) used for normalization; the
+  // rest sweep the byzantine fraction 1/denom.
+  std::vector<std::uint32_t> denoms;
+  for (std::uint32_t denom = 256; denom >= 4; denom /= 2) {
+    denoms.push_back(denom);
+  }
+  auto runs = bench::run_sweep<bench::RunStats>(
+      denoms.size() + 1, jobs, [&](std::size_t i) {
+        if (i == 0) {
+          return bench::run_erb(n, 0, protocol::ChannelMode::kAccounted, 2024);
+        }
+        std::uint32_t denom = denoms[i - 1];
+        return bench::run_erb(n, n / denom, protocol::ChannelMode::kAccounted,
+                              500 + denom);
+      });
+
+  double honest_mb = static_cast<double>(runs[0].bytes) / (1024.0 * 1024.0);
   double c = honest_mb / (static_cast<double>(n) * n);
 
   stats::Table table({"fraction", "f", "Ex (MB)", "Th c*(N-f)^2 (MB)",
                       "vs honest"});
   table.add_row({"0", "0", stats::fmt(honest_mb, 3), stats::fmt(honest_mb, 3),
                  "100.0%"});
-  for (std::uint32_t denom = 256; denom >= 4; denom /= 2) {
+  for (std::size_t i = 0; i < denoms.size(); ++i) {
+    std::uint32_t denom = denoms[i];
     std::uint32_t f = n / denom;
-    auto r =
-        bench::run_erb(n, f, protocol::ChannelMode::kAccounted, 500 + denom);
-    double mb = static_cast<double>(r.bytes) / (1024.0 * 1024.0);
+    double mb = static_cast<double>(runs[i + 1].bytes) / (1024.0 * 1024.0);
     double th = c * static_cast<double>(n - f) * static_cast<double>(n - f);
     table.add_row({"1/" + std::to_string(denom), std::to_string(f),
                    stats::fmt(mb, 3), stats::fmt(th, 3),

@@ -7,9 +7,14 @@
 // clock — shape, not wall-clock, is the reproduction target (DESIGN.md §1).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "adversary/strategies.hpp"
 #include "common/log.hpp"
@@ -166,6 +171,79 @@ inline int flag_int(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+// ----- parallel sweep execution -----
+
+/// Runs `count` independent sweep points, up to `jobs` concurrently, and
+/// returns their results in index order. Determinism contract: each point
+/// runs against its own MetricsRegistry (bound as the thread's current()
+/// while the point executes, so Testbed/Simulator/Network and every cached
+/// instrument resolve into it), and after all points finish the per-point
+/// snapshots are folded into the caller's registry in index order. Every
+/// fold operation is commutative, and the simulations themselves share no
+/// mutable state, so tables and aggregate metrics are byte-identical for
+/// any `jobs` value — including jobs=1, which takes the same isolate-and-
+/// merge path.
+///
+/// The first exception thrown by a point (lowest index) is rethrown on the
+/// calling thread after all workers join.
+template <typename R, typename PointFn>
+std::vector<R> run_sweep(std::size_t count, int jobs, const PointFn& point) {
+  obs::MetricsRegistry& parent = obs::MetricsRegistry::current();
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries(count);
+  for (auto& r : registries) r = std::make_unique<obs::MetricsRegistry>();
+  std::vector<R> results(count);
+  std::vector<std::exception_ptr> errors(count);
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      obs::MetricsRegistry::ScopedCurrent bind(*registries[i]);
+      try {
+        results[i] = point(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::size_t n_threads = count == 0 ? 0
+                                     : std::min<std::size_t>(
+                                           static_cast<std::size_t>(
+                                               jobs < 1 ? 1 : jobs),
+                                           count);
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (std::size_t i = 0; i < n_threads; ++i) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (const auto& r : registries) {
+    obs::merge_snapshot(parent, r->snapshot());
+  }
+  return results;
+}
+
+/// Resolves the `--jobs N` flag. Tracing records into one global ring, so a
+/// requested parallel sweep degrades to sequential when the trace is on —
+/// otherwise event interleaving would depend on scheduling.
+inline int sweep_jobs(int argc, char** argv) {
+  int jobs = flag_int(argc, argv, "--jobs", 1);
+  if (jobs < 1) jobs = 1;
+  if (jobs > 1 && obs::TraceRecorder::global().enabled()) {
+    std::fprintf(stderr, "note: --trace forces --jobs 1\n");
+    return 1;
+  }
+  return jobs;
+}
+
 // ----- observability plumbing shared by every figure/table bench -----
 
 struct ObsOptions {
@@ -205,7 +283,7 @@ inline void finish_obs(const ObsOptions& o) {
   if (!o.metrics_path.empty()) {
     std::string json = "{\"bench\":\"" + obs::json_escape(o.bench) +
                        "\",\"metrics\":" +
-                       obs::MetricsRegistry::global().to_json() + "}\n";
+                       obs::MetricsRegistry::current().to_json() + "}\n";
     std::FILE* f = std::fopen(o.metrics_path.c_str(), "wb");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write metrics to %s\n",

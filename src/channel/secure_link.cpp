@@ -18,11 +18,17 @@ Bytes direction_aad(NodeId from, NodeId to, const sgx::Measurement& program) {
 }  // namespace
 
 ChannelMetrics& ChannelMetrics::get() {
-  static ChannelMetrics metrics{
-      obs::MetricsRegistry::global().counter("channel.sealed"),
-      obs::MetricsRegistry::global().counter("channel.opened"),
-      obs::MetricsRegistry::global().counter("channel.replay_rejected"),
-      obs::MetricsRegistry::global().counter("channel.mac_failed")};
+  thread_local ChannelMetrics metrics;
+  thread_local std::uint64_t bound_registry_id = 0;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::current();
+  if (reg.id() != bound_registry_id) {
+    metrics.sealed = &reg.counter("channel.sealed");
+    metrics.opened = &reg.counter("channel.opened");
+    metrics.replay_rejected = &reg.counter("channel.replay_rejected");
+    metrics.mac_failed = &reg.counter("channel.mac_failed");
+    metrics.window_overflow = &reg.counter("channel.window_overflow");
+    bound_registry_id = reg.id();
+  }
   return metrics;
 }
 
@@ -31,29 +37,30 @@ SecureLink::SecureLink(NodeId self, NodeId peer, LinkKeys keys,
     : self_(self),
       peer_(peer),
       keys_(std::move(keys)),
+      send_aead_(ByteView(keys_.send_key)),
+      recv_aead_(ByteView(keys_.recv_key)),
       aad_send_(direction_aad(self, peer, program)),
       aad_recv_(direction_aad(peer, self, program)),
       send_seq_(keys_.send_seq0),
-      recv_next_(keys_.recv_seq0) {}
+      recv_base_(keys_.recv_seq0) {}
 
 Bytes SecureLink::serialize() const {
   BinaryWriter w;
-  w.str("sgxp2p-link-v1");
+  w.str("sgxp2p-link-v2");
   w.u32(self_);
   w.u32(peer_);
   w.bytes(keys_.send_key);
   w.bytes(keys_.recv_key);
   w.u64(send_seq_);
-  w.u64(recv_next_);
-  w.u32(static_cast<std::uint32_t>(recv_seen_.size()));
-  for (std::uint64_t seq : recv_seen_) w.u64(seq);
+  w.u64(recv_base_);
+  for (std::uint64_t word : recv_window_) w.u64(word);
   return w.take();
 }
 
 std::optional<SecureLink> SecureLink::deserialize(
     ByteView data, const sgx::Measurement& program) {
   BinaryReader r(data);
-  if (r.str() != "sgxp2p-link-v1") return std::nullopt;
+  if (r.str() != "sgxp2p-link-v2") return std::nullopt;
   NodeId self = r.u32();
   NodeId peer = r.u32();
   LinkKeys keys;
@@ -63,17 +70,15 @@ std::optional<SecureLink> SecureLink::deserialize(
   // mid-stream (no nonce reuse, replay window intact).
   keys.send_seq0 = r.u64();
   keys.recv_seq0 = r.u64();
-  std::uint32_t n_seen = r.u32();
-  if (!r.ok() || n_seen > 1 << 20) return std::nullopt;
-  std::set<std::uint64_t> seen;
-  for (std::uint32_t i = 0; i < n_seen; ++i) seen.insert(r.u64());
+  std::array<std::uint64_t, kReplayWindow / 64> window;
+  for (std::uint64_t& word : window) word = r.u64();
   if (!r.done()) return std::nullopt;
   if (keys.send_key.size() != crypto::kAeadKeySize ||
       keys.recv_key.size() != crypto::kAeadKeySize) {
     return std::nullopt;
   }
   SecureLink link(self, peer, std::move(keys), program);
-  link.recv_seen_ = std::move(seen);
+  link.recv_window_ = window;
   return link;
 }
 
@@ -81,40 +86,50 @@ Bytes SecureLink::seal(ByteView plaintext) {
   std::uint8_t nonce[crypto::kAeadNonceSize] = {};
   store_le64(nonce, send_seq_++);
   ++sealed_count_;
-  ChannelMetrics::get().sealed.inc();
-  return crypto::aead_seal(keys_.send_key, ByteView(nonce, sizeof nonce),
+  ChannelMetrics::get().sealed->inc();
+  return crypto::aead_seal(send_aead_, ByteView(nonce, sizeof nonce),
                            aad_send_, plaintext);
 }
 
 std::optional<Bytes> SecureLink::open(ByteView blob) {
+  ChannelMetrics& metrics = ChannelMetrics::get();
   if (blob.size() < crypto::kAeadOverhead) {
     ++rejected_count_;
-    ChannelMetrics::get().mac_failed.inc();
+    metrics.mac_failed->inc();
     return std::nullopt;
   }
   // The wire sequence number rides in the nonce (authenticated by the AEAD).
   std::uint64_t seq = load_le64(blob.data());
-  if (seq < recv_next_ || recv_seen_.contains(seq)) {
+  if (seq < recv_base_ || window_bit(seq)) {
     LOG_DEBUG("channel: replayed seq ", seq, " rejected");
     ++rejected_count_;
     ++replay_count_;
-    ChannelMetrics::get().replay_rejected.inc();
+    metrics.replay_rejected->inc();
     return std::nullopt;  // replay
   }
-  auto plaintext = crypto::aead_open(keys_.recv_key, aad_recv_, blob);
+  if (seq - recv_base_ >= kReplayWindow) {
+    LOG_DEBUG("channel: seq ", seq, " beyond replay window (base ", recv_base_,
+              ") rejected");
+    ++rejected_count_;
+    ++window_overflow_count_;
+    metrics.window_overflow->inc();
+    return std::nullopt;  // cannot track without losing replay protection
+  }
+  auto plaintext = crypto::aead_open(recv_aead_, aad_recv_, blob);
   if (!plaintext) {
     ++rejected_count_;
-    ChannelMetrics::get().mac_failed.inc();
+    metrics.mac_failed->inc();
     return std::nullopt;
   }
-  // Mark accepted; compact the window when the low end becomes contiguous.
-  recv_seen_.insert(seq);
-  while (recv_seen_.contains(recv_next_)) {
-    recv_seen_.erase(recv_next_);
-    ++recv_next_;
+  // Mark accepted; slide the base over the contiguous accepted prefix,
+  // clearing bits so the slots are reusable when the window comes around.
+  set_window_bit(seq);
+  while (window_bit(recv_base_)) {
+    clear_window_bit(recv_base_);
+    ++recv_base_;
   }
   ++opened_count_;
-  ChannelMetrics::get().opened.inc();
+  metrics.opened->inc();
   return plaintext;
 }
 

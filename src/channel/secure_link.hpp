@@ -11,19 +11,34 @@
 // What the host sees of a sealed message: uniformly random-looking bytes of
 // length plaintext + kAeadOverhead. It cannot correlate content (P3), which
 // is what rules out content-selective omission (attack A3, first type).
+//
+// Hot-path shape: the directional AEAD key schedules (ChaCha20 key split +
+// HMAC pad midstates) are expanded once in the constructor, so seal/open do
+// no per-message key work. The replay window is a fixed 1024-bit bitmap
+// anchored at the lowest not-yet-accepted sequence — O(1) per message and
+// constant memory, where the previous std::set grew with reordering depth.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
-#include <set>
 
 #include "channel/handshake.hpp"
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "crypto/aead.hpp"
 #include "obs/metrics.hpp"
 #include "sgx/measurement.hpp"
 
 namespace sgxp2p::channel {
+
+/// Width of the receive replay window in sequence numbers. A message whose
+/// sequence is `kReplayWindow` or more ahead of the lowest outstanding one is
+/// rejected: the window cannot advance past a hole, so accepting it would
+/// either lose replay protection or require unbounded state. Network jitter
+/// in the simulator and testbeds reorders by a handful of messages; 1024
+/// leaves three orders of magnitude of slack.
+inline constexpr std::uint64_t kReplayWindow = 1024;
 
 class SecureLink {
  public:
@@ -35,10 +50,12 @@ class SecureLink {
   Bytes seal(ByteView plaintext);
 
   /// Opens an inbound blob. Returns nullopt when the MAC fails (forgery,
-  /// corruption, wrong program) or the sequence number was already accepted
-  /// (replay). Out-of-order but fresh messages are accepted — reordering
-  /// within a round is indistinguishable from network jitter; staleness
-  /// across rounds is the protocol layer's P5 check.
+  /// corruption, wrong program), the sequence number was already accepted
+  /// (replay), or the sequence is beyond the replay window (the sender ran
+  /// more than kReplayWindow messages ahead of a hole). Out-of-order but
+  /// fresh messages inside the window are accepted — reordering within a
+  /// round is indistinguishable from network jitter; staleness across rounds
+  /// is the protocol layer's P5 check.
   std::optional<Bytes> open(ByteView blob);
 
   /// Checkpoint support (src/recovery/): serializes the full link state —
@@ -48,7 +65,9 @@ class SecureLink {
   /// Enclave::seal.
   [[nodiscard]] Bytes serialize() const;
   /// Restores a link from serialize() output. `program` must be the same
-  /// measurement the link was built with (it is part of the AAD).
+  /// measurement the link was built with (it is part of the AAD). Only the
+  /// current "sgxp2p-link-v2" format is accepted; v1 checkpoints (sparse-set
+  /// window) predate the bitmap and are rejected.
   static std::optional<SecureLink> deserialize(
       ByteView data, const sgx::Measurement& program);
 
@@ -57,33 +76,61 @@ class SecureLink {
   [[nodiscard]] std::uint64_t opened_count() const { return opened_count_; }
   [[nodiscard]] std::uint64_t rejected_count() const { return rejected_count_; }
   /// Rejections that were replays (already-accepted sequence numbers), a
-  /// subset of rejected_count(); the rest failed the MAC/length checks.
+  /// subset of rejected_count(); the rest failed the MAC/length checks or
+  /// overflowed the window.
   [[nodiscard]] std::uint64_t replay_count() const { return replay_count_; }
+  /// Rejections of sequences at or beyond recv_base + kReplayWindow, a
+  /// subset of rejected_count().
+  [[nodiscard]] std::uint64_t window_overflow_count() const {
+    return window_overflow_count_;
+  }
 
  private:
+  [[nodiscard]] bool window_bit(std::uint64_t seq) const {
+    return (recv_window_[(seq % kReplayWindow) / 64] >>
+            (seq % kReplayWindow % 64)) &
+           1u;
+  }
+  void set_window_bit(std::uint64_t seq) {
+    recv_window_[(seq % kReplayWindow) / 64] |=
+        std::uint64_t{1} << (seq % kReplayWindow % 64);
+  }
+  void clear_window_bit(std::uint64_t seq) {
+    recv_window_[(seq % kReplayWindow) / 64] &=
+        ~(std::uint64_t{1} << (seq % kReplayWindow % 64));
+  }
+
   NodeId self_;
   NodeId peer_;
   LinkKeys keys_;
+  crypto::AeadKey send_aead_;  // key schedule expanded once per link
+  crypto::AeadKey recv_aead_;
   Bytes aad_send_;
   Bytes aad_recv_;
   std::uint64_t send_seq_;
-  // Replay window: lowest not-yet-seen recv sequence + the sparse set of
-  // accepted sequences above it.
-  std::uint64_t recv_next_;
-  std::set<std::uint64_t> recv_seen_;
+  // Replay window: recv_base_ is the lowest not-yet-accepted sequence; the
+  // bitmap holds accept bits for [recv_base_, recv_base_ + kReplayWindow),
+  // indexed seq % kReplayWindow. The base advances over contiguous accepted
+  // low bits (clearing them as it goes), exactly the old set-compaction.
+  std::uint64_t recv_base_;
+  std::array<std::uint64_t, kReplayWindow / 64> recv_window_{};
   std::uint64_t sealed_count_ = 0;
   std::uint64_t opened_count_ = 0;
   std::uint64_t rejected_count_ = 0;
   std::uint64_t replay_count_ = 0;
+  std::uint64_t window_overflow_count_ = 0;
 };
 
-/// Process-wide channel.* registry handles, shared by every SecureLink (one
-/// resolution instead of one per link — setup builds N² links).
+/// channel.* registry handles shared by every SecureLink (one resolution per
+/// registry instead of one per link — setup builds N² links). Cached per
+/// thread and keyed on MetricsRegistry::current().id(), so rebinding the
+/// current registry (per-sweep-point isolation) transparently re-resolves.
 struct ChannelMetrics {
-  obs::Counter& sealed;
-  obs::Counter& opened;
-  obs::Counter& replay_rejected;
-  obs::Counter& mac_failed;
+  obs::Counter* sealed = nullptr;
+  obs::Counter* opened = nullptr;
+  obs::Counter* replay_rejected = nullptr;
+  obs::Counter* mac_failed = nullptr;
+  obs::Counter* window_overflow = nullptr;
   static ChannelMetrics& get();
 };
 

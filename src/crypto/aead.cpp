@@ -1,10 +1,10 @@
 #include "crypto/aead.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/chacha20.hpp"
 #include "crypto/ct.hpp"
-#include "crypto/hmac.hpp"
 
 namespace sgxp2p::crypto {
 
@@ -23,28 +23,60 @@ void mac_header(HmacSha256& mac, ByteView nonce, ByteView associated_data,
 }
 }  // namespace
 
-Bytes aead_seal(ByteView key, ByteView nonce, ByteView associated_data,
-                ByteView plaintext) {
+AeadKey::AeadKey(ByteView key) {
   if (key.size() != kAeadKeySize) {
-    throw std::invalid_argument("aead_seal: bad key size");
+    throw std::invalid_argument("AeadKey: bad key size");
   }
+  std::memcpy(enc_key_.data(), key.data(), enc_key_.size());
+  mac_key_ = HmacKey(key.subspan(32, 32));
+}
+
+Bytes aead_seal(const AeadKey& key, ByteView nonce, ByteView associated_data,
+                ByteView plaintext) {
   if (nonce.size() != kAeadNonceSize) {
     throw std::invalid_argument("aead_seal: bad nonce size");
   }
-  ByteView enc_key = key.subspan(0, 32);
-  ByteView mac_key = key.subspan(32, 32);
+  // Single allocation: nonce ‖ ct ‖ tag, ciphertext produced in place.
+  Bytes out(kAeadOverhead + plaintext.size());
+  std::memcpy(out.data(), nonce.data(), kAeadNonceSize);
+  std::uint8_t* ct = out.data() + kAeadNonceSize;
+  if (!plaintext.empty()) {
+    std::memcpy(ct, plaintext.data(), plaintext.size());
+  }
+  ChaCha20 cipher(key.enc_key(), nonce, 1);
+  cipher.crypt(ct, plaintext.size());
 
-  Bytes out;
-  out.reserve(kAeadOverhead + plaintext.size());
-  append(out, nonce);
-  Bytes ct = chacha20_crypt(enc_key, nonce, 1, plaintext);
-  append(out, ct);
-
-  HmacSha256 mac(mac_key);
-  mac_header(mac, nonce, associated_data, ct);
+  HmacSha256 mac(key.mac_key());
+  mac_header(mac, nonce, associated_data, ByteView(ct, plaintext.size()));
   Sha256Digest tag = mac.finalize();
-  out.insert(out.end(), tag.begin(), tag.end());
+  std::memcpy(ct + plaintext.size(), tag.data(), tag.size());
   return out;
+}
+
+std::optional<Bytes> aead_open(const AeadKey& key, ByteView associated_data,
+                               ByteView sealed) {
+  if (sealed.size() < kAeadOverhead) return std::nullopt;
+
+  ByteView nonce = sealed.subspan(0, kAeadNonceSize);
+  ByteView ct = sealed.subspan(kAeadNonceSize, sealed.size() - kAeadOverhead);
+  ByteView tag = sealed.subspan(sealed.size() - kAeadTagSize);
+
+  HmacSha256 mac(key.mac_key());
+  mac_header(mac, nonce, associated_data, ct);
+  Sha256Digest expected = mac.finalize();
+  if (!ct_equal(ByteView(expected.data(), expected.size()), tag)) {
+    return std::nullopt;
+  }
+  // Single allocation: copy the ciphertext out and decrypt in place.
+  Bytes plaintext(ct.begin(), ct.end());
+  ChaCha20 cipher(key.enc_key(), nonce, 1);
+  cipher.crypt(plaintext);
+  return plaintext;
+}
+
+Bytes aead_seal(ByteView key, ByteView nonce, ByteView associated_data,
+                ByteView plaintext) {
+  return aead_seal(AeadKey(key), nonce, associated_data, plaintext);
 }
 
 std::optional<Bytes> aead_open(ByteView key, ByteView associated_data,
@@ -52,22 +84,8 @@ std::optional<Bytes> aead_open(ByteView key, ByteView associated_data,
   if (key.size() != kAeadKeySize) {
     throw std::invalid_argument("aead_open: bad key size");
   }
-  if (sealed.size() < kAeadOverhead) return std::nullopt;
-  ByteView enc_key = key.subspan(0, 32);
-  ByteView mac_key = key.subspan(32, 32);
-
-  ByteView nonce = sealed.subspan(0, kAeadNonceSize);
-  ByteView ct = sealed.subspan(kAeadNonceSize,
-                               sealed.size() - kAeadOverhead);
-  ByteView tag = sealed.subspan(sealed.size() - kAeadTagSize);
-
-  HmacSha256 mac(mac_key);
-  mac_header(mac, nonce, associated_data, ct);
-  Sha256Digest expected = mac.finalize();
-  if (!ct_equal(ByteView(expected.data(), expected.size()), tag)) {
-    return std::nullopt;
-  }
-  return chacha20_crypt(enc_key, nonce, 1, ct);
+  return aead_open(AeadKey(key), associated_data, sealed);
 }
 
 }  // namespace sgxp2p::crypto
+

@@ -5,11 +5,18 @@
 // yield a secure channel when SKE is CPA-secure and MAC is unforgeable.
 // The MAC covers nonce ‖ associated data ‖ ciphertext so replaying a
 // ciphertext under a different header fails authentication.
+//
+// Hot-path shape: AeadKey splits the 64-byte key once and precomputes the
+// HMAC pad midstates; the AeadKey overloads of seal/open write into a single
+// pre-sized output buffer and encrypt in place (the raw-key overloads derive
+// a throwaway AeadKey and delegate, so both paths are byte-identical).
 #pragma once
 
+#include <array>
 #include <optional>
 
 #include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
 
 namespace sgxp2p::crypto {
 
@@ -18,15 +25,40 @@ inline constexpr std::size_t kAeadNonceSize = 12;
 inline constexpr std::size_t kAeadTagSize = 32;
 inline constexpr std::size_t kAeadOverhead = kAeadNonceSize + kAeadTagSize;
 
-/// Seals `plaintext`. Layout: nonce ‖ ciphertext ‖ tag. `key` must be
-/// kAeadKeySize bytes (first half encryption key, second half MAC key);
-/// `nonce` must be unique per key (callers derive it from the message
-/// sequence number).
-Bytes aead_seal(ByteView key, ByteView nonce, ByteView associated_data,
+/// Expanded AEAD key: the split encryption key plus the precomputed HMAC
+/// key schedule. Build once per channel direction; every seal/open under it
+/// then skips the per-message key expansion.
+class AeadKey {
+ public:
+  AeadKey() = default;
+  /// `key` must be kAeadKeySize bytes (first half encryption, second MAC).
+  explicit AeadKey(ByteView key);
+
+  [[nodiscard]] ByteView enc_key() const {
+    return ByteView(enc_key_.data(), enc_key_.size());
+  }
+  [[nodiscard]] const HmacKey& mac_key() const { return mac_key_; }
+
+ private:
+  std::array<std::uint8_t, 32> enc_key_{};
+  HmacKey mac_key_;
+};
+
+/// Seals `plaintext`. Layout: nonce ‖ ciphertext ‖ tag. `nonce` must be
+/// unique per key (callers derive it from the message sequence number).
+/// Allocates the output once and encrypts in place.
+Bytes aead_seal(const AeadKey& key, ByteView nonce, ByteView associated_data,
                 ByteView plaintext);
 
 /// Opens a sealed buffer; returns nullopt if authentication fails (tampering,
 /// truncation, wrong key, or wrong associated data).
+std::optional<Bytes> aead_open(const AeadKey& key, ByteView associated_data,
+                               ByteView sealed);
+
+/// Raw-key convenience overloads: expand the key and delegate. `key` must be
+/// kAeadKeySize bytes.
+Bytes aead_seal(ByteView key, ByteView nonce, ByteView associated_data,
+                ByteView plaintext);
 std::optional<Bytes> aead_open(ByteView key, ByteView associated_data,
                                ByteView sealed);
 

@@ -3,9 +3,16 @@
 #include <cstring>
 #include <stdexcept>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace sgxp2p::crypto {
 
 namespace {
+
 inline std::uint32_t rotl(std::uint32_t x, int n) {
   return (x << n) | (x >> (32 - n));
 }
@@ -17,7 +24,221 @@ inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
   a += b; d ^= a; d = rotl(d, 8);
   c += d; b ^= c; b = rotl(b, 7);
 }
+
+/// One 64-byte block for `state` with its current counter; does NOT advance
+/// the counter (callers batch the advance).
+void scalar_block(const std::array<std::uint32_t, 16>& state,
+                  std::uint8_t* out) {
+  std::array<std::uint32_t, 16> x = state;
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    // Diagonal rounds.
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out + 4 * i, x[i] + state[i]);
+  }
+}
+
+void scalar_blocks(std::array<std::uint32_t, 16>& state, std::uint8_t* out,
+                   std::size_t nblocks) {
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    scalar_block(state, out + b * kChaChaBlockSize);
+    state[12] += 1;  // block counter, wraps mod 2^32 per the RFC
+  }
+}
+
+#if defined(__SSE2__) || defined(__AVX2__)
+
+inline __m128i rotl128(__m128i v, int n) {
+  return _mm_or_si128(_mm_slli_epi32(v, n), _mm_srli_epi32(v, 32 - n));
+}
+
+#define SGXP2P_QR128(a, b, c, d)          \
+  a = _mm_add_epi32(a, b);                \
+  d = rotl128(_mm_xor_si128(d, a), 16);   \
+  c = _mm_add_epi32(c, d);                \
+  b = rotl128(_mm_xor_si128(b, c), 12);   \
+  a = _mm_add_epi32(a, b);                \
+  d = rotl128(_mm_xor_si128(d, a), 8);    \
+  c = _mm_add_epi32(c, d);                \
+  b = rotl128(_mm_xor_si128(b, c), 7)
+
+/// 4 blocks in vertical form: lane b of vector j is word j of block b.
+void sse2_blocks4(std::array<std::uint32_t, 16>& state, std::uint8_t* out) {
+  __m128i v[16];
+  for (int j = 0; j < 16; ++j) {
+    v[j] = _mm_set1_epi32(static_cast<int>(state[j]));
+  }
+  v[12] = _mm_add_epi32(v[12], _mm_set_epi32(3, 2, 1, 0));
+  __m128i x[16];
+  for (int j = 0; j < 16; ++j) x[j] = v[j];
+  for (int round = 0; round < 10; ++round) {
+    SGXP2P_QR128(x[0], x[4], x[8], x[12]);
+    SGXP2P_QR128(x[1], x[5], x[9], x[13]);
+    SGXP2P_QR128(x[2], x[6], x[10], x[14]);
+    SGXP2P_QR128(x[3], x[7], x[11], x[15]);
+    SGXP2P_QR128(x[0], x[5], x[10], x[15]);
+    SGXP2P_QR128(x[1], x[6], x[11], x[12]);
+    SGXP2P_QR128(x[2], x[7], x[8], x[13]);
+    SGXP2P_QR128(x[3], x[4], x[9], x[14]);
+  }
+  for (int j = 0; j < 16; ++j) x[j] = _mm_add_epi32(x[j], v[j]);
+  // Transpose 4×4 word groups so each block's 64 bytes land contiguously.
+  for (int j = 0; j < 16; j += 4) {
+    __m128i t0 = _mm_unpacklo_epi32(x[j + 0], x[j + 1]);
+    __m128i t1 = _mm_unpackhi_epi32(x[j + 0], x[j + 1]);
+    __m128i t2 = _mm_unpacklo_epi32(x[j + 2], x[j + 3]);
+    __m128i t3 = _mm_unpackhi_epi32(x[j + 2], x[j + 3]);
+    __m128i r0 = _mm_unpacklo_epi64(t0, t2);  // words j..j+3 of block 0
+    __m128i r1 = _mm_unpackhi_epi64(t0, t2);
+    __m128i r2 = _mm_unpacklo_epi64(t1, t3);
+    __m128i r3 = _mm_unpackhi_epi64(t1, t3);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 0 * 64 + 4 * j), r0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 1 * 64 + 4 * j), r1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * 64 + 4 * j), r2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 3 * 64 + 4 * j), r3);
+  }
+  state[12] += 4;
+}
+
+#endif  // __SSE2__ || __AVX2__
+
+#if defined(__AVX2__)
+
+inline __m256i rotl256_16(__m256i v) {
+  const __m256i shuf = _mm256_set_epi8(
+      13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2,
+      13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2);
+  return _mm256_shuffle_epi8(v, shuf);
+}
+inline __m256i rotl256_8(__m256i v) {
+  const __m256i shuf = _mm256_set_epi8(
+      14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3,
+      14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3);
+  return _mm256_shuffle_epi8(v, shuf);
+}
+inline __m256i rotl256(__m256i v, int n) {
+  return _mm256_or_si256(_mm256_slli_epi32(v, n), _mm256_srli_epi32(v, 32 - n));
+}
+
+#define SGXP2P_QR256(a, b, c, d)            \
+  a = _mm256_add_epi32(a, b);               \
+  d = rotl256_16(_mm256_xor_si256(d, a));   \
+  c = _mm256_add_epi32(c, d);               \
+  b = rotl256(_mm256_xor_si256(b, c), 12);  \
+  a = _mm256_add_epi32(a, b);               \
+  d = rotl256_8(_mm256_xor_si256(d, a));    \
+  c = _mm256_add_epi32(c, d);               \
+  b = rotl256(_mm256_xor_si256(b, c), 7)
+
+/// 8 blocks in vertical form: lane b of vector j is word j of block b.
+void avx2_blocks8(std::array<std::uint32_t, 16>& state, std::uint8_t* out) {
+  __m256i v[16];
+  for (int j = 0; j < 16; ++j) {
+    v[j] = _mm256_set1_epi32(static_cast<int>(state[j]));
+  }
+  v[12] = _mm256_add_epi32(v[12], _mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0));
+  __m256i x[16];
+  for (int j = 0; j < 16; ++j) x[j] = v[j];
+  for (int round = 0; round < 10; ++round) {
+    SGXP2P_QR256(x[0], x[4], x[8], x[12]);
+    SGXP2P_QR256(x[1], x[5], x[9], x[13]);
+    SGXP2P_QR256(x[2], x[6], x[10], x[14]);
+    SGXP2P_QR256(x[3], x[7], x[11], x[15]);
+    SGXP2P_QR256(x[0], x[5], x[10], x[15]);
+    SGXP2P_QR256(x[1], x[6], x[11], x[12]);
+    SGXP2P_QR256(x[2], x[7], x[8], x[13]);
+    SGXP2P_QR256(x[3], x[4], x[9], x[14]);
+  }
+  for (int j = 0; j < 16; ++j) x[j] = _mm256_add_epi32(x[j], v[j]);
+  // Transpose two 8×8 word groups; row b of a group is words j..j+7 of
+  // block b, stored at its contiguous offset within the block.
+  for (int j = 0; j < 16; j += 8) {
+    __m256i t0 = _mm256_unpacklo_epi32(x[j + 0], x[j + 1]);
+    __m256i t1 = _mm256_unpackhi_epi32(x[j + 0], x[j + 1]);
+    __m256i t2 = _mm256_unpacklo_epi32(x[j + 2], x[j + 3]);
+    __m256i t3 = _mm256_unpackhi_epi32(x[j + 2], x[j + 3]);
+    __m256i t4 = _mm256_unpacklo_epi32(x[j + 4], x[j + 5]);
+    __m256i t5 = _mm256_unpackhi_epi32(x[j + 4], x[j + 5]);
+    __m256i t6 = _mm256_unpacklo_epi32(x[j + 6], x[j + 7]);
+    __m256i t7 = _mm256_unpackhi_epi32(x[j + 6], x[j + 7]);
+    __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+    __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+    __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+    __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+    __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+    __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+    __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+    __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+    auto store = [&](int block, __m256i row) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + block * 64 + 4 * j), row);
+    };
+    store(0, _mm256_permute2x128_si256(u0, u4, 0x20));
+    store(1, _mm256_permute2x128_si256(u1, u5, 0x20));
+    store(2, _mm256_permute2x128_si256(u2, u6, 0x20));
+    store(3, _mm256_permute2x128_si256(u3, u7, 0x20));
+    store(4, _mm256_permute2x128_si256(u0, u4, 0x31));
+    store(5, _mm256_permute2x128_si256(u1, u5, 0x31));
+    store(6, _mm256_permute2x128_si256(u2, u6, 0x31));
+    store(7, _mm256_permute2x128_si256(u3, u7, 0x31));
+  }
+  state[12] += 8;
+}
+
+#endif  // __AVX2__
+
 }  // namespace
+
+bool& chacha20_force_scalar() {
+  static bool force = false;
+  return force;
+}
+
+const char* chacha20_backend() {
+#if defined(__AVX2__)
+  return "avx2";
+#elif defined(__SSE2__)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+namespace detail {
+
+void chacha20_blocks(std::array<std::uint32_t, 16>& state, std::uint8_t* out,
+                     std::size_t nblocks) {
+  if (chacha20_force_scalar()) {
+    scalar_blocks(state, out, nblocks);
+    return;
+  }
+#if defined(__AVX2__)
+  while (nblocks >= 8) {
+    avx2_blocks8(state, out);
+    out += 8 * kChaChaBlockSize;
+    nblocks -= 8;
+  }
+#endif
+#if defined(__SSE2__) || defined(__AVX2__)
+  while (nblocks >= 4) {
+    sse2_blocks4(state, out);
+    out += 4 * kChaChaBlockSize;
+    nblocks -= 4;
+  }
+#endif
+  scalar_blocks(state, out, nblocks);
+}
+
+}  // namespace detail
 
 ChaCha20::ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter) {
   if (key.size() != kChaChaKeySize) {
@@ -36,31 +257,35 @@ ChaCha20::ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter) {
   for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
 }
 
-void ChaCha20::next_block() {
-  std::array<std::uint32_t, 16> x = state_;
-  for (int round = 0; round < 10; ++round) {
-    // Column rounds.
-    quarter_round(x[0], x[4], x[8], x[12]);
-    quarter_round(x[1], x[5], x[9], x[13]);
-    quarter_round(x[2], x[6], x[10], x[14]);
-    quarter_round(x[3], x[7], x[11], x[15]);
-    // Diagonal rounds.
-    quarter_round(x[0], x[5], x[10], x[15]);
-    quarter_round(x[1], x[6], x[11], x[12]);
-    quarter_round(x[2], x[7], x[8], x[13]);
-    quarter_round(x[3], x[4], x[9], x[14]);
-  }
-  for (int i = 0; i < 16; ++i) {
-    store_le32(block_.data() + 4 * i, x[i] + state_[i]);
-  }
-  state_[12] += 1;  // block counter
+void ChaCha20::refill(std::size_t want) {
+  std::size_t nblocks = want < 1 ? 1 : want;
+  if (nblocks > kChaChaBatchBlocks) nblocks = kChaChaBatchBlocks;
+  detail::chacha20_blocks(state_, block_.data(), nblocks);
   block_pos_ = 0;
+  block_len_ = nblocks * kChaChaBlockSize;
 }
 
 void ChaCha20::crypt(std::uint8_t* data, std::size_t len) {
-  for (std::size_t i = 0; i < len; ++i) {
-    if (block_pos_ == 64) next_block();
-    data[i] ^= block_[block_pos_++];
+  std::size_t done = 0;
+  while (done < len) {
+    if (block_pos_ == block_len_) {
+      refill((len - done + kChaChaBlockSize - 1) / kChaChaBlockSize);
+    }
+    std::size_t take = std::min(len - done, block_len_ - block_pos_);
+    const std::uint8_t* ks = block_.data() + block_pos_;
+    std::uint8_t* p = data + done;
+    std::size_t i = 0;
+    // Word-wide XOR; memcpy keeps it alignment-safe and vectorizable.
+    for (; i + 8 <= take; i += 8) {
+      std::uint64_t d, k;
+      std::memcpy(&d, p + i, 8);
+      std::memcpy(&k, ks + i, 8);
+      d ^= k;
+      std::memcpy(p + i, &d, 8);
+    }
+    for (; i < take; ++i) p[i] ^= ks[i];
+    block_pos_ += take;
+    done += take;
   }
 }
 

@@ -7,6 +7,13 @@
 // portable C++ and is combined with HMAC-SHA256 in encrypt-then-MAC form by
 // crypto/aead.hpp. It also powers the deterministic random bit generator
 // (crypto/drbg.hpp) that models SGX's RDRAND.
+//
+// Hot-path shape: the keystream is produced in batches of up to
+// kChaChaBatchBlocks blocks per refill. On x86 the batch kernel is selected
+// at compile time — 8 blocks per step with AVX2, 4 with SSE2 — with a
+// portable scalar kernel as the fallback (and the remainder path). All
+// kernels produce byte-identical keystreams: a batch is simply the
+// concatenation of consecutive single-block outputs.
 #pragma once
 
 #include <array>
@@ -18,6 +25,24 @@ namespace sgxp2p::crypto {
 
 inline constexpr std::size_t kChaChaKeySize = 32;
 inline constexpr std::size_t kChaChaNonceSize = 12;
+inline constexpr std::size_t kChaChaBlockSize = 64;
+inline constexpr std::size_t kChaChaBatchBlocks = 8;
+
+/// Testing/benchmark hook: while true, keystream generation bypasses the
+/// SIMD batch kernels and runs one scalar block at a time. The output is
+/// identical either way (asserted by the scalar-vs-SIMD property tests).
+bool& chacha20_force_scalar();
+
+/// True when this binary carries a SIMD batch kernel (compile-time dispatch).
+const char* chacha20_backend();
+
+namespace detail {
+/// Writes `nblocks` consecutive 64-byte keystream blocks for `state` into
+/// `out` and advances the block counter state[12] by nblocks (mod 2^32, the
+/// RFC's counter width). Dispatches to the widest compiled kernel.
+void chacha20_blocks(std::array<std::uint32_t, 16>& state, std::uint8_t* out,
+                     std::size_t nblocks);
+}  // namespace detail
 
 class ChaCha20 {
  public:
@@ -33,11 +58,15 @@ class ChaCha20 {
   Bytes keystream(std::size_t len);
 
  private:
-  void next_block();
+  /// Refills the keystream buffer with up to `want` blocks (≥ 1, clamped to
+  /// the batch size), sized to the caller's remaining demand so short
+  /// messages never pay for a full batch.
+  void refill(std::size_t want);
 
   std::array<std::uint32_t, 16> state_;
-  std::array<std::uint8_t, 64> block_;
-  std::size_t block_pos_ = 64;  // forces generation on first use
+  std::array<std::uint8_t, kChaChaBatchBlocks * kChaChaBlockSize> block_;
+  std::size_t block_pos_ = 0;  // consumed bytes of block_
+  std::size_t block_len_ = 0;  // valid bytes in block_ (0 → refill)
 };
 
 /// One-shot convenience: returns ciphertext (or plaintext) of `data`.

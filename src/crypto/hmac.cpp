@@ -5,7 +5,7 @@
 
 namespace sgxp2p::crypto {
 
-HmacSha256::HmacSha256(ByteView key) {
+HmacKey::HmacKey(ByteView key) {
   std::array<std::uint8_t, 64> block_key{};
   if (key.size() > 64) {
     Sha256Digest d = Sha256::hash(key);
@@ -13,22 +13,23 @@ HmacSha256::HmacSha256(ByteView key) {
   } else {
     std::memcpy(block_key.data(), key.data(), key.size());
   }
-  std::array<std::uint8_t, 64> ipad_key;
+  std::array<std::uint8_t, 64> pad;
   for (int i = 0; i < 64; ++i) {
-    ipad_key[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
-    opad_key_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+    pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
   }
-  inner_.update(ByteView(ipad_key.data(), ipad_key.size()));
+  inner_.update(ByteView(pad.data(), pad.size()));
+  for (int i = 0; i < 64; ++i) {
+    pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+  outer_.update(ByteView(pad.data(), pad.size()));
 }
 
 void HmacSha256::update(ByteView data) { inner_.update(data); }
 
 Sha256Digest HmacSha256::finalize() {
   Sha256Digest inner_digest = inner_.finalize();
-  Sha256 outer;
-  outer.update(ByteView(opad_key_.data(), opad_key_.size()));
-  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
-  return outer.finalize();
+  outer_.update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer_.finalize();
 }
 
 Sha256Digest HmacSha256::mac(ByteView key, ByteView data) {
@@ -50,12 +51,14 @@ Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
   if (length > 255 * kSha256DigestSize) {
     throw std::invalid_argument("hkdf_expand: length too large");
   }
+  // One key schedule for every T(i) block instead of one per iteration.
+  HmacKey key(prk);
   Bytes out;
   out.reserve(length);
   Bytes previous;
   std::uint8_t counter = 1;
   while (out.size() < length) {
-    HmacSha256 h(prk);
+    HmacSha256 h(key);
     h.update(previous);
     h.update(info);
     h.update(ByteView(&counter, 1));

@@ -4,6 +4,12 @@
 // (Appendix A, Fig. 4) and the primitive behind the simulated attestation
 // quotes. HKDF derives the per-direction channel keys from the X25519 shared
 // secret during the setup phase.
+//
+// Hot-path shape: HmacKey precomputes the SHA-256 midstates that result from
+// compressing the ipad/opad key blocks. A SecureLink seals thousands of
+// messages under one key, so caching the midstates turns the per-message key
+// schedule (two extra compression blocks plus the key XORs) into two struct
+// copies.
 #pragma once
 
 #include "common/bytes.hpp"
@@ -13,9 +19,27 @@ namespace sgxp2p::crypto {
 
 inline constexpr std::size_t kHmacTagSize = kSha256DigestSize;
 
+/// Precomputed HMAC key schedule: the inner/outer hash states after the
+/// ipad/opad blocks. Derive once per key, reuse for every MAC.
+class HmacKey {
+ public:
+  HmacKey() = default;
+  explicit HmacKey(ByteView key);
+
+  [[nodiscard]] const Sha256& inner_state() const { return inner_; }
+  [[nodiscard]] const Sha256& outer_state() const { return outer_; }
+
+ private:
+  Sha256 inner_;  // state after absorbing key ⊕ ipad
+  Sha256 outer_;  // state after absorbing key ⊕ opad
+};
+
 class HmacSha256 {
  public:
-  explicit HmacSha256(ByteView key);
+  explicit HmacSha256(ByteView key) : HmacSha256(HmacKey(key)) {}
+  /// Starts from a precomputed key schedule (two midstate copies, no hashing).
+  explicit HmacSha256(const HmacKey& key)
+      : inner_(key.inner_state()), outer_(key.outer_state()) {}
 
   void update(ByteView data);
   Sha256Digest finalize();
@@ -26,7 +50,7 @@ class HmacSha256 {
 
  private:
   Sha256 inner_;
-  std::array<std::uint8_t, 64> opad_key_;
+  Sha256 outer_;
 };
 
 /// HKDF-Extract: PRK = HMAC(salt, ikm).

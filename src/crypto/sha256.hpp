@@ -4,6 +4,12 @@
 // H(val)), enclave measurements, HMAC, HKDF, the WOTS/Merkle signature
 // scheme, and the DRBG reseed path. Streaming interface plus a one-shot
 // helper.
+//
+// Hot-path shape: the compression function dispatches at runtime to the
+// x86 SHA extensions (SHA-NI) when the CPU has them, falling back to the
+// portable scalar rounds. Both produce identical digests; HMAC is the
+// dominant cost of every sealed channel message, so this is where the
+// channel's MB/s ceiling lives.
 #pragma once
 
 #include <array>
@@ -15,6 +21,14 @@ namespace sgxp2p::crypto {
 
 inline constexpr std::size_t kSha256DigestSize = 32;
 using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Testing/benchmark hook: while true, compression bypasses the SHA-NI
+/// kernel and runs the portable scalar rounds. Output is identical either
+/// way (asserted by the equality property tests).
+bool& sha256_force_scalar();
+
+/// "sha-ni" when this machine takes the accelerated path, else "scalar".
+const char* sha256_backend();
 
 class Sha256 {
  public:
@@ -32,7 +46,7 @@ class Sha256 {
   static Bytes hash_bytes(ByteView data);
 
  private:
-  void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* data, std::size_t nblocks);
 
   std::array<std::uint32_t, 8> state_;
   std::uint64_t bit_count_ = 0;

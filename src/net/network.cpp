@@ -7,19 +7,19 @@
 
 namespace sgxp2p::sim {
 
-Network::Network(Simulator& simulator, NetworkConfig config)
+Network::Network(Simulator& simulator, NetworkConfig config,
+                 obs::MetricsRegistry& registry)
     : simulator_(&simulator),
       config_(config),
       jitter_rng_(config.seed),
-      sends_ctr_(obs::MetricsRegistry::global().counter("net.sends")),
-      bytes_ctr_(obs::MetricsRegistry::global().counter("net.bytes")),
-      delivered_ctr_(obs::MetricsRegistry::global().counter("net.delivered")),
-      delivered_bytes_ctr_(
-          obs::MetricsRegistry::global().counter("net.delivered_bytes")),
-      dropped_ctr_(obs::MetricsRegistry::global().counter("net.dropped")),
-      size_hist_(obs::MetricsRegistry::global().histogram(
+      sends_ctr_(registry.counter("net.sends")),
+      bytes_ctr_(registry.counter("net.bytes")),
+      delivered_ctr_(registry.counter("net.delivered")),
+      delivered_bytes_ctr_(registry.counter("net.delivered_bytes")),
+      dropped_ctr_(registry.counter("net.dropped")),
+      size_hist_(registry.histogram(
           "net.msg_bytes", {32, 64, 128, 256, 512, 1024, 4096, 16384})),
-      delay_hist_(obs::MetricsRegistry::global().histogram(
+      delay_hist_(registry.histogram(
           "net.delay_ms", {100, 200, 300, 400, 500, 750, 1000, 2000, 5000})) {}
 
 void Network::attach(NodeId id, DeliverFn sink) {

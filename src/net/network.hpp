@@ -83,7 +83,10 @@ class Network {
  public:
   using DeliverFn = std::function<void(NodeId from, Bytes blob)>;
 
-  Network(Simulator& simulator, NetworkConfig config);
+  /// Instruments net.* on `registry` (defaults to the thread's current
+  /// registry, which is the global one unless a run rebound it).
+  Network(Simulator& simulator, NetworkConfig config,
+          obs::MetricsRegistry& registry = obs::MetricsRegistry::current());
 
   /// Registers the inbound sink for `id` (the node's Host).
   void attach(NodeId id, DeliverFn sink);

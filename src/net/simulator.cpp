@@ -1,36 +1,66 @@
 #include "net/simulator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace sgxp2p::sim {
 
-Simulator::Simulator()
-    : scheduled_ctr_(
-          obs::MetricsRegistry::global().counter("sim.events_scheduled")),
-      fired_ctr_(obs::MetricsRegistry::global().counter("sim.events_fired")),
-      depth_gauge_(obs::MetricsRegistry::global().gauge("sim.queue_depth")),
-      depth_peak_(obs::MetricsRegistry::global().gauge("sim.queue_peak")),
-      wait_hist_(obs::MetricsRegistry::global().histogram(
+Simulator::Simulator(obs::MetricsRegistry& registry)
+    : scheduled_ctr_(registry.counter("sim.events_scheduled")),
+      fired_ctr_(registry.counter("sim.events_fired")),
+      depth_gauge_(registry.gauge("sim.queue_depth")),
+      depth_peak_(registry.gauge("sim.queue_peak")),
+      wait_hist_(registry.histogram(
           "sim.event_wait_ms",
           {0, 1, 10, 100, 250, 500, 1000, 2000, 5000, 10000})) {}
 
+void Simulator::heap_push(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Simulator::Event Simulator::heap_pop() {
+  Event out = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+  }
+  heap_.pop_back();
+  // Sift the relocated tail element down to restore the heap property.
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t smallest = i;
+    std::size_t left = 2 * i + 1;
+    std::size_t right = 2 * i + 2;
+    if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+  return out;
+}
+
 void Simulator::schedule(SimTime at, std::function<void()> fn) {
-  queue_.push(Event{std::max(at, now_), next_seq_++, now_, std::move(fn)});
+  heap_push(Event{std::max(at, now_), next_seq_++, now_, std::move(fn)});
   scheduled_ctr_.inc();
-  auto depth = static_cast<std::int64_t>(queue_.size());
+  auto depth = static_cast<std::int64_t>(heap_.size());
   depth_gauge_.set(depth);
   depth_peak_.max_of(depth);
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the function object must be moved out
-  // before pop, so copy the header fields and steal the callable.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  if (heap_.empty()) return false;
+  Event ev = heap_pop();
   now_ = ev.at;
   fired_ctr_.inc();
-  depth_gauge_.set(static_cast<std::int64_t>(queue_.size()));
+  depth_gauge_.set(static_cast<std::int64_t>(heap_.size()));
   wait_hist_.observe(ev.at - ev.queued_at);
   ev.fn();
   return true;
@@ -42,7 +72,7 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().at <= t) {
+  while (!heap_.empty() && heap_.front().at <= t) {
     step();
   }
   now_ = std::max(now_, t);

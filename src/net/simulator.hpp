@@ -5,11 +5,15 @@
 // virtual clock the event loop advances — modeling the hardware timer the
 // OS cannot skew (feature F4). All timing results in EXPERIMENTS.md are
 // virtual seconds from this clock.
+//
+// The event queue is a hand-rolled binary min-heap over a vector rather than
+// std::priority_queue: pop can then move the event (and its std::function)
+// out of storage without the const_cast that priority_queue::top forces, and
+// sift-down moves each displaced event exactly once instead of copying.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/time.hpp"
@@ -20,7 +24,10 @@ namespace sgxp2p::sim {
 
 class Simulator : public sgx::TrustedClock {
  public:
-  Simulator();
+  /// Instruments sim.* on `registry` (defaults to the thread's current
+  /// registry, which is the global one unless a run rebound it).
+  explicit Simulator(
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::current());
 
   [[nodiscard]] SimTime now() const override { return now_; }
 
@@ -37,8 +44,8 @@ class Simulator : public sgx::TrustedClock {
   /// Runs a single event; returns false if the queue was empty.
   bool step();
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool idle() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
  private:
   struct Event {
@@ -47,16 +54,17 @@ class Simulator : public sgx::TrustedClock {
     SimTime queued_at;  // enqueue time, for the sim.event_wait_ms histogram
     std::function<void()> fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  // Min-heap order: earliest timestamp first, FIFO among equals.
+  static bool before(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+  void heap_push(Event ev);
+  Event heap_pop();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;
 
   // Registry handles (sim.*), resolved once at construction; incrementing
   // them is a relaxed atomic add, cheap enough for the accounted benches.

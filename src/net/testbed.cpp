@@ -18,7 +18,10 @@ Bytes platform_seed(std::uint64_t seed) {
 
 Testbed::Testbed(TestbedConfig config)
     : cfg_(config),
-      network_(simulator_, config.net),
+      registry_(config.registry != nullptr ? config.registry
+                                           : &obs::MetricsRegistry::current()),
+      simulator_(*registry_),
+      network_(simulator_, config.net, *registry_),
       platform_(simulator_, platform_seed(config.seed)) {
   ias_ = std::make_unique<sgx::SimIAS>(platform_);
   CHECK_MSG(cfg_.n >= 1, "Testbed: need at least one node");
@@ -31,6 +34,9 @@ Testbed::Testbed(TestbedConfig config)
 
 void Testbed::build(const EnclaveFactory& make_enclave,
                     const StrategyFactory& make_strategy) {
+  // Everything below (and transitively: handshakes, seq exchange) runs
+  // enclave code that resolves instruments via MetricsRegistry::current().
+  obs::MetricsRegistry::ScopedCurrent bind(*registry_);
   hosts_.reserve(cfg_.n);
   enclaves_.reserve(cfg_.n);
 
@@ -98,6 +104,7 @@ void Testbed::run_setup() {
 }
 
 void Testbed::start() {
+  obs::MetricsRegistry::ScopedCurrent bind(*registry_);
   // S2: synchronized start at a public reference time.
   t0_ = simulator_.now() + milliseconds(10);
   LOG_INFO("testbed: start N=", cfg_.n, " t=", cfg_.effective_t(),
@@ -107,6 +114,7 @@ void Testbed::start() {
 
 std::uint32_t Testbed::run_rounds(std::uint32_t max_rounds,
                                   const std::function<bool()>& stop_when) {
+  obs::MetricsRegistry::ScopedCurrent bind(*registry_);
   const SimDuration rt = cfg_.effective_round();
   // Consecutive calls continue the schedule (rounds_run_ tracks progress).
   for (std::uint32_t r = 1; r <= max_rounds; ++r) {
@@ -148,6 +156,7 @@ void Testbed::kill_enclave(NodeId id) {
 protocol::PeerEnclave& Testbed::relaunch_enclave(
     NodeId id, const EnclaveFactory& make_enclave,
     const std::function<void(protocol::PeerEnclave&)>& before_start) {
+  obs::MetricsRegistry::ScopedCurrent bind(*registry_);
   CHECK_MSG(id < cfg_.n && enclaves_.at(id) == nullptr,
             "relaunch_enclave: node still running");
   protocol::PeerConfig pc;

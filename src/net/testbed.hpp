@@ -31,6 +31,10 @@ struct TestbedConfig {
   SimDuration round_ms = 0;  // 0 → 2 × net.worst_delay()  (round = 2Δ)
   protocol::ChannelMode mode = protocol::ChannelMode::kAttested;
   std::uint64_t seed = 1;
+  /// Registry this deployment instruments. nullptr → the thread's current
+  /// registry at construction time (usually the global one). Sweep drivers
+  /// hand every run its own registry so runs are isolated and mergeable.
+  obs::MetricsRegistry* registry = nullptr;
 
   [[nodiscard]] std::uint32_t effective_t() const {
     return t != 0 ? t : (n - 1) / 2;
@@ -106,6 +110,7 @@ class Testbed {
   [[nodiscard]] net::Host& host(NodeId id) { return *hosts_.at(id); }
   [[nodiscard]] Network& network() { return network_; }
   [[nodiscard]] Simulator& simulator() { return simulator_; }
+  [[nodiscard]] obs::MetricsRegistry& registry() { return *registry_; }
   [[nodiscard]] const TestbedConfig& config() const { return cfg_; }
   [[nodiscard]] sgx::SimIAS& ias() { return *ias_; }
   [[nodiscard]] SimTime start_time() const { return t0_; }
@@ -120,6 +125,7 @@ class Testbed {
   void run_setup();
 
   TestbedConfig cfg_;
+  obs::MetricsRegistry* registry_;  // resolved before simulator_/network_
   Simulator simulator_;
   Network network_;
   sgx::SgxPlatform platform_;

@@ -25,6 +25,17 @@ void Histogram::observe(std::int64_t v) {
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
+void Histogram::add_buckets(const std::vector<std::uint64_t>& buckets,
+                            std::uint64_t count, std::int64_t sum) {
+  CHECK_MSG(buckets.size() == bounds_.size() + 1,
+            "Histogram::add_buckets: bucket count mismatch");
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out(bounds_.size() + 1);
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -117,6 +128,40 @@ void MetricsRegistry::reset() {
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
+}
+
+namespace {
+thread_local MetricsRegistry* t_current = nullptr;
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::current() {
+  return t_current != nullptr ? *t_current : global();
+}
+
+MetricsRegistry::ScopedCurrent::ScopedCurrent(MetricsRegistry& registry)
+    : previous_(t_current) {
+  t_current = &registry;
+}
+
+MetricsRegistry::ScopedCurrent::~ScopedCurrent() { t_current = previous_; }
+
+std::uint64_t MetricsRegistry::next_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void merge_snapshot(MetricsRegistry& into, const MetricsSnapshot& snap) {
+  for (const auto& c : snap.counters) {
+    into.counter(c.name).inc(c.value);
+  }
+  for (const auto& g : snap.gauges) {
+    into.gauge(g.name).max_of(g.value);
+  }
+  for (const auto& h : snap.histograms) {
+    // Re-registers with the snapshot's bounds; add_buckets CHECKs if an
+    // already-registered histogram of the same name disagrees on shape.
+    into.histogram(h.name, h.bounds).add_buckets(h.buckets, h.count, h.sum);
+  }
 }
 
 const CounterSample* MetricsSnapshot::find_counter(

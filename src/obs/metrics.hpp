@@ -75,6 +75,11 @@ class Histogram {
 
   void observe(std::int64_t v);
 
+  /// Adds pre-aggregated bucket counts (plus count/sum) from a snapshot of a
+  /// histogram with identical bounds. Used when merging per-run registries.
+  void add_buckets(const std::vector<std::uint64_t>& buckets,
+                   std::uint64_t count, std::int64_t sum);
+
   [[nodiscard]] const std::vector<std::int64_t>& bounds() const {
     return bounds_;
   }
@@ -148,17 +153,48 @@ class MetricsRegistry {
   void reset();
   [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
 
+  /// Process-unique id for this registry instance. Components that cache
+  /// instrument handles key their caches on this (never on the registry's
+  /// address, which the allocator can reuse across short-lived registries).
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
   /// The process-wide registry every component instruments by default.
   static MetricsRegistry& global();
 
+  /// The registry components instrument on this thread. Defaults to global();
+  /// rebind with ScopedCurrent to isolate a run (e.g. one sweep point per
+  /// worker thread).
+  static MetricsRegistry& current();
+
+  /// RAII rebind of current() for this thread.
+  class ScopedCurrent {
+   public:
+    explicit ScopedCurrent(MetricsRegistry& registry);
+    ~ScopedCurrent();
+    ScopedCurrent(const ScopedCurrent&) = delete;
+    ScopedCurrent& operator=(const ScopedCurrent&) = delete;
+
+   private:
+    MetricsRegistry* previous_;
+  };
+
  private:
   static std::string full_name(std::string_view name, std::string_view label);
+  static std::uint64_t next_id();
 
+  const std::uint64_t id_ = next_id();
   mutable std::mutex mu_;  // guards the maps; values are atomics
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+/// Folds a snapshot into `into`: counters add, gauges take the max (they are
+/// high-water marks across runs), histograms add bucket counts. Every fold
+/// operation is commutative and associative, so merging per-run snapshots in
+/// any order yields the same totals — this is what keeps parallel sweeps
+/// byte-identical to sequential ones.
+void merge_snapshot(MetricsRegistry& into, const MetricsSnapshot& snap);
 
 /// Escapes a string for inclusion in a JSON string literal (no quotes added).
 std::string json_escape(std::string_view s);

@@ -40,7 +40,9 @@ ErbInstance& EbaNode::instance_for(NodeId initiator) {
 }
 
 void EbaNode::perform(const ErbInstance::Sends& sends) {
-  for (const auto& send : sends) send_val(send.to, send.val);
+  // Multicasts first — that is the order the old per-peer vector carried.
+  for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
+  for (const auto& send : sends.unicasts) send_val(send.to, send.val);
 }
 
 void EbaNode::finalize(std::uint32_t round) {

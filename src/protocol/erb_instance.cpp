@@ -30,16 +30,10 @@ bool ErbInstance::is_participant(NodeId id) const {
                             id);
 }
 
-ErbInstance::Sends ErbInstance::multicast(Val val, std::uint32_t global_round) {
-  Sends sends;
-  sends.reserve(cfg_.participants.size());
+void ErbInstance::multicast(Val val, std::uint32_t global_round, Sends& out) {
   Bytes hash = crypto::Sha256::hash_bytes(serialize(val));
-  for (NodeId peer : cfg_.participants) {
-    if (peer == cfg_.self) continue;
-    sends.push_back(Send{peer, val});
-  }
   pending_ack_ = PendingAck{global_round, std::move(hash), {}};
-  return sends;
+  out.multicasts.push_back(std::move(val));
 }
 
 void ErbInstance::maybe_accept(std::uint32_t instance_rnd) {
@@ -53,6 +47,7 @@ void ErbInstance::maybe_accept(std::uint32_t instance_rnd) {
 
 ErbInstance::Sends ErbInstance::on_round_begin(std::uint32_t global_round) {
   Sends sends;
+  sends.group = &cfg_.participants;
   if (wants_halt_) return sends;
   std::uint32_t rnd = instance_round(global_round);
   if (rnd == 0) return sends;
@@ -73,7 +68,7 @@ ErbInstance::Sends ErbInstance::on_round_begin(std::uint32_t global_round) {
     s_echo_.insert(cfg_.self);
     Val init{MsgType::kInit, cfg_.instance.initiator, cfg_.instance.epoch,
              global_round, cfg_.init_payload};
-    sends = multicast(std::move(init), global_round);
+    multicast(std::move(init), global_round, sends);
     maybe_accept(rnd);
   }
 
@@ -82,8 +77,7 @@ ErbInstance::Sends ErbInstance::on_round_begin(std::uint32_t global_round) {
   if (echo_due_round_ && *echo_due_round_ == rnd && rnd <= max_rounds_) {
     Val echo{MsgType::kEcho, cfg_.instance.initiator, cfg_.instance.epoch,
              global_round, *m_};
-    auto echo_sends = multicast(std::move(echo), global_round);
-    sends.insert(sends.end(), echo_sends.begin(), echo_sends.end());
+    multicast(std::move(echo), global_round, sends);
     echo_due_round_.reset();
   }
 
@@ -99,6 +93,7 @@ ErbInstance::Sends ErbInstance::on_round_begin(std::uint32_t global_round) {
 ErbInstance::Sends ErbInstance::on_val(NodeId from, const Val& val,
                                        std::uint32_t global_round) {
   Sends sends;
+  sends.group = &cfg_.participants;
   if (wants_halt_) return sends;
   std::uint32_t rnd = instance_round(global_round);
   if (rnd == 0 || rnd > max_rounds_) return sends;
@@ -112,7 +107,7 @@ ErbInstance::Sends ErbInstance::on_val(NodeId from, const Val& val,
       if (val.round != global_round || val.seq != cfg_.instance.epoch) break;
       Val ack{MsgType::kAck, cfg_.instance.initiator, cfg_.instance.epoch,
               global_round, crypto::Sha256::hash_bytes(serialize(val))};
-      sends.push_back(Send{from, std::move(ack)});
+      sends.unicasts.push_back(Send{from, std::move(ack)});
       if (!m_) {
         m_ = val.payload;
         s_echo_.insert(cfg_.instance.initiator);
@@ -126,7 +121,7 @@ ErbInstance::Sends ErbInstance::on_val(NodeId from, const Val& val,
       if (val.round != global_round || val.seq != cfg_.instance.epoch) break;
       Val ack{MsgType::kAck, cfg_.instance.initiator, cfg_.instance.epoch,
               global_round, crypto::Sha256::hash_bytes(serialize(val))};
-      sends.push_back(Send{from, std::move(ack)});
+      sends.unicasts.push_back(Send{from, std::move(ack)});
       if (!m_) {
         m_ = val.payload;
         s_echo_.insert(cfg_.self);

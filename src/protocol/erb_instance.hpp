@@ -52,7 +52,22 @@ class ErbInstance {
     NodeId to;
     Val val;
   };
-  using Sends = std::vector<Send>;
+  /// Output actions of one event. Multicasts are returned as one Val per
+  /// group-wide message (the owner fans them out via broadcast_val, sealing
+  /// one serialization per link) instead of |group| copies; ACKs stay
+  /// targeted unicasts. Consumers must emit multicasts before unicasts —
+  /// that reproduces the per-peer order the flat vector used to carry.
+  struct Sends {
+    std::vector<Val> multicasts;
+    std::vector<Send> unicasts;
+    /// Group the multicasts address (the instance's sorted participants,
+    /// self included — senders skip self). Valid as long as the instance.
+    const std::vector<NodeId>* group = nullptr;
+
+    [[nodiscard]] bool empty() const {
+      return multicasts.empty() && unicasts.empty();
+    }
+  };
 
   explicit ErbInstance(ErbConfig config);
 
@@ -79,9 +94,9 @@ class ErbInstance {
  private:
   [[nodiscard]] std::uint32_t instance_round(std::uint32_t global) const;
   [[nodiscard]] bool is_participant(NodeId id) const;
-  /// Builds the multicast of `val` to all participants except self and
-  /// registers the pending-ACK expectation for `global_round`.
-  Sends multicast(Val val, std::uint32_t global_round);
+  /// Appends a group-wide multicast of `val` to `out` and registers the
+  /// pending-ACK expectation for `global_round`.
+  void multicast(Val val, std::uint32_t global_round, Sends& out);
   void maybe_accept(std::uint32_t instance_rnd);
 
   ErbConfig cfg_;

@@ -32,7 +32,9 @@ void ErbNode::on_protocol_start() {
 }
 
 void ErbNode::perform(const ErbInstance::Sends& sends) {
-  for (const auto& send : sends) send_val(send.to, send.val);
+  // Multicasts first — that is the order the old per-peer vector carried.
+  for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
+  for (const auto& send : sends.unicasts) send_val(send.to, send.val);
 }
 
 void ErbNode::refresh_status() {
@@ -48,7 +50,7 @@ void ErbNode::refresh_status() {
     result_.round = instance_->accept_round();
     result_.decided_at = trusted_time();
     obs_counter("decides").inc();
-    obs::MetricsRegistry::global()
+    obs::MetricsRegistry::current()
         .histogram("erb.decide_latency_ms",
                    {1000, 2000, 4000, 8000, 16000, 60000, 300000, 1200000})
         .observe(result_.decided_at - start_time());

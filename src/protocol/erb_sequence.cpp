@@ -47,7 +47,9 @@ void ErbSequenceNode::close_execution(std::uint32_t round) {
 }
 
 void ErbSequenceNode::perform(const ErbInstance::Sends& sends) {
-  for (const auto& send : sends) send_val(send.to, send.val);
+  // Multicasts first — that is the order the old per-peer vector carried.
+  for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
+  for (const auto& send : sends.unicasts) send_val(send.to, send.val);
 }
 
 void ErbSequenceNode::on_round_begin(std::uint32_t round) {

@@ -48,7 +48,9 @@ ErbInstance& ErngBasicNode::instance_for(NodeId initiator) {
 }
 
 void ErngBasicNode::perform(const ErbInstance::Sends& sends) {
-  for (const auto& send : sends) send_val(send.to, send.val);
+  // Multicasts first — that is the order the old per-peer vector carried.
+  for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
+  for (const auto& send : sends.unicasts) send_val(send.to, send.val);
 }
 
 void ErngBasicNode::finalize(std::uint32_t round) {
@@ -57,7 +59,7 @@ void ErngBasicNode::finalize(std::uint32_t round) {
   result_.round = round;
   result_.decided_at = trusted_time();
   obs_counter("decides").inc();
-  obs::MetricsRegistry::global()
+  obs::MetricsRegistry::current()
       .histogram("erng.decide_latency_ms",
                  {1000, 2000, 4000, 8000, 16000, 60000, 300000, 1200000})
       .observe(result_.decided_at - start_time());

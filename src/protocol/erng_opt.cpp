@@ -75,7 +75,9 @@ ErbInstance* ErngOptNode::instance_for(NodeId initiator) {
 }
 
 void ErngOptNode::perform(const ErbInstance::Sends& sends) {
-  for (const auto& send : sends) send_val(send.to, send.val);
+  // Multicasts first — that is the order the old per-peer vector carried.
+  for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
+  for (const auto& send : sends.unicasts) send_val(send.to, send.val);
 }
 
 void ErngOptNode::on_round_begin(std::uint32_t round) {
@@ -94,7 +96,7 @@ void ErngOptNode::on_round_begin(std::uint32_t round) {
       obs_counter("cluster_chosen").inc();
       obs_event("cluster_chosen", obs::fnum("fallback", fallback_ ? 1 : 0));
       Val v{MsgType::kChosen, config().self, my_seq(), round, {}};
-      for (NodeId peer : peers()) send_val(peer, v);
+      broadcast_val(peers(), v);
     }
     return;
   }
@@ -157,7 +159,7 @@ void ErngOptNode::on_round_begin(std::uint32_t round) {
 
 void ErngOptNode::record_decide() {
   obs_counter("decides").inc();
-  obs::MetricsRegistry::global()
+  obs::MetricsRegistry::current()
       .histogram("erng.decide_latency_ms",
                  {1000, 2000, 4000, 8000, 16000, 60000, 300000, 1200000})
       .observe(result_.decided_at - start_time());
@@ -180,7 +182,7 @@ void ErngOptNode::send_final(std::uint32_t round) {
   std::sort(values.begin(), values.end());
   Bytes set_bytes = serialize_set(values);
   Val v{MsgType::kFinal, config().self, my_seq(), round, set_bytes};
-  for (NodeId peer : peers()) send_val(peer, v);
+  broadcast_val(peers(), v);
   // A member's own set counts toward its quorum (Algorithm 6: SM ∪ {Mi}).
   final_votes_[set_bytes].insert(config().self);
   try_output(round);

@@ -49,9 +49,9 @@ class FloodNode : public PlainNode {
       BinaryWriter w;
       w.u32(relay_hops_ + 1);
       w.bytes(payload_);
-      for (NodeId neighbor : overlay_->neighbors(self_)) {
-        send(neighbor, w.view());
-      }
+      // Encode once, then fan the same wire bytes out to every neighbor.
+      Bytes wire = w.take();
+      multicast_to(overlay_->neighbors(self_), wire);
     }
   }
 

@@ -100,7 +100,9 @@ ErbInstance* RosterNode::join_instance(NodeId sponsor, std::size_t w) {
 }
 
 void RosterNode::perform(const ErbInstance::Sends& sends) {
-  for (const auto& send : sends) send_val(send.to, send.val);
+  // Multicasts first — that is the order the old per-peer vector carried.
+  for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
+  for (const auto& send : sends.unicasts) send_val(send.to, send.val);
 }
 
 void RosterNode::close_window(std::size_t w) {

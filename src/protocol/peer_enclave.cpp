@@ -115,7 +115,7 @@ obs::Counter& PeerEnclave::obs_counter(const char* name, const char* label) {
   std::string full(obs_ns_);
   full += '.';
   full += name;
-  return obs::MetricsRegistry::global().counter(full, label);
+  return obs::MetricsRegistry::current().counter(full, label);
 }
 
 void PeerEnclave::obs_event(const char* event, obs::TraceField f0,
@@ -149,10 +149,9 @@ void PeerEnclave::bump_all_seqs() {
   for (auto& [id, seq] : peer_seq_) ++seq;
 }
 
-void PeerEnclave::send_val(NodeId to, const Val& val) {
-  if (halted_ || to == cfg_.self) return;
-  Bytes blob = seal_for(to, serialize(val));
-  send_stats_.count(val.type, blob.size());
+void PeerEnclave::account_send(const Val& val, NodeId to,
+                               std::size_t wire_bytes) {
+  send_stats_.count(val.type, wire_bytes);
   auto slot = static_cast<std::size_t>(val.type);
   if (slot < SendStats::kTypeSlots) {
     if (type_counters_[slot] == nullptr) {
@@ -163,11 +162,30 @@ void PeerEnclave::send_val(NodeId to, const Val& val) {
   if (send_bytes_ctr_ == nullptr) {
     send_bytes_ctr_ = &obs_counter("send_bytes");
   }
-  send_bytes_ctr_->inc(blob.size());
+  send_bytes_ctr_->inc(wire_bytes);
   obs_event("send", obs::fstr("type", msg_type_name(val.type)),
             obs::fnum("to", to), obs::fnum("round", val.round),
-            obs::fnum("bytes", static_cast<std::int64_t>(blob.size())));
+            obs::fnum("bytes", static_cast<std::int64_t>(wire_bytes)));
+}
+
+void PeerEnclave::send_val(NodeId to, const Val& val) {
+  if (halted_ || to == cfg_.self) return;
+  serialize_into(val, wire_scratch_);
+  Bytes blob = seal_for(to, wire_scratch_);
+  account_send(val, to, blob.size());
   ocall_transfer(to, std::move(blob));
+}
+
+void PeerEnclave::broadcast_val(const std::vector<NodeId>& group,
+                                const Val& val) {
+  if (halted_) return;
+  serialize_into(val, wire_scratch_);
+  for (NodeId to : group) {
+    if (to == cfg_.self) continue;
+    Bytes blob = seal_for(to, wire_scratch_);
+    account_send(val, to, blob.size());
+    ocall_transfer(to, std::move(blob));
+  }
 }
 
 std::vector<NodeId> PeerEnclave::peers() const {

@@ -118,6 +118,13 @@ class PeerEnclave : public sgx::Enclave {
   /// Seals and transfers a protocol value to `to`.
   void send_val(NodeId to, const Val& val);
 
+  /// Seals and transfers one value to every node in `group` (self skipped).
+  /// Behaviorally identical to calling send_val per peer in group order, but
+  /// the value is serialized once into a reused scratch buffer and each link
+  /// seals those same bytes — the O(N²) fan-outs pay one encode per value
+  /// instead of one per (value, peer).
+  void broadcast_val(const std::vector<NodeId>& group, const Val& val);
+
   /// P4: the node detected its own divergence (ACK shortfall) and leaves.
   void halt_self();
 
@@ -159,6 +166,8 @@ class PeerEnclave : public sgx::Enclave {
  private:
   Bytes seal_for(NodeId to, ByteView plaintext);
   std::optional<Bytes> open_from(NodeId from, ByteView blob);
+  /// Shared send accounting: SendStats, registry counters, trace event.
+  void account_send(const Val& val, NodeId to, std::size_t wire_bytes);
 
   PeerConfig cfg_;
   const sgx::SimIAS* ias_;
@@ -171,6 +180,7 @@ class PeerEnclave : public sgx::Enclave {
   bool halted_ = false;
   SimTime start_time_ = 0;
   SendStats send_stats_;
+  Bytes wire_scratch_;  // reused Val serialization buffer (send/broadcast)
   // Cached registry handles for the send hot path.
   const char* obs_ns_;
   obs::Counter* type_counters_[SendStats::kTypeSlots] = {};

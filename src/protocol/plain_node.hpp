@@ -69,6 +69,13 @@ class PlainNode {
       if (peer != self_) send(peer, data);
     }
   }
+  /// Sends the same already-encoded wire bytes to every id in `group`
+  /// (self skipped): one encode, |group| sends.
+  void multicast_to(const std::vector<NodeId>& group, const Bytes& data) {
+    for (NodeId peer : group) {
+      if (peer != self_) send(peer, data);
+    }
+  }
 
   NodeId self_;
   std::uint32_t n_;

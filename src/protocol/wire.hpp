@@ -42,14 +42,27 @@ struct Val {
   friend bool operator==(const Val&, const Val&) = default;
 };
 
+/// Serializes `val` into `out`, clearing it first but reusing its capacity.
+/// Fan-out paths serialize a value once into a scratch buffer and seal the
+/// same bytes per link, instead of re-encoding per peer.
+inline void serialize_into(const Val& val, Bytes& out) {
+  out.clear();
+  out.reserve(21 + val.payload.size());
+  out.push_back(static_cast<std::uint8_t>(val.type));
+  std::size_t n = out.size();
+  out.resize(n + 20);
+  store_le32(out.data() + n, val.initiator);
+  store_le64(out.data() + n + 4, val.seq);
+  store_le32(out.data() + n + 12, val.round);
+  store_le32(out.data() + n + 16,
+             static_cast<std::uint32_t>(val.payload.size()));
+  append(out, val.payload);
+}
+
 inline Bytes serialize(const Val& val) {
-  BinaryWriter w;
-  w.u8(static_cast<std::uint8_t>(val.type));
-  w.u32(val.initiator);
-  w.u64(val.seq);
-  w.u32(val.round);
-  w.bytes(val.payload);
-  return w.take();
+  Bytes out;
+  serialize_into(val, out);
+  return out;
 }
 
 inline std::optional<Val> parse_val(ByteView data) {

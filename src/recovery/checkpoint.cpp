@@ -3,16 +3,21 @@
 namespace sgxp2p::recovery {
 
 RecoveryMetrics& RecoveryMetrics::get() {
-  auto& reg = obs::MetricsRegistry::global();
-  static RecoveryMetrics metrics{reg.counter("recovery.checkpoints"),
-                                 reg.counter("recovery.checkpoint_bytes"),
-                                 reg.counter("recovery.restores_ok"),
-                                 reg.counter("recovery.rollback_detected"),
-                                 reg.counter("recovery.restore_invalid"),
-                                 reg.counter("recovery.fresh_fallbacks"),
-                                 reg.counter("recovery.crashes"),
-                                 reg.counter("recovery.relaunches"),
-                                 reg.counter("recovery.rejoins")};
+  thread_local RecoveryMetrics metrics;
+  thread_local std::uint64_t bound_registry_id = 0;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::current();
+  if (reg.id() != bound_registry_id) {
+    metrics.checkpoints = &reg.counter("recovery.checkpoints");
+    metrics.checkpoint_bytes = &reg.counter("recovery.checkpoint_bytes");
+    metrics.restores_ok = &reg.counter("recovery.restores_ok");
+    metrics.rollback_detected = &reg.counter("recovery.rollback_detected");
+    metrics.restore_invalid = &reg.counter("recovery.restore_invalid");
+    metrics.fresh_fallbacks = &reg.counter("recovery.fresh_fallbacks");
+    metrics.crashes = &reg.counter("recovery.crashes");
+    metrics.relaunches = &reg.counter("recovery.relaunches");
+    metrics.rejoins = &reg.counter("recovery.rejoins");
+    bound_registry_id = reg.id();
+  }
   return metrics;
 }
 

@@ -24,17 +24,19 @@
 
 namespace sgxp2p::recovery {
 
-/// Registry-backed counters under the `recovery.*` namespace.
+/// Registry-backed counters under the `recovery.*` namespace, cached per
+/// thread and keyed on MetricsRegistry::current().id() so isolated per-run
+/// registries resolve their own instruments.
 struct RecoveryMetrics {
-  obs::Counter& checkpoints;        // snapshots sealed
-  obs::Counter& checkpoint_bytes;   // total sealed bytes
-  obs::Counter& restores_ok;        // checkpoints adopted at relaunch
-  obs::Counter& rollback_detected;  // stale blobs caught by the counter
-  obs::Counter& restore_invalid;    // unseal/parse failures
-  obs::Counter& fresh_fallbacks;    // relaunches re-admitted as fresh joiners
-  obs::Counter& crashes;            // enclaves destroyed
-  obs::Counter& relaunches;         // enclaves brought back
-  obs::Counter& rejoins;            // re-admissions completed
+  obs::Counter* checkpoints = nullptr;        // snapshots sealed
+  obs::Counter* checkpoint_bytes = nullptr;   // total sealed bytes
+  obs::Counter* restores_ok = nullptr;        // checkpoints adopted at relaunch
+  obs::Counter* rollback_detected = nullptr;  // stale blobs caught
+  obs::Counter* restore_invalid = nullptr;    // unseal/parse failures
+  obs::Counter* fresh_fallbacks = nullptr;    // re-admitted as fresh joiners
+  obs::Counter* crashes = nullptr;            // enclaves destroyed
+  obs::Counter* relaunches = nullptr;         // enclaves brought back
+  obs::Counter* rejoins = nullptr;            // re-admissions completed
   static RecoveryMetrics& get();
 };
 

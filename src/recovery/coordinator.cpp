@@ -43,7 +43,7 @@ void RecoveryCoordinator::on_round(std::uint32_t round) {
     if (node != nullptr && node->is_member() && !node->rejoin_pending()) {
       rejoined_ = true;
       rejoin_round_ = round;
-      RecoveryMetrics::get().rejoins.inc();
+      RecoveryMetrics::get().rejoins->inc();
       obs::trace_event(bed_->simulator().now(), plan_.victim, "recovery",
                        "rejoin_complete", obs::fnum("round", round),
                        obs::fnum("fallback", fallback_ ? 1 : 0));
@@ -55,7 +55,7 @@ void RecoveryCoordinator::crash(std::uint32_t round) {
   managers_[plan_.victim].reset();
   bed_->kill_enclave(plan_.victim);
   crashed_ = true;
-  RecoveryMetrics::get().crashes.inc();
+  RecoveryMetrics::get().crashes->inc();
   obs::trace_event(bed_->simulator().now(), plan_.victim, "recovery", "crash",
                    obs::fnum("round", round));
 }
@@ -76,7 +76,7 @@ void RecoveryCoordinator::recover(std::uint32_t round) {
         if (outcome_ != RestoreOutcome::kRestored) {
           node->recover_fresh();
           fallback_ = true;
-          m.fresh_fallbacks.inc();
+          m.fresh_fallbacks->inc();
           obs::trace_event(bed_->simulator().now(), plan_.victim, "recovery",
                            "fresh_fallback", obs::fnum("round", round),
                            obs::fstr("cause",
@@ -103,7 +103,7 @@ void RecoveryCoordinator::recover(std::uint32_t round) {
         }
       });
   relaunched_ = true;
-  m.relaunches.inc();
+  m.relaunches->inc();
   obs::trace_event(bed_->simulator().now(), plan_.victim, "recovery",
                    "relaunch", obs::fnum("round", round),
                    obs::fnum("restored",

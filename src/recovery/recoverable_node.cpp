@@ -22,8 +22,8 @@ Bytes RecoverableNode::take_checkpoint() {
   w.bytes(export_membership_state());
   Bytes sealed = seal(w.take());
   auto& m = RecoveryMetrics::get();
-  m.checkpoints.inc();
-  m.checkpoint_bytes.inc(sealed.size());
+  m.checkpoints->inc();
+  m.checkpoint_bytes->inc(sealed.size());
   obs::trace_event(trusted_time(), config().self, "recovery", "checkpoint",
                    obs::fnum("round", current_round()),
                    obs::fnum("counter",
@@ -36,12 +36,12 @@ RestoreOutcome RecoverableNode::restore_checkpoint(ByteView sealed) {
   auto& m = RecoveryMetrics::get();
   auto plain = unseal(sealed);
   if (!plain) {
-    m.restore_invalid.inc();
+    m.restore_invalid->inc();
     return RestoreOutcome::kInvalid;
   }
   BinaryReader r(*plain);
   if (r.str() != "sgxp2p-ckpt-v1") {
-    m.restore_invalid.inc();
+    m.restore_invalid->inc();
     return RestoreOutcome::kInvalid;
   }
   std::uint64_t counter = r.u64();
@@ -50,12 +50,12 @@ RestoreOutcome RecoverableNode::restore_checkpoint(ByteView sealed) {
   Bytes core = r.bytes();
   Bytes membership = r.bytes();
   if (!r.done() || reseed.size() != kReseedBytes) {
-    m.restore_invalid.inc();
+    m.restore_invalid->inc();
     return RestoreOutcome::kInvalid;
   }
   if (counter != monotonic_read()) {
     // The host handed back a blob other than the newest — rollback attempt.
-    m.rollback_detected.inc();
+    m.rollback_detected->inc();
     obs::trace_event(trusted_time(), config().self, "recovery",
                      "rollback_detected", obs::fnum("blob_counter", counter),
                      obs::fnum("counter",
@@ -63,7 +63,7 @@ RestoreOutcome RecoverableNode::restore_checkpoint(ByteView sealed) {
     return RestoreOutcome::kStale;
   }
   if (!import_core_state(core) || !import_membership_state(membership)) {
-    m.restore_invalid.inc();
+    m.restore_invalid->inc();
     return RestoreOutcome::kInvalid;
   }
   // Forward secrecy across the crash: mix the checkpointed material into the
@@ -72,7 +72,7 @@ RestoreOutcome RecoverableNode::restore_checkpoint(ByteView sealed) {
   // The restored sequence table is valid, but members must still refresh
   // this node's entry through a REJOIN window (and the WELCOME re-syncs us).
   begin_rejoin();
-  m.restores_ok.inc();
+  m.restores_ok->inc();
   obs::trace_event(trusted_time(), config().self, "recovery", "restore_ok",
                    obs::fnum("ckpt_round", round),
                    obs::fnum("counter", static_cast<std::int64_t>(counter)));

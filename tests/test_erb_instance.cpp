@@ -39,13 +39,16 @@ Val echo_val(std::uint32_t round, std::uint64_t seq = 42,
 TEST(ErbInstance, InitiatorMulticastsInitAtRoundOne) {
   ErbInstance inst(base_config(0, 5, 2, true));
   auto sends = inst.on_round_begin(1);
-  ASSERT_EQ(sends.size(), 4u);  // everyone but self
-  for (const auto& s : sends) {
-    EXPECT_EQ(s.val.type, MsgType::kInit);
-    EXPECT_EQ(s.val.round, 1u);
-    EXPECT_EQ(s.val.seq, 42u);
-    EXPECT_EQ(s.val.payload, to_bytes("m"));
-  }
+  // One group-wide multicast val; the owner fans it out to everyone but self.
+  ASSERT_EQ(sends.multicasts.size(), 1u);
+  EXPECT_TRUE(sends.unicasts.empty());
+  ASSERT_NE(sends.group, nullptr);
+  EXPECT_EQ(sends.group->size(), 5u);
+  const Val& v = sends.multicasts[0];
+  EXPECT_EQ(v.type, MsgType::kInit);
+  EXPECT_EQ(v.round, 1u);
+  EXPECT_EQ(v.seq, 42u);
+  EXPECT_EQ(v.payload, to_bytes("m"));
 }
 
 TEST(ErbInstance, InitiatorHaltsWithoutAcks) {
@@ -62,7 +65,8 @@ TEST(ErbInstance, InitiatorHaltsWithoutAcks) {
 TEST(ErbInstance, InitiatorSurvivesWithExactlyTAcks) {
   ErbInstance inst(base_config(0, 5, 2, true));
   auto sends = inst.on_round_begin(1);
-  Bytes expected_hash = crypto::Sha256::hash_bytes(serialize(sends[0].val));
+  Bytes expected_hash =
+      crypto::Sha256::hash_bytes(serialize(sends.multicasts[0]));
   // Exactly t = 2 ACKs (the Algorithm 2 bar is Nack < t → halt).
   Val ack{MsgType::kAck, 0, 42, 1, expected_hash};
   (void)inst.on_val(1, ack, 1);
@@ -74,7 +78,7 @@ TEST(ErbInstance, InitiatorSurvivesWithExactlyTAcks) {
 TEST(ErbInstance, DuplicateAcksFromSamePeerCountOnce) {
   ErbInstance inst(base_config(0, 5, 2, true));
   auto sends = inst.on_round_begin(1);
-  Bytes h = crypto::Sha256::hash_bytes(serialize(sends[0].val));
+  Bytes h = crypto::Sha256::hash_bytes(serialize(sends.multicasts[0]));
   Val ack{MsgType::kAck, 0, 42, 1, h};
   (void)inst.on_val(1, ack, 1);
   (void)inst.on_val(1, ack, 1);
@@ -98,16 +102,17 @@ TEST(ErbInstance, AckWithWrongHashIgnored) {
 TEST(ErbInstance, ValidInitIsAckedAndEchoScheduled) {
   ErbInstance inst(base_config(3, 5, 2));
   auto sends = inst.on_val(0, init_val(1), 1);
-  ASSERT_EQ(sends.size(), 1u);  // the ACK back to the initiator
-  EXPECT_EQ(sends[0].to, 0u);
-  EXPECT_EQ(sends[0].val.type, MsgType::kAck);
-  EXPECT_EQ(sends[0].val.payload,
+  ASSERT_EQ(sends.unicasts.size(), 1u);  // the ACK back to the initiator
+  EXPECT_TRUE(sends.multicasts.empty());
+  EXPECT_EQ(sends.unicasts[0].to, 0u);
+  EXPECT_EQ(sends.unicasts[0].val.type, MsgType::kAck);
+  EXPECT_EQ(sends.unicasts[0].val.payload,
             crypto::Sha256::hash_bytes(serialize(init_val(1))));
   // ECHO flushes at the start of round 2, tagged round 2.
   auto round2 = inst.on_round_begin(2);
-  ASSERT_EQ(round2.size(), 4u);
-  EXPECT_EQ(round2[0].val.type, MsgType::kEcho);
-  EXPECT_EQ(round2[0].val.round, 2u);
+  ASSERT_EQ(round2.multicasts.size(), 1u);
+  EXPECT_EQ(round2.multicasts[0].type, MsgType::kEcho);
+  EXPECT_EQ(round2.multicasts[0].round, 2u);
 }
 
 TEST(ErbInstance, StaleRoundInitDropped) {
@@ -172,7 +177,7 @@ TEST(ErbInstance, EchoFirstWithoutInitStillWorks) {
   (void)inst.on_val(1, echo_val(2), 2);  // S = {1, 4}
   auto flush = inst.on_round_begin(3);   // echoes m itself
   ASSERT_FALSE(flush.empty());
-  EXPECT_EQ(flush[0].val.type, MsgType::kEcho);
+  EXPECT_EQ(flush.multicasts[0].type, MsgType::kEcho);
   (void)inst.on_val(2, echo_val(3), 3);  // S = {1, 2, 4} = N − t
   EXPECT_TRUE(inst.accepted());
   EXPECT_EQ(inst.value(), to_bytes("m"));
@@ -204,7 +209,7 @@ TEST(ErbInstance, StartRoundOffsetTranslation) {
   EXPECT_TRUE(inst.on_val(0, init_val(1), 1).empty());
   // Global round 2 = instance round 1: INIT is valid (tagged global 2).
   auto sends = inst.on_val(0, init_val(2), 2);
-  EXPECT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends.unicasts.size(), 1u);
 }
 
 TEST(ErbInstance, HaltDisabledKeepsGoing) {

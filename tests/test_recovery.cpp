@@ -136,8 +136,8 @@ ScenarioResult run_scenario(const ScenarioOptions& o) {
 // fresh join converges on every node.
 TEST(Recovery, HonestHostRestoresLatestCheckpoint) {
   auto& m = recovery::RecoveryMetrics::get();
-  const std::uint64_t rollbacks0 = m.rollback_detected.value();
-  const std::uint64_t restores0 = m.restores_ok.value();
+  const std::uint64_t rollbacks0 = m.rollback_detected->value();
+  const std::uint64_t restores0 = m.restores_ok->value();
 
   ScenarioResult r = run_scenario({});
   EXPECT_EQ(r.outcome, RestoreOutcome::kRestored);
@@ -146,8 +146,8 @@ TEST(Recovery, HonestHostRestoresLatestCheckpoint) {
   EXPECT_TRUE(r.converged);
   // Two checkpoints sealed before the crash (rounds 2 and 4), more after.
   EXPECT_GE(r.victim_seals.size(), 2u);
-  EXPECT_EQ(m.rollback_detected.value(), rollbacks0);
-  EXPECT_EQ(m.restores_ok.value(), restores0 + 1);
+  EXPECT_EQ(m.rollback_detected->value(), rollbacks0);
+  EXPECT_EQ(m.restores_ok->value(), restores0 + 1);
   // Everyone — including the rejoined victim and the fresh joiner — ends on
   // the same roster.
   for (const auto& roster : r.rosters) EXPECT_EQ(roster, r.rosters.front());
@@ -158,8 +158,8 @@ TEST(Recovery, HonestHostRestoresLatestCheckpoint) {
 // victim is re-admitted through the fresh-joiner path instead.
 TEST(Recovery, StaleSealReplayDetectedAndConvergesFresh) {
   auto& m = recovery::RecoveryMetrics::get();
-  const std::uint64_t rollbacks0 = m.rollback_detected.value();
-  const std::uint64_t fallbacks0 = m.fresh_fallbacks.value();
+  const std::uint64_t rollbacks0 = m.rollback_detected->value();
+  const std::uint64_t fallbacks0 = m.fresh_fallbacks->value();
 
   ScenarioOptions o;
   o.stale_replay = true;
@@ -168,8 +168,8 @@ TEST(Recovery, StaleSealReplayDetectedAndConvergesFresh) {
   EXPECT_TRUE(r.fallback);
   EXPECT_TRUE(r.rejoined);
   EXPECT_TRUE(r.converged);
-  EXPECT_EQ(m.rollback_detected.value(), rollbacks0 + 1);
-  EXPECT_EQ(m.fresh_fallbacks.value(), fallbacks0 + 1);
+  EXPECT_EQ(m.rollback_detected->value(), rollbacks0 + 1);
+  EXPECT_EQ(m.fresh_fallbacks->value(), fallbacks0 + 1);
   for (const auto& roster : r.rosters) EXPECT_EQ(roster, r.rosters.front());
 }
 

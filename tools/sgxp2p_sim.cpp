@@ -421,7 +421,7 @@ int main(int argc, char** argv) {
   if (!o.metrics_path.empty()) {
     std::string json = "{\"bench\":\"sim-" + obs::json_escape(o.protocol) +
                        "\",\"metrics\":" +
-                       obs::MetricsRegistry::global().to_json() + "}\n";
+                       obs::MetricsRegistry::current().to_json() + "}\n";
     std::FILE* f = std::fopen(o.metrics_path.c_str(), "wb");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write metrics to %s\n",
