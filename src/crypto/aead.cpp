@@ -5,6 +5,7 @@
 
 #include "crypto/chacha20.hpp"
 #include "crypto/ct.hpp"
+#include "obs/pool.hpp"
 
 namespace sgxp2p::crypto {
 
@@ -36,8 +37,10 @@ Bytes aead_seal(const AeadKey& key, ByteView nonce, ByteView associated_data,
   if (nonce.size() != kAeadNonceSize) {
     throw std::invalid_argument("aead_seal: bad nonce size");
   }
-  // Single allocation: nonce ‖ ct ‖ tag, ciphertext produced in place.
-  Bytes out(kAeadOverhead + plaintext.size());
+  // Single buffer: nonce ‖ ct ‖ tag, ciphertext produced in place. Pooled:
+  // in steady state this reuses the capacity of a previously delivered
+  // message instead of hitting the allocator.
+  Bytes out = obs::BufferPool::local().acquire(kAeadOverhead + plaintext.size());
   std::memcpy(out.data(), nonce.data(), kAeadNonceSize);
   std::uint8_t* ct = out.data() + kAeadNonceSize;
   if (!plaintext.empty()) {
@@ -67,8 +70,9 @@ std::optional<Bytes> aead_open(const AeadKey& key, ByteView associated_data,
   if (!ct_equal(ByteView(expected.data(), expected.size()), tag)) {
     return std::nullopt;
   }
-  // Single allocation: copy the ciphertext out and decrypt in place.
-  Bytes plaintext(ct.begin(), ct.end());
+  // Single (pooled) buffer: copy the ciphertext out and decrypt in place.
+  Bytes plaintext = obs::BufferPool::local().acquire_empty(ct.size());
+  plaintext.assign(ct.begin(), ct.end());
   ChaCha20 cipher(key.enc_key(), nonce, 1);
   cipher.crypt(plaintext);
   return plaintext;

@@ -12,6 +12,7 @@
 #include "adversary/strategy.hpp"
 #include "common/ids.hpp"
 #include "net/network.hpp"
+#include "obs/pool.hpp"
 #include "sgx/enclave.hpp"
 
 namespace sgxp2p::net {
@@ -59,7 +60,11 @@ class Host final : public sgx::EnclaveHostIface, public adversary::HostContext {
     network_->send(self_, to, std::move(blob));
   }
   void deliver(NodeId from, Bytes blob) override {
+    // The enclave reads the blob as a view and copies what it keeps (the
+    // decrypted plaintext lives in its own buffer), so the host's buffer is
+    // dead on return — recycle it for the next seal/send.
     if (enclave_ != nullptr) enclave_->deliver(from, blob);
+    obs::BufferPool::local().release(std::move(blob));
   }
   void schedule_in(SimDuration delay, std::function<void()> fn) override {
     network_->simulator().schedule_in(delay, std::move(fn));

@@ -1,8 +1,11 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/log.hpp"
+#include "obs/pool.hpp"
 #include "obs/trace.hpp"
 
 namespace sgxp2p::sim {
@@ -12,6 +15,8 @@ Network::Network(Simulator& simulator, NetworkConfig config,
     : simulator_(&simulator),
       config_(config),
       jitter_rng_(config.seed),
+      handler_(simulator.add_delivery_handler(
+          [this](Delivery&& d) { on_delivery(std::move(d)); })),
       sends_ctr_(registry.counter("net.sends")),
       bytes_ctr_(registry.counter("net.bytes")),
       delivered_ctr_(registry.counter("net.delivered")),
@@ -22,21 +27,76 @@ Network::Network(Simulator& simulator, NetworkConfig config,
       delay_hist_(registry.histogram(
           "net.delay_ms", {100, 200, 300, 400, 500, 750, 1000, 2000, 5000})) {}
 
-void Network::attach(NodeId id, DeliverFn sink) {
-  sinks_[id] = std::move(sink);
+Network::Sink& Network::sink_slot(NodeId id) {
+  if (id < kDenseFifoIds) {
+    if (id >= sinks_dense_.size()) sinks_dense_.resize(id + 1);
+    return sinks_dense_[id];
+  }
+  return sinks_far_[id];
 }
 
-void Network::detach(NodeId id) { sinks_.erase(id); }
+const Network::Sink* Network::find_sink(NodeId id) const {
+  if (id < kDenseFifoIds) {
+    if (id >= sinks_dense_.size() || !sinks_dense_[id].attached()) {
+      return nullptr;
+    }
+    return &sinks_dense_[id];
+  }
+  auto it = sinks_far_.find(id);
+  return it != sinks_far_.end() ? &it->second : nullptr;
+}
 
-bool Network::attached(NodeId id) const { return sinks_.contains(id); }
+void Network::attach(NodeId id, DeliverFn sink) {
+  sink_slot(id) = Sink{std::move(sink), nullptr};
+}
 
-void Network::send(NodeId from, NodeId to, Bytes blob) {
-  if (!attached(from) || !attached(to) || from == to) return;
-  SimTime now = simulator_->now();
-  meter_.record(blob.size(), now);
+void Network::attach_view(NodeId id, DeliverViewFn sink) {
+  sink_slot(id) = Sink{nullptr, std::move(sink)};
+}
+
+void Network::detach(NodeId id) {
+  if (id < sinks_dense_.size()) sinks_dense_[id] = Sink{};
+  sinks_far_.erase(id);
+  if (id < fifo_rows_.size()) {
+    fifo_rows_[id].clear();
+    fifo_rows_[id].shrink_to_fit();
+  }
+  for (auto& row : fifo_rows_) {
+    if (id < row.size()) row[id] = 0;
+  }
+  std::erase_if(fifo_far_, [id](const auto& entry) {
+    return static_cast<NodeId>(entry.first >> 32) == id ||
+           static_cast<NodeId>(entry.first & 0xffffffffu) == id;
+  });
+}
+
+SimTime& Network::fifo_slot(NodeId from, NodeId to) {
+  if (from < kDenseFifoIds && to < kDenseFifoIds) {
+    if (from >= fifo_rows_.size()) fifo_rows_.resize(from + 1);
+    auto& row = fifo_rows_[from];
+    if (to >= row.size()) row.resize(to + 1, 0);
+    return row[to];
+  }
+  return fifo_far_[(static_cast<std::uint64_t>(from) << 32) |
+                   static_cast<std::uint64_t>(to)];
+}
+
+std::size_t Network::fifo_entries() const {
+  std::size_t live = fifo_far_.size();
+  for (const auto& row : fifo_rows_) {
+    for (SimTime t : row) live += t != 0 ? 1 : 0;
+  }
+  return live;
+}
+
+bool Network::attached(NodeId id) const { return find_sink(id) != nullptr; }
+
+SimTime Network::route(NodeId from, NodeId to, std::size_t bytes,
+                       SimTime now) {
+  meter_.record(bytes, now);
   sends_ctr_.inc();
-  bytes_ctr_.inc(blob.size());
-  size_hist_.observe(static_cast<std::int64_t>(blob.size()));
+  bytes_ctr_.inc(bytes);
+  size_hist_.observe(static_cast<std::int64_t>(bytes));
   SimDuration jitter =
       config_.max_jitter > 0
           ? static_cast<SimDuration>(jitter_rng_.next_below(
@@ -47,38 +107,70 @@ void Network::send(NodeId from, NodeId to, Bytes blob) {
   if (config_.shared_bandwidth > 0) {
     // Serialize through the shared bottleneck: 1 byte takes 1e3/bw ms.
     SimDuration ser = static_cast<SimDuration>(
-        (blob.size() * 1000 + config_.shared_bandwidth - 1) /
+        (bytes * 1000 + config_.shared_bandwidth - 1) /
         config_.shared_bandwidth);
     link_free_at_ = std::max(link_free_at_, now) + ser;
     arrival = std::max(arrival, link_free_at_);
   }
 
   // Per-pair FIFO: never deliver earlier than a previously sent message.
-  std::uint64_t pair_key =
-      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
-  SimTime& last = last_delivery_[pair_key];
+  SimTime& last = fifo_slot(from, to);
   arrival = std::max(arrival, last);
   last = arrival;
 
   delay_hist_.observe(arrival - now);
   obs::trace_event(now, from, "net", "send", obs::fnum("to", to),
-                   obs::fnum("bytes", static_cast<std::int64_t>(blob.size())),
+                   obs::fnum("bytes", static_cast<std::int64_t>(bytes)),
                    obs::fnum("arrival", arrival));
+  return arrival;
+}
 
-  simulator_->schedule(
-      arrival, [this, from, to, blob = std::move(blob)]() mutable {
-        auto it = sinks_.find(to);
-        if (it == sinks_.end()) {
-          dropped_ctr_.inc();  // receiver left the network
-          LOG_DEBUG("net: drop ", from, "->", to, " (receiver detached)");
-          obs::trace_event(simulator_->now(), to, "net", "drop",
-                           obs::fnum("from", from));
-          return;
-        }
-        delivered_ctr_.inc();
-        delivered_bytes_ctr_.inc(blob.size());
-        it->second(from, std::move(blob));
-      });
+void Network::send(NodeId from, NodeId to, Bytes blob) {
+  if (!attached(from) || !attached(to) || from == to) return;
+  SimTime now = simulator_->now();
+  SimTime arrival = route(from, to, blob.size(), now);
+  simulator_->schedule_delivery(arrival, handler_,
+                                Delivery{from, to, std::move(blob), nullptr});
+}
+
+void Network::multicast(NodeId from, const std::vector<NodeId>& group,
+                        Bytes payload) {
+  if (!attached(from)) return;
+  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  for (NodeId to : group) {
+    if (to == from || !attached(to)) continue;
+    SimTime now = simulator_->now();
+    SimTime arrival = route(from, to, shared->size(), now);
+    simulator_->schedule_delivery(arrival, handler_,
+                                  Delivery{from, to, Bytes{}, shared});
+  }
+}
+
+void Network::on_delivery(Delivery&& d) {
+  const Sink* sink_ptr = find_sink(d.to);
+  if (sink_ptr == nullptr) {
+    dropped_ctr_.inc();  // receiver left the network
+    LOG_DEBUG("net: drop ", d.from, "->", d.to, " (receiver detached)");
+    obs::trace_event(simulator_->now(), d.to, "net", "drop",
+                     obs::fnum("from", d.from));
+    if (!d.payload.empty()) obs::BufferPool::local().release(std::move(d.payload));
+    return;
+  }
+  delivered_ctr_.inc();
+  delivered_bytes_ctr_.inc(d.view().size());
+  const Sink& sink = *sink_ptr;
+  if (sink.view) {
+    sink.view(d.from, d.view());
+    // A view sink only borrowed the bytes; recycle owned buffers.
+    if (!d.payload.empty()) obs::BufferPool::local().release(std::move(d.payload));
+  } else if (d.shared) {
+    // Owned sink + shared payload: this receiver needs its own copy.
+    Bytes blob = obs::BufferPool::local().acquire_empty(d.shared->size());
+    blob.assign(d.shared->begin(), d.shared->end());
+    sink.owned(d.from, std::move(blob));
+  } else {
+    sink.owned(d.from, std::move(d.payload));
+  }
 }
 
 }  // namespace sgxp2p::sim

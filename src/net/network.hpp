@@ -7,6 +7,13 @@
 // traffic numbers (Figs. 3a–3c) read the meter directly, so "communication
 // complexity" is measured on the wire, not estimated.
 //
+// Deliveries ride the simulator's typed event lane (sim::Delivery) instead
+// of per-message closures: one registered dispatcher routes every arrival
+// to the receiver's sink. Sinks come in two flavors — owned (the Host path:
+// the receiver takes the buffer) and view (plaintext baselines: the
+// receiver only reads, so a multicast can share one refcounted payload
+// across the whole group).
+//
 // An optional shared-link bandwidth model reproduces the paper's testbed
 // artifact (40 machines behind one 128 MB/s link): when enabled, messages
 // additionally queue on a global serialization resource.
@@ -50,7 +57,15 @@ class TrafficMeter {
     bytes_ += bytes;
     if (bucket_ms_ > 0) {
       auto bucket = static_cast<std::size_t>(now / bucket_ms_);
-      if (bucket >= timeline_.size()) timeline_.resize(bucket + 1, 0);
+      if (bucket >= timeline_.size()) {
+        // Grow capacity geometrically (amortized O(1) per message over long
+        // timelines) but keep size() exact — callers read timeline().size()
+        // as "buckets seen so far".
+        if (bucket >= timeline_.capacity()) {
+          timeline_.reserve(std::max(bucket + 1, 2 * timeline_.capacity()));
+        }
+        timeline_.resize(bucket + 1, 0);
+      }
       timeline_[bucket] += bytes;
     }
   }
@@ -82,32 +97,71 @@ class TrafficMeter {
 class Network {
  public:
   using DeliverFn = std::function<void(NodeId from, Bytes blob)>;
+  using DeliverViewFn = std::function<void(NodeId from, ByteView blob)>;
 
   /// Instruments net.* on `registry` (defaults to the thread's current
   /// registry, which is the global one unless a run rebound it).
   Network(Simulator& simulator, NetworkConfig config,
           obs::MetricsRegistry& registry = obs::MetricsRegistry::current());
 
-  /// Registers the inbound sink for `id` (the node's Host).
+  /// Registers the inbound sink for `id` (the node's Host): the sink takes
+  /// ownership of each delivered buffer.
   void attach(NodeId id, DeliverFn sink);
 
+  /// Registers a read-only sink for `id`: the network keeps buffer
+  /// ownership (recycling it through the BufferPool) and multicast
+  /// deliveries alias one shared payload instead of copying per receiver.
+  void attach_view(NodeId id, DeliverViewFn sink);
+
   /// Removes a node: queued deliveries to it are dropped on arrival and
-  /// future sends from/to it are ignored. Used when a node Halt()s.
+  /// future sends from/to it are ignored. Per-pair FIFO state involving the
+  /// node is purged (long churn episodes must not grow it without bound).
   void detach(NodeId id);
   [[nodiscard]] bool attached(NodeId id) const;
 
   /// Sends `blob` from → to with delay ≤ worst_delay(). Metered.
   void send(NodeId from, NodeId to, Bytes blob);
 
+  /// Sends the same payload from → each of `group` (self and detached ids
+  /// skipped). Metering, jitter, and FIFO behave exactly as |group|
+  /// individual sends, but all deliveries share one refcounted buffer.
+  void multicast(NodeId from, const std::vector<NodeId>& group,
+                 Bytes payload);
+
   [[nodiscard]] TrafficMeter& meter() { return meter_; }
   [[nodiscard]] Simulator& simulator() { return *simulator_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  /// Live per-ordered-pair FIFO entries (detach-leak regression hook).
+  [[nodiscard]] std::size_t fifo_entries() const;
 
  private:
+  struct Sink {
+    DeliverFn owned;
+    DeliverViewFn view;
+
+    [[nodiscard]] bool attached() const {
+      return static_cast<bool>(owned) || static_cast<bool>(view);
+    }
+  };
+
+  /// Meters the send and computes its arrival time (jitter, bandwidth,
+  /// per-pair FIFO).
+  SimTime route(NodeId from, NodeId to, std::size_t bytes, SimTime now);
+  void on_delivery(Delivery&& d);
+  /// Next admissible delivery time for the ordered pair from → to (0 = no
+  /// earlier traffic, which constrains nothing since SimTime starts at 0).
+  SimTime& fifo_slot(NodeId from, NodeId to);
+  /// The sink registered for `id`, or nullptr. Dense ids index a flat
+  /// table (same rationale as the FIFO matrix: one lookup per delivery and
+  /// two per send on the hot path).
+  [[nodiscard]] const Sink* find_sink(NodeId id) const;
+  Sink& sink_slot(NodeId id);
+
   Simulator* simulator_;
   NetworkConfig config_;
   Rng jitter_rng_;
   TrafficMeter meter_;
+  std::uint32_t handler_;
   // Registry handles (net.*). The meter stays per-network (tests compare
   // meters of separate testbeds); the registry aggregates process-wide.
   obs::Counter& sends_ctr_;
@@ -117,9 +171,16 @@ class Network {
   obs::Counter& dropped_ctr_;
   obs::Histogram& size_hist_;
   obs::Histogram& delay_hist_;
-  std::unordered_map<NodeId, DeliverFn> sinks_;
-  // FIFO guarantee: next admissible delivery time per ordered pair.
-  std::unordered_map<std::uint64_t, SimTime> last_delivery_;
+  std::vector<Sink> sinks_dense_;             // ids < kDenseFifoIds
+  std::unordered_map<NodeId, Sink> sinks_far_;  // sparse/large ids
+  // FIFO guarantee: next admissible delivery time per ordered pair. Small
+  // node ids (every testbed numbers nodes 0..n−1) index a dense matrix —
+  // the hash map this replaces was the second-hottest item in the
+  // bench_scale profile at ~n² live pairs. Sparse/large ids (sybils,
+  // hand-built networks) fall back to the map.
+  static constexpr NodeId kDenseFifoIds = 4096;
+  std::vector<std::vector<SimTime>> fifo_rows_;   // [from][to], 0 = unused
+  std::unordered_map<std::uint64_t, SimTime> fifo_far_;
   // Shared-bandwidth model: time at which the bottleneck frees up.
   SimTime link_free_at_ = 0;
 };

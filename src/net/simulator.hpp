@@ -6,36 +6,98 @@
 // OS cannot skew (feature F4). All timing results in EXPERIMENTS.md are
 // virtual seconds from this clock.
 //
-// The event queue is a hand-rolled binary min-heap over a vector rather than
-// std::priority_queue: pop can then move the event (and its std::function)
-// out of storage without the const_cast that priority_queue::top forces, and
-// sift-down moves each displaced event exactly once instead of copying.
+// Two interchangeable engines drive the event queue:
+//
+//  * kWheel (default) — a hierarchical timer wheel: kLevels levels of
+//    kSlots buckets, each level covering kBits more bits of the timestamp.
+//    Network delays are bounded by Δ = base_delay + max_jitter, so nearly
+//    every event lands within the first two levels and schedule/pop are
+//    O(1) instead of O(log m) on a heap holding ~n² pending deliveries.
+//    Per-level occupancy bitmaps make "next non-empty bucket" a handful of
+//    word scans; a per-slot minimum keeps peek exact even when a coarse
+//    slot spans many timestamps. Events due at the same millisecond are
+//    drained as one batch sorted by seq, which preserves the global FIFO
+//    tie-break exactly — traces, metrics, and bench tables are
+//    byte-identical to the heap engine for identical seeds
+//    (tests/test_event_engine.cpp enforces this).
+//
+//  * kHeap — the original hand-rolled binary min-heap, kept as the
+//    reference engine for the equivalence tests and as the baseline the
+//    bench_scale speedup gate measures against.
+//
+// Message deliveries are typed events (Delivery{from, to, payload}) routed
+// to a registered handler rather than per-message std::function closures;
+// the type-erased path remains for protocol timers. Multicast payloads are
+// carried refcounted so an n−1 fan-out shares one buffer.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
 #include <vector>
 
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
 #include "common/time.hpp"
 #include "obs/metrics.hpp"
 #include "sgx/trusted_time.hpp"
 
 namespace sgxp2p::sim {
 
+enum class SimEngine {
+  kDefault,  // resolve via SGXP2P_SIM_ENGINE env var, else the wheel
+  kWheel,
+  kHeap,
+};
+
+/// Resolves kDefault against the SGXP2P_SIM_ENGINE environment variable
+/// ("wheel" or "heap"); anything else selects the wheel.
+[[nodiscard]] SimEngine resolve_engine(SimEngine engine);
+[[nodiscard]] const char* engine_name(SimEngine engine);
+
+/// One in-flight message: the typed event the network schedules instead of
+/// a closure. Exactly one of `payload` (owned, unicast) or `shared`
+/// (refcounted, one buffer fanned out to a whole group) carries the bytes.
+struct Delivery {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Bytes payload;
+  std::shared_ptr<const Bytes> shared;
+
+  [[nodiscard]] ByteView view() const {
+    return shared ? ByteView(*shared) : ByteView(payload);
+  }
+};
+
 class Simulator : public sgx::TrustedClock {
  public:
+  using DeliveryHandler = std::function<void(Delivery&&)>;
+
   /// Instruments sim.* on `registry` (defaults to the thread's current
   /// registry, which is the global one unless a run rebound it).
   explicit Simulator(
-      obs::MetricsRegistry& registry = obs::MetricsRegistry::current());
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::current(),
+      SimEngine engine = SimEngine::kDefault);
 
   [[nodiscard]] SimTime now() const override { return now_; }
+  [[nodiscard]] SimEngine engine() const { return engine_; }
 
   /// Schedules `fn` at absolute virtual time `at` (clamped to now).
   void schedule(SimTime at, std::function<void()> fn);
   void schedule_in(SimDuration delay, std::function<void()> fn) {
     schedule(now_ + delay, std::move(fn));
   }
+
+  /// Registers a delivery dispatcher (the Network registers one per
+  /// instance); the returned index keys schedule_delivery.
+  std::uint32_t add_delivery_handler(DeliveryHandler handler);
+
+  /// Schedules a typed delivery at `at` (clamped to now): no closure, no
+  /// type-erased dispatch — the flat Delivery rides inside the event.
+  void schedule_delivery(SimTime at, std::uint32_t handler, Delivery d);
 
   /// Runs until the event queue is empty.
   void run();
@@ -44,32 +106,100 @@ class Simulator : public sgx::TrustedClock {
   /// Runs a single event; returns false if the queue was empty.
   bool step();
 
-  [[nodiscard]] bool idle() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] bool idle() const { return pending() == 0; }
+  [[nodiscard]] std::size_t pending() const {
+    return engine_ == SimEngine::kHeap
+               ? heap_.size()
+               : wheel_.size() + (active_.size() - active_pos_);
+  }
 
  private:
   struct Event {
-    SimTime at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    SimTime queued_at;  // enqueue time, for the sim.event_wait_ms histogram
-    std::function<void()> fn;
+    SimTime at = 0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among equal timestamps
+    SimTime queued_at = 0;  // enqueue time, for the sim.event_wait_ms hist
+    std::function<void()> fn;  // timer path; empty for typed deliveries
+    Delivery delivery;
+    std::uint32_t handler = 0;
   };
   // Min-heap order: earliest timestamp first, FIFO among equals.
   static bool before(const Event& a, const Event& b) {
     if (a.at != b.at) return a.at < b.at;
     return a.seq < b.seq;
   }
+
+  /// Hierarchical timer wheel. Level L buckets timestamps by bits
+  /// [L·kBits, (L+1)·kBits); an event goes to the lowest level whose
+  /// bucket still distinguishes it from the cursor. Advancing the cursor
+  /// across a level-L bucket boundary cascades that one bucket's events
+  /// down a level, so every event is touched O(kLevels) times total.
+  class Wheel {
+   public:
+    static constexpr int kBits = 8;
+    static constexpr int kLevels = 5;  // covers deltas up to 2^40 ms
+    static constexpr std::size_t kSlots = std::size_t{1} << kBits;
+    static constexpr std::size_t kMask = kSlots - 1;
+    static constexpr std::size_t kWords = kSlots / 64;
+    static constexpr SimTime kNoTime = std::numeric_limits<SimTime>::max();
+
+    void insert(Event ev);  // precondition: ev.at >= cur()
+    /// Earliest pending timestamp, if any. O(kLevels) via the occupancy
+    /// bitmaps and per-slot minima.
+    [[nodiscard]] std::optional<SimTime> peek() const;
+    /// Moves the cursor to `to` (precondition: nothing pending before it),
+    /// cascading coarse buckets the cursor enters.
+    void advance(SimTime to);
+    /// Moves every event due exactly at the cursor into `out` (unsorted).
+    void take_due(std::vector<Event>& out);
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] SimTime cur() const { return cur_; }
+
+   private:
+    [[nodiscard]] int level_for(SimTime at) const;
+    [[nodiscard]] int scan_from(int level, std::size_t start) const;
+    void place(Event ev);
+    void cascade(int level, std::size_t idx);
+
+    SimTime cur_ = 0;
+    std::size_t size_ = 0;
+    std::vector<std::vector<Event>> slots_ =
+        std::vector<std::vector<Event>>(kLevels * kSlots);
+    std::vector<SimTime> slot_min_ =
+        std::vector<SimTime>(kLevels * kSlots, kNoTime);
+    std::array<std::uint64_t, kLevels * kWords> occupied_{};
+    // Deltas beyond the top level (> ~34 years of virtual time): kept in an
+    // unordered overflow list, re-filed when the cursor gets close.
+    std::vector<Event> far_;
+    SimTime far_min_ = kNoTime;
+    std::vector<Event> scratch_;  // cascade staging, capacity recycled
+  };
+
+  void enqueue(Event ev);
+  void fire(Event& ev);
+  /// Fires the next event with timestamp ≤ limit; false if none.
+  bool step_limit(SimTime limit);
+  /// Wheel only: ensures active_ holds an unfired batch due ≤ limit.
+  bool next_ready(SimTime limit);
+
   void heap_push(Event ev);
   Event heap_pop();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  SimEngine engine_;
   std::vector<Event> heap_;
+  Wheel wheel_;
+  // The batch of events due at now_, sorted by seq; events scheduled at
+  // now_ while the batch drains are appended (matching heap FIFO order).
+  std::vector<Event> active_;
+  std::size_t active_pos_ = 0;
+  std::vector<DeliveryHandler> handlers_;
 
   // Registry handles (sim.*), resolved once at construction; incrementing
   // them is a relaxed atomic add, cheap enough for the accounted benches.
   obs::Counter& scheduled_ctr_;
   obs::Counter& fired_ctr_;
+  obs::Counter& deliveries_ctr_;
   obs::Gauge& depth_gauge_;
   obs::Gauge& depth_peak_;
   obs::Histogram& wait_hist_;

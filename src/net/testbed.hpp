@@ -31,6 +31,9 @@ struct TestbedConfig {
   SimDuration round_ms = 0;  // 0 → 2 × net.worst_delay()  (round = 2Δ)
   protocol::ChannelMode mode = protocol::ChannelMode::kAttested;
   std::uint64_t seed = 1;
+  /// Event-engine selection (timer wheel by default; the reference heap is
+  /// kept for equivalence tests and as the bench_scale baseline).
+  SimEngine engine = SimEngine::kDefault;
   /// Registry this deployment instruments. nullptr → the thread's current
   /// registry at construction time (usually the global one). Sweep drivers
   /// hand every run its own registry so runs are isolated and mergeable.

@@ -10,6 +10,9 @@ namespace sgxp2p::protocol {
 ErbInstance::ErbInstance(ErbConfig config) : cfg_(std::move(config)) {
   CHECK_MSG(!cfg_.participants.empty(), "ErbInstance: empty group");
   std::sort(cfg_.participants.begin(), cfg_.participants.end());
+  first_ = cfg_.participants.front();
+  contiguous_ = static_cast<std::size_t>(cfg_.participants.back() - first_) + 1 ==
+                cfg_.participants.size();
   CHECK_MSG(is_participant(cfg_.self), "ErbInstance: self not in group");
   max_rounds_ = cfg_.max_rounds != 0 ? cfg_.max_rounds : cfg_.t + 2;
   const auto n = static_cast<std::uint32_t>(cfg_.participants.size());
@@ -18,6 +21,9 @@ ErbInstance::ErbInstance(ErbConfig config) : cfg_(std::move(config)) {
   ack_threshold_ = std::min(cfg_.t, n - 1);
   // Accept at |S_echo| ≥ N − t (= t + 1 for N = 2t + 1).
   accept_threshold_ = n - cfg_.t;
+  self_rank_ = participant_rank(cfg_.self);
+  initiator_rank_ = participant_rank(cfg_.instance.initiator);
+  s_echo_ = RankSet(cfg_.participants.size());
 }
 
 std::uint32_t ErbInstance::instance_round(std::uint32_t global) const {
@@ -26,13 +32,27 @@ std::uint32_t ErbInstance::instance_round(std::uint32_t global) const {
 }
 
 bool ErbInstance::is_participant(NodeId id) const {
-  return std::binary_search(cfg_.participants.begin(), cfg_.participants.end(),
-                            id);
+  return participant_rank(id) >= 0;
+}
+
+int ErbInstance::participant_rank(NodeId id) const {
+  if (contiguous_) {
+    // Testbed groups are 0..n−1 (and cluster groups a contiguous slice), so
+    // rank lookup on the n²-per-round receive path is one subtraction.
+    if (id < first_ || id - first_ >= cfg_.participants.size()) return -1;
+    return static_cast<int>(id - first_);
+  }
+  auto it = std::lower_bound(cfg_.participants.begin(),
+                             cfg_.participants.end(), id);
+  if (it == cfg_.participants.end() || *it != id) return -1;
+  return static_cast<int>(it - cfg_.participants.begin());
 }
 
 void ErbInstance::multicast(Val val, std::uint32_t global_round, Sends& out) {
-  Bytes hash = crypto::Sha256::hash_bytes(serialize(val));
-  pending_ack_ = PendingAck{global_round, std::move(hash), {}};
+  serialize_into(val, hash_scratch_);
+  Bytes hash = crypto::Sha256::hash_bytes(hash_scratch_);
+  pending_ack_ =
+      PendingAck{global_round, std::move(hash), RankSet(cfg_.participants.size())};
   out.multicasts.push_back(std::move(val));
 }
 
@@ -65,7 +85,7 @@ ErbInstance::Sends ErbInstance::on_round_begin(std::uint32_t global_round) {
   // 2. Initiator: multicast ⟨INIT, id_init, seq_init, m, rnd⟩ in round 1.
   if (cfg_.is_initiator && rnd == 1) {
     m_ = cfg_.init_payload;
-    s_echo_.insert(cfg_.self);
+    s_echo_.insert(static_cast<std::size_t>(self_rank_));
     Val init{MsgType::kInit, cfg_.instance.initiator, cfg_.instance.epoch,
              global_round, cfg_.init_payload};
     multicast(std::move(init), global_round, sends);
@@ -97,7 +117,8 @@ ErbInstance::Sends ErbInstance::on_val(NodeId from, const Val& val,
   if (wants_halt_) return sends;
   std::uint32_t rnd = instance_round(global_round);
   if (rnd == 0 || rnd > max_rounds_) return sends;
-  if (!is_participant(from)) return sends;
+  const int from_rank = participant_rank(from);
+  if (from_rank < 0) return sends;
 
   switch (val.type) {
     case MsgType::kInit: {
@@ -105,13 +126,14 @@ ErbInstance::Sends ErbInstance::on_val(NodeId from, const Val& val,
       // sequence number (P6) is treated as an omitted message.
       if (from != cfg_.instance.initiator) break;
       if (val.round != global_round || val.seq != cfg_.instance.epoch) break;
+      serialize_into(val, hash_scratch_);
       Val ack{MsgType::kAck, cfg_.instance.initiator, cfg_.instance.epoch,
-              global_round, crypto::Sha256::hash_bytes(serialize(val))};
+              global_round, crypto::Sha256::hash_bytes(hash_scratch_)};
       sends.unicasts.push_back(Send{from, std::move(ack)});
       if (!m_) {
         m_ = val.payload;
-        s_echo_.insert(cfg_.instance.initiator);
-        s_echo_.insert(cfg_.self);
+        s_echo_.insert(static_cast<std::size_t>(initiator_rank_));
+        s_echo_.insert(static_cast<std::size_t>(self_rank_));
         echo_due_round_ = rnd + 1;
         maybe_accept(rnd);
       }
@@ -119,15 +141,16 @@ ErbInstance::Sends ErbInstance::on_val(NodeId from, const Val& val,
     }
     case MsgType::kEcho: {
       if (val.round != global_round || val.seq != cfg_.instance.epoch) break;
+      serialize_into(val, hash_scratch_);
       Val ack{MsgType::kAck, cfg_.instance.initiator, cfg_.instance.epoch,
-              global_round, crypto::Sha256::hash_bytes(serialize(val))};
+              global_round, crypto::Sha256::hash_bytes(hash_scratch_)};
       sends.unicasts.push_back(Send{from, std::move(ack)});
       if (!m_) {
         m_ = val.payload;
-        s_echo_.insert(cfg_.self);
+        s_echo_.insert(static_cast<std::size_t>(self_rank_));
         echo_due_round_ = rnd + 1;
       }
-      s_echo_.insert(from);
+      s_echo_.insert(static_cast<std::size_t>(from_rank));
       maybe_accept(rnd);
       break;
     }
@@ -140,7 +163,7 @@ ErbInstance::Sends ErbInstance::on_val(NodeId from, const Val& val,
         break;
       }
       if (val.payload != pending_ack_->expected_hash) break;
-      pending_ack_->ackers.insert(from);
+      pending_ack_->ackers.insert(static_cast<std::size_t>(from_rank));
       break;
     }
     default:

@@ -22,7 +22,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -30,6 +29,31 @@
 #include "protocol/wire.hpp"
 
 namespace sgxp2p::protocol {
+
+/// Distinct-member accumulator over participant ranks: a fixed bitmap plus
+/// a count. The protocol only ever asks "how many distinct participants"
+/// (|S_echo| and Nack against thresholds), never enumerates the members, so
+/// this replaces the former std::set<NodeId> — at n = 1000 that set's ~n²
+/// per-round node allocations and tree walks were the single hottest item
+/// in the bench_scale profile.
+class RankSet {
+ public:
+  RankSet() = default;
+  explicit RankSet(std::size_t n) : bits_((n + 63) / 64, 0) {}
+
+  /// Inserts rank `r` (< n); duplicate inserts are no-ops, like set::insert.
+  void insert(std::size_t r) {
+    std::uint64_t& word = bits_[r >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (r & 63);
+    count_ += (word & mask) == 0 ? 1 : 0;
+    word |= mask;
+  }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::size_t count_ = 0;
+};
 
 struct ErbConfig {
   NodeId self = kNoNode;
@@ -94,6 +118,8 @@ class ErbInstance {
  private:
   [[nodiscard]] std::uint32_t instance_round(std::uint32_t global) const;
   [[nodiscard]] bool is_participant(NodeId id) const;
+  /// Rank of `id` in the sorted participant list, or -1 if not a member.
+  [[nodiscard]] int participant_rank(NodeId id) const;
   /// Appends a group-wide multicast of `val` to `out` and registers the
   /// pending-ACK expectation for `global_round`.
   void multicast(Val val, std::uint32_t global_round, Sends& out);
@@ -103,9 +129,14 @@ class ErbInstance {
   std::uint32_t max_rounds_;
   std::uint32_t ack_threshold_;
   std::uint32_t accept_threshold_;
+  int self_rank_ = -1;
+  int initiator_rank_ = -1;
+  bool contiguous_ = false;  // participants are first_ .. first_ + n − 1
+  NodeId first_ = 0;
+  Bytes hash_scratch_;       // serialize-for-hash reuse (one per ACK)
 
   std::optional<Bytes> m_;              // m̄, the stored message
-  std::set<NodeId> s_echo_;             // S_echo
+  RankSet s_echo_;                      // S_echo (distinct count only)
   std::optional<std::uint32_t> echo_due_round_;  // multicast ECHO at this instance round
 
   // Pending multicast awaiting ACKs: (global round it was sent in, the
@@ -113,7 +144,7 @@ class ErbInstance {
   struct PendingAck {
     std::uint32_t round = 0;
     Bytes expected_hash;
-    std::set<NodeId> ackers;
+    RankSet ackers;
   };
   std::optional<PendingAck> pending_ack_;
 

@@ -50,8 +50,7 @@ class FloodNode : public PlainNode {
       w.u32(relay_hops_ + 1);
       w.bytes(payload_);
       // Encode once, then fan the same wire bytes out to every neighbor.
-      Bytes wire = w.take();
-      multicast_to(overlay_->neighbors(self_), wire);
+      multicast_to(overlay_->neighbors(self_), w.take());
     }
   }
 

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/x25519.hpp"
+#include "obs/pool.hpp"
 
 namespace sgxp2p::protocol {
 
@@ -132,6 +133,9 @@ void PeerEnclave::deliver(NodeId from, ByteView blob) {
   auto plaintext = open_from(from, blob);
   if (!plaintext) return;  // forged, corrupted, or replayed — an omission
   auto val = parse_val(*plaintext);
+  // parse_val copied what it keeps; recycle the plaintext buffer so the
+  // next open (or seal) on this thread reuses its capacity.
+  obs::BufferPool::local().release(std::move(*plaintext));
   if (!val) return;
   on_val(from, *val);
 }
@@ -255,8 +259,9 @@ Bytes PeerEnclave::seal_for(NodeId to, ByteView plaintext) {
     CHECK_MSG(it != links_.end(), "seal_for: no link with peer");
     return it->second.seal(plaintext);
   }
-  // Accounted mode: same wire size, no cipher work.
-  Bytes out(crypto::kAeadOverhead, 0);
+  // Accounted mode: same wire size, no cipher work. acquire() zero-fills
+  // the header bytes exactly like the old `Bytes out(kAeadOverhead, 0)`.
+  Bytes out = obs::BufferPool::local().acquire(crypto::kAeadOverhead);
   append(out, plaintext);
   return out;
 }
@@ -268,7 +273,10 @@ std::optional<Bytes> PeerEnclave::open_from(NodeId from, ByteView blob) {
     return it->second.open(blob);
   }
   if (blob.size() < crypto::kAeadOverhead) return std::nullopt;
-  return Bytes(blob.begin() + crypto::kAeadOverhead, blob.end());
+  Bytes plaintext =
+      obs::BufferPool::local().acquire_empty(blob.size() - crypto::kAeadOverhead);
+  plaintext.assign(blob.begin() + crypto::kAeadOverhead, blob.end());
+  return plaintext;
 }
 
 }  // namespace sgxp2p::protocol

@@ -30,7 +30,9 @@ class PlainNode {
   void bind(sim::Network& network, SimDuration round_ms) {
     network_ = &network;
     round_ms_ = round_ms;
-    network.attach(self_, [this](NodeId from, Bytes blob) {
+    // View sink: on_message only reads, so the network keeps (and recycles)
+    // the buffer, and multicasts share one payload across the group.
+    network.attach_view(self_, [this](NodeId from, ByteView blob) {
       if (!stopped_) on_message(from, blob);
     });
   }
@@ -64,17 +66,27 @@ class PlainNode {
     if (send_filter_ && !send_filter_(to)) return;
     network_->send(self_, to, std::move(data));
   }
-  void multicast(const Bytes& data) {
+  void multicast(Bytes data) {
+    std::vector<NodeId> group;
+    group.reserve(n_ > 0 ? n_ - 1 : 0);
     for (NodeId peer = 0; peer < n_; ++peer) {
-      if (peer != self_) send(peer, data);
+      if (peer != self_ && (!send_filter_ || send_filter_(peer))) {
+        group.push_back(peer);
+      }
     }
+    network_->multicast(self_, group, std::move(data));
   }
   /// Sends the same already-encoded wire bytes to every id in `group`
-  /// (self skipped): one encode, |group| sends.
-  void multicast_to(const std::vector<NodeId>& group, const Bytes& data) {
+  /// (self skipped): one encode, one shared buffer, |group| deliveries.
+  void multicast_to(const std::vector<NodeId>& group, Bytes data) {
+    std::vector<NodeId> filtered;
+    filtered.reserve(group.size());
     for (NodeId peer : group) {
-      if (peer != self_) send(peer, data);
+      if (peer != self_ && (!send_filter_ || send_filter_(peer))) {
+        filtered.push_back(peer);
+      }
     }
+    network_->multicast(self_, filtered, std::move(data));
   }
 
   NodeId self_;
@@ -97,8 +109,10 @@ namespace sgxp2p::sim {
 /// Harness for PlainNode protocols (mirrors Testbed's round loop).
 class PlainBed {
  public:
-  PlainBed(std::uint32_t n, NetworkConfig net_cfg, SimDuration round_ms = 0)
+  PlainBed(std::uint32_t n, NetworkConfig net_cfg, SimDuration round_ms = 0,
+           SimEngine engine = SimEngine::kDefault)
       : n_(n),
+        simulator_(obs::MetricsRegistry::current(), engine),
         network_(simulator_, net_cfg),
         round_ms_(round_ms != 0 ? round_ms : 2 * net_cfg.worst_delay()) {}
 

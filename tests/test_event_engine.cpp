@@ -1,0 +1,350 @@
+// Event-engine equivalence suite: the timer-wheel engine must be
+// observationally identical to the reference heap engine — not merely
+// "same decisions", but byte-identical JSONL traces and metric snapshots
+// for the same seed, across every protocol stack (ERB, both ERNG variants,
+// and the crash-recovery scenario). This is the contract that lets
+// bench_scale attribute its speedup entirely to the engine: if any event
+// fired in a different order the traces would diverge at that line.
+//
+// Also here: the BufferPool poisoning test (recycled capacity must never
+// leak a previous message's bytes, and results must not depend on pool
+// warmth) and the Network::detach FIFO-purge regression test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/simulator.hpp"
+#include "net/testbed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pool.hpp"
+#include "obs/trace.hpp"
+#include "recovery/coordinator.hpp"
+#include "testbed_util.hpp"
+
+namespace sgxp2p {
+namespace {
+
+using protocol::ErbNode;
+using protocol::ErngBasicNode;
+using protocol::ErngOptNode;
+using testutil::all_honest_done;
+using testutil::all_honest_erb_decided;
+using testutil::small_config;
+
+// Everything observable about one protocol run.
+struct Artifacts {
+  std::string trace;    // full JSONL event trace
+  std::string metrics;  // registry snapshot JSON
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+// Runs `body` under a fresh registry and a recording tracer, then captures
+// the run's trace + metrics. The pool is cleared first so both engines (and
+// both runs of a pair) start from identical pool state; `clear_pool=false`
+// deliberately leaves the previous run's warm pool in place for the
+// warmth-independence test.
+template <typename Body>
+Artifacts capture(Body body, bool clear_pool = true) {
+  if (clear_pool) obs::BufferPool::local().clear();
+  obs::MetricsRegistry reg;
+  obs::MetricsRegistry::ScopedCurrent bind(reg);
+  auto& tr = obs::TraceRecorder::global();
+  tr.enable();
+  tr.reset();
+  Artifacts a = body();
+  EXPECT_EQ(tr.dropped(), 0u) << "trace ring overflowed; grow the capacity";
+  a.trace = tr.to_jsonl();
+  tr.disable();
+  a.metrics = reg.to_json();
+  return a;
+}
+
+Artifacts finish(sim::Testbed& bed, std::uint32_t rounds) {
+  Artifacts a;
+  a.rounds = rounds;
+  a.messages = bed.network().meter().messages();
+  a.bytes = bed.network().meter().bytes();
+  return a;
+}
+
+Artifacts run_erb(sim::SimEngine engine, bool clear_pool = true) {
+  return capture(
+      [engine]() {
+        auto cfg = small_config(25, 7);
+        cfg.engine = engine;
+        sim::Testbed bed(cfg);
+        bed.build(testutil::erb_factory(0, to_bytes("engine-equivalence")));
+        bed.start();
+        std::uint32_t rounds = bed.run_rounds(cfg.effective_t() + 4,
+                                              all_honest_erb_decided(bed));
+        for (NodeId id : bed.honest_nodes()) {
+          EXPECT_TRUE(bed.enclave_as<ErbNode>(id).result().decided);
+        }
+        return finish(bed, rounds);
+      },
+      clear_pool);
+}
+
+Artifacts run_erng_basic(sim::SimEngine engine) {
+  return capture([engine]() {
+    auto cfg = small_config(9, 11);
+    cfg.engine = engine;
+    sim::Testbed bed(cfg);
+    bed.build(testutil::erng_basic_factory());
+    bed.start();
+    std::uint32_t rounds = bed.run_rounds(cfg.effective_t() + 4,
+                                          all_honest_done<ErngBasicNode>(bed));
+    for (NodeId id : bed.honest_nodes()) {
+      EXPECT_TRUE(bed.enclave_as<ErngBasicNode>(id).result().done);
+    }
+    return finish(bed, rounds);
+  });
+}
+
+Artifacts run_erng_opt(sim::SimEngine engine) {
+  return capture([engine]() {
+    auto cfg = small_config(12, 13);
+    cfg.t = 3;
+    cfg.engine = engine;
+    sim::Testbed bed(cfg);
+    bed.build(testutil::erng_opt_factory());
+    bed.start();
+    std::uint32_t rounds =
+        bed.run_rounds(cfg.n, all_honest_done<ErngOptNode>(bed));
+    for (NodeId id : bed.honest_nodes()) {
+      EXPECT_TRUE(bed.enclave_as<ErngOptNode>(id).result().done);
+    }
+    return finish(bed, rounds);
+  });
+}
+
+// Compact copy of the recovery scenario from test_recovery.cpp: node 1 of a
+// 4-member roster crashes, restores from its newest sealed checkpoint, and
+// rejoins; one extra node joins fresh afterwards.
+Artifacts run_recovery(sim::SimEngine engine) {
+  return capture([engine]() {
+    const std::uint32_t n = 4;
+    const NodeId victim = 1;
+    const NodeId extra = n;
+    auto cfg = small_config(n + 1, 3);
+    cfg.t = (n - 1) / 2;
+    cfg.mode = protocol::ChannelMode::kAttested;
+    cfg.engine = engine;
+    const std::uint32_t W = cfg.t + 2;
+    const std::uint32_t recover_at = 6 + 4;
+    const std::size_t w_rejoin = (recover_at - 1 + W - 1) / W;
+
+    std::vector<NodeId> roster0;
+    for (NodeId id = 0; id < n; ++id) roster0.push_back(id);
+    std::vector<protocol::JoinPlanEntry> plan(w_rejoin + 3);
+    plan[w_rejoin] = {victim, NodeId{0}, true};
+    plan[w_rejoin + 1] = {victim, NodeId{2}, true};
+    plan[w_rejoin + 2] = {extra, NodeId{0}, false};
+
+    sim::Testbed bed(cfg);
+    sim::Testbed::EnclaveFactory factory =
+        [roster0, plan](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+                        protocol::PeerConfig pc, const sgx::SimIAS& ias)
+        -> std::unique_ptr<protocol::PeerEnclave> {
+      return std::make_unique<recovery::RecoverableNode>(platform, id, host,
+                                                         pc, ias, roster0,
+                                                         plan);
+    };
+    bed.build(factory);
+
+    recovery::RecoveryPlan rp;
+    rp.victim = victim;
+    rp.crash_round = 6;
+    rp.recover_round = recover_at;
+    rp.checkpoint_interval = 2;
+    recovery::RecoveryCoordinator coord(bed, factory, rp);
+    coord.install();
+
+    bed.start();
+    std::uint32_t rounds =
+        bed.run_rounds(static_cast<std::uint32_t>((w_rejoin + 4) * W));
+    EXPECT_TRUE(coord.rejoin_complete());
+    return finish(bed, rounds);
+  });
+}
+
+void expect_identical(const Artifacts& wheel, const Artifacts& heap) {
+  EXPECT_EQ(wheel.rounds, heap.rounds);
+  EXPECT_EQ(wheel.messages, heap.messages);
+  EXPECT_EQ(wheel.bytes, heap.bytes);
+  EXPECT_EQ(wheel.trace, heap.trace);
+  EXPECT_EQ(wheel.metrics, heap.metrics);
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence: byte-identical traces and metric snapshots.
+
+TEST(EventEngineEquivalence, ErbByteIdentical) {
+  expect_identical(run_erb(sim::SimEngine::kWheel),
+                   run_erb(sim::SimEngine::kHeap));
+}
+
+TEST(EventEngineEquivalence, ErngBasicByteIdentical) {
+  expect_identical(run_erng_basic(sim::SimEngine::kWheel),
+                   run_erng_basic(sim::SimEngine::kHeap));
+}
+
+TEST(EventEngineEquivalence, ErngOptByteIdentical) {
+  expect_identical(run_erng_opt(sim::SimEngine::kWheel),
+                   run_erng_opt(sim::SimEngine::kHeap));
+}
+
+TEST(EventEngineEquivalence, RecoveryScenarioByteIdentical) {
+  expect_identical(run_recovery(sim::SimEngine::kWheel),
+                   run_recovery(sim::SimEngine::kHeap));
+}
+
+// Same engine, same seed, run twice → identical too (the determinism
+// baseline the cross-engine comparisons rest on).
+TEST(EventEngineEquivalence, WheelSelfDeterministic) {
+  expect_identical(run_erb(sim::SimEngine::kWheel),
+                   run_erb(sim::SimEngine::kWheel));
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool poisoning: recycled capacity never leaks previous contents,
+// and protocol output is independent of pool warmth.
+
+TEST(BufferPoolPoison, RecycledBuffersAreZeroFilled) {
+  auto& pool = obs::BufferPool::local();
+  pool.clear();
+  ASSERT_TRUE(pool.recycling());
+
+  Bytes secret = pool.acquire(64);
+  std::fill(secret.begin(), secret.end(), std::uint8_t{0xAB});
+  pool.release(std::move(secret));
+  ASSERT_EQ(pool.free_buffers(), 1u);
+
+  // Same-size reuse: contents must equal a fresh Bytes(64).
+  Bytes reused = pool.acquire(64);
+  EXPECT_EQ(reused, Bytes(64));
+
+  // Shrinking reuse: the poisoned tail beyond size() must not resurface
+  // through a later grow-in-place.
+  std::fill(reused.begin(), reused.end(), std::uint8_t{0xCD});
+  pool.release(std::move(reused));
+  Bytes small = pool.acquire(16);
+  EXPECT_EQ(small, Bytes(16));
+  small.resize(64);
+  EXPECT_EQ(small, Bytes(64));
+}
+
+TEST(BufferPoolPoison, AcquireEmptyIsEmptyWithCapacity) {
+  auto& pool = obs::BufferPool::local();
+  pool.clear();
+  Bytes dirty = pool.acquire(128);
+  std::fill(dirty.begin(), dirty.end(), std::uint8_t{0xEE});
+  pool.release(std::move(dirty));
+  Bytes empty = pool.acquire_empty(100);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_GE(empty.capacity(), 100u);
+}
+
+TEST(BufferPoolPoison, OutputsIndependentOfPoolWarmth) {
+  Artifacts cold = run_erb(sim::SimEngine::kWheel);
+  // Second run reuses whatever the first left in the thread's pool.
+  ASSERT_GT(obs::BufferPool::local().free_buffers(), 0u);
+  Artifacts warm = run_erb(sim::SimEngine::kWheel, /*clear_pool=*/false);
+  expect_identical(cold, warm);
+}
+
+// ---------------------------------------------------------------------------
+// Network::detach must purge per-pair FIFO state (regression: long churn
+// episodes grew the FIFO map without bound).
+
+TEST(NetworkDetach, PurgesFifoStateBothDirections) {
+  obs::MetricsRegistry reg;
+  obs::MetricsRegistry::ScopedCurrent bind(reg);
+  sim::Simulator simulator(reg);
+  sim::Network net(simulator, sim::NetworkConfig{}, reg);
+  for (NodeId id = 0; id < 3; ++id) {
+    net.attach(id, [](NodeId, Bytes) {});
+  }
+  for (NodeId from = 0; from < 3; ++from) {
+    for (NodeId to = 0; to < 3; ++to) {
+      if (from != to) net.send(from, to, to_bytes("x"));
+    }
+  }
+  simulator.run();
+  EXPECT_EQ(net.fifo_entries(), 6u);  // all ordered pairs
+
+  net.detach(1);
+  EXPECT_FALSE(net.attached(1));
+  EXPECT_EQ(net.fifo_entries(), 2u);  // only 0→2 and 2→0 survive
+
+  net.detach(0);
+  net.detach(2);
+  EXPECT_EQ(net.fifo_entries(), 0u);
+}
+
+TEST(NetworkDetach, PurgesSparseIdFallback) {
+  // Ids ≥ the dense-table bound exercise the map fallback for both the
+  // sink table and the FIFO state.
+  const NodeId far_id = 100000;
+  obs::MetricsRegistry reg;
+  obs::MetricsRegistry::ScopedCurrent bind(reg);
+  sim::Simulator simulator(reg);
+  sim::Network net(simulator, sim::NetworkConfig{}, reg);
+  net.attach(0, [](NodeId, Bytes) {});
+  net.attach(far_id, [](NodeId, Bytes) {});
+  EXPECT_TRUE(net.attached(far_id));
+  net.send(0, far_id, to_bytes("out"));
+  net.send(far_id, 0, to_bytes("back"));
+  simulator.run();
+  EXPECT_EQ(net.fifo_entries(), 2u);
+
+  net.detach(far_id);
+  EXPECT_FALSE(net.attached(far_id));
+  EXPECT_EQ(net.fifo_entries(), 0u);
+}
+
+TEST(NetworkDetach, QueuedDeliveryToDetachedNodeIsDropped) {
+  obs::MetricsRegistry reg;
+  obs::MetricsRegistry::ScopedCurrent bind(reg);
+  sim::Simulator simulator(reg);
+  sim::Network net(simulator, sim::NetworkConfig{}, reg);
+  int received = 0;
+  net.attach(0, [](NodeId, Bytes) {});
+  net.attach(1, [&received](NodeId, Bytes) { ++received; });
+  net.send(0, 1, to_bytes("in-flight"));
+  net.detach(1);  // before the delivery fires
+  simulator.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(reg.counter("net.dropped").value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scale smoke (slow label): one ERB broadcast at n=500 on the default
+// engine — large enough that the pre-wheel engine visibly dragged, small
+// enough for CI.
+
+TEST(EventEngineScale, Erb500Decides) {
+  auto cfg = small_config(500, 99);
+  cfg.mode = protocol::ChannelMode::kAccounted;
+  sim::Testbed bed(cfg);
+  bed.build(testutil::erb_factory(0, to_bytes("scale-smoke")));
+  bed.start();
+  bed.run_rounds(12, all_honest_erb_decided(bed));
+  for (NodeId id : bed.honest_nodes()) {
+    const auto& r = bed.enclave_as<ErbNode>(id).result();
+    ASSERT_TRUE(r.decided);
+    EXPECT_TRUE(r.value.has_value());
+  }
+  EXPECT_GT(bed.registry().counter("sim.deliveries").value(), 250000u);
+}
+
+}  // namespace
+}  // namespace sgxp2p

@@ -22,6 +22,8 @@
 //   --delta-ms <int>                     one-way delay bound Δ (default 500)
 //   --mode attested|accounted            channel mode (default attested for
 //                                        n ≤ 128, else accounted)
+//   --engine wheel|heap                  simulator event engine (default
+//                                        wheel; heap = reference engine)
 //   --csv                                one machine-readable line
 //   --metrics-out [path]                 write metrics snapshot JSON
 //                                        (default sim_metrics.json)
@@ -74,6 +76,7 @@ struct Options {
   std::uint64_t seed = 1;
   SimDuration delta_ms = 500;
   std::string mode;
+  std::string engine;
   bool csv = false;
   std::string metrics_path;  // empty → no snapshot written
   std::string trace_path;    // empty → tracing stays off
@@ -110,6 +113,7 @@ Options parse(int argc, char** argv) {
     o.delta_ms = std::atoi(v);
   }
   if (const char* v = flag_value(argc, argv, "--mode")) o.mode = v;
+  if (const char* v = flag_value(argc, argv, "--engine")) o.engine = v;
   if (const char* v = flag_value(argc, argv, "--crash-at")) {
     o.crash_at = std::atoi(v);
   }
@@ -211,6 +215,15 @@ int main(int argc, char** argv) {
   bool accounted = o.mode.empty() ? o.n > 128 : o.mode == "accounted";
   cfg.mode = accounted ? protocol::ChannelMode::kAccounted
                        : protocol::ChannelMode::kAttested;
+  if (o.engine == "heap") {
+    cfg.engine = sim::SimEngine::kHeap;
+  } else if (o.engine == "wheel") {
+    cfg.engine = sim::SimEngine::kWheel;
+  } else if (!o.engine.empty()) {
+    std::fprintf(stderr, "unknown engine '%s' (wheel|heap)\n",
+                 o.engine.c_str());
+    return 2;
+  }
   if (o.protocol == "recovery") {
     if (o.n < 4) {
       std::fprintf(stderr, "--protocol recovery needs --n >= 4\n");
