@@ -1,0 +1,161 @@
+// ScheduleStrategy — a byzantine host driven by a precomputed fault script.
+//
+// Where the hand-written strategies in strategies.hpp each realize ONE
+// attack family with fixed parameters, ScheduleStrategy executes an
+// arbitrary per-round composition of them: the fuzzer (src/fuzz/) compiles
+// a serialized Schedule into per-node MsgFault lists and the strategy
+// replays those faults against the same HostContext hooks the hand-written
+// strategies use. Because the script is data, the same schedule always
+// produces the same byte stream — this is what makes fuzzer failures
+// replayable and shrinkable.
+//
+// Only message-level faults live here (drop, delay, duplicate, corrupt,
+// reorder, stale-seal restore). Partition, crash, and recover actions need
+// testbed/network capabilities a host does not have; the fuzz runner drives
+// those from the round hook.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "adversary/strategy.hpp"
+
+namespace sgxp2p::adversary {
+
+/// Message-level fault kinds a schedule can pin to a (node, round) cell.
+enum class MsgFaultKind : std::uint8_t {
+  kDrop,       // swallow the blob
+  kDelay,      // forward after `param` virtual ms (≥ round ⇒ P5 rejects)
+  kDuplicate,  // forward, then forward a copy after `param` ms (A5 shape)
+  kCorrupt,    // flip one byte before forwarding (A2 shape, MAC must trip)
+  kReorder,    // buffer the round's blobs, release them in reverse at its end
+};
+
+struct MsgFault {
+  MsgFaultKind kind = MsgFaultKind::kDrop;
+  std::uint32_t round = 1;  // 1-based protocol round the fault is armed in
+  NodeId peer = kNoNode;    // restrict to this destination; kNoNode = all
+  std::uint64_t param = 0;  // kind-specific (delay ms, corrupt byte seed)
+};
+
+/// Round geometry, shared by every ScheduleStrategy of one run. The testbed
+/// only fixes T0 at start(), after strategies are constructed, so the
+/// runner fills this in between build() and the round loop.
+struct ScheduleClock {
+  SimTime t0 = 0;
+  SimDuration round_ms = 1;
+
+  [[nodiscard]] std::uint32_t round_at(SimTime now) const {
+    if (now < t0 || round_ms == 0) return 0;
+    return static_cast<std::uint32_t>((now - t0) / round_ms) + 1;
+  }
+  /// Last instant still inside `round` (reorder releases land here).
+  [[nodiscard]] SimTime round_end(std::uint32_t round) const {
+    return t0 + static_cast<SimTime>(round) * round_ms - 1;
+  }
+};
+
+class ScheduleStrategy final : public Strategy {
+ public:
+  ScheduleStrategy(std::vector<MsgFault> faults,
+                   std::shared_ptr<const ScheduleClock> clock,
+                   bool stale_seal = false)
+      : faults_(std::move(faults)),
+        clock_(std::move(clock)),
+        stale_seal_(stale_seal) {}
+
+  void on_send(HostContext& ctx, NodeId to, Bytes blob) override {
+    const std::uint32_t round = clock_->round_at(ctx.now());
+    bool drop = false;
+    bool reorder = false;
+    std::uint64_t delay = 0;        // 0 = no delay fault
+    std::uint64_t dup_after = ~0ULL;  // ~0 = no duplicate fault
+    for (const MsgFault& f : faults_) {
+      if (f.round != round) continue;
+      if (f.peer != kNoNode && f.peer != to) continue;
+      switch (f.kind) {
+        case MsgFaultKind::kDrop:
+          drop = true;
+          break;
+        case MsgFaultKind::kDelay:
+          delay = std::max<std::uint64_t>(delay, f.param);
+          break;
+        case MsgFaultKind::kDuplicate:
+          dup_after = std::min<std::uint64_t>(dup_after, f.param);
+          break;
+        case MsgFaultKind::kCorrupt:
+          if (!blob.empty()) {
+            std::size_t at = static_cast<std::size_t>(f.param) % blob.size();
+            blob[at] ^= static_cast<std::uint8_t>(((f.param >> 8) & 0xff) | 1);
+          }
+          break;
+        case MsgFaultKind::kReorder:
+          reorder = true;
+          break;
+      }
+    }
+    if (drop) return;
+    if (dup_after != ~0ULL) {
+      Bytes copy = blob;
+      ctx.schedule_in(static_cast<SimDuration>(dup_after),
+                      [&ctx, to, copy = std::move(copy)]() mutable {
+                        ctx.forward(to, std::move(copy));
+                      });
+    }
+    if (reorder) {
+      buffer_for_reorder(ctx, round, to, std::move(blob));
+      return;
+    }
+    if (delay > 0) {
+      ctx.schedule_in(static_cast<SimDuration>(delay),
+                      [&ctx, to, blob = std::move(blob)]() mutable {
+                        ctx.forward(to, std::move(blob));
+                      });
+      return;
+    }
+    ctx.forward(to, std::move(blob));
+  }
+
+  std::optional<Bytes> on_restore(const std::vector<Bytes>& history) override {
+    if (history.empty()) return std::nullopt;
+    // Stale-seal replay (rollback attempt): answer with the OLDEST blob.
+    return stale_seal_ ? history.front() : history.back();
+  }
+
+  /// A scripted host is byzantine exactly when the script makes it deviate.
+  [[nodiscard]] bool is_byzantine() const override {
+    return !faults_.empty() || stale_seal_;
+  }
+
+ private:
+  void buffer_for_reorder(HostContext& ctx, std::uint32_t round, NodeId to,
+                          Bytes blob) {
+    if (reorder_round_ != round) {
+      // First buffered blob of this round: arm one flush at the round's end
+      // that releases everything buffered by then in REVERSE send order.
+      reorder_round_ = round;
+      reorder_buf_.clear();
+      SimTime end = clock_->round_end(round);
+      SimDuration wait = end > ctx.now() ? end - ctx.now() : 0;
+      ctx.schedule_in(wait, [this, &ctx, round]() {
+        if (reorder_round_ != round) return;
+        for (auto it = reorder_buf_.rbegin(); it != reorder_buf_.rend();
+             ++it) {
+          ctx.forward(it->first, std::move(it->second));
+        }
+        reorder_buf_.clear();
+        reorder_round_ = 0;
+      });
+    }
+    reorder_buf_.emplace_back(to, std::move(blob));
+  }
+
+  std::vector<MsgFault> faults_;
+  std::shared_ptr<const ScheduleClock> clock_;
+  bool stale_seal_;
+  std::uint32_t reorder_round_ = 0;
+  std::vector<std::pair<NodeId, Bytes>> reorder_buf_;
+};
+
+}  // namespace sgxp2p::adversary

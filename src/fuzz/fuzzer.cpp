@@ -1,0 +1,116 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace sgxp2p::fuzz {
+
+namespace {
+
+std::string repro_filename(const CampaignOptions& options, FuzzTarget target,
+                           std::uint32_t index) {
+  std::string name = "fuzz-" + std::string(target_name(target)) + "-seed" +
+                     std::to_string(options.seed) + "-" +
+                     std::to_string(index) + ".sched";
+  if (options.out_dir.empty()) return name;
+  std::string dir = options.out_dir;
+  if (dir.back() != '/') dir += '/';
+  return dir + name;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  std::vector<FuzzTarget> targets = options.targets;
+  if (targets.empty()) {
+    targets = {FuzzTarget::kErb, FuzzTarget::kErngBasic, FuzzTarget::kErngOpt,
+               FuzzTarget::kRecovery};
+  }
+  RunOptions run_options;
+  run_options.canary = options.canary;
+
+  CampaignResult result;
+  for (FuzzTarget target : targets) {
+    for (std::uint32_t index = 0; index < options.schedules; ++index) {
+      if (result.failures.size() >= options.max_failures) return result;
+      Schedule schedule = generate_schedule(target, options.seed, index);
+      RunReport report = run_schedule(schedule, run_options);
+      ++result.executed;
+      if (options.progress_every != 0 &&
+          (index + 1) % options.progress_every == 0) {
+        std::fprintf(stderr, "fuzz[%s] %u/%u schedules, %zu failure(s)\n",
+                     target_name(target), index + 1, options.schedules,
+                     result.failures.size());
+      }
+      if (report.passed()) continue;
+
+      LOG_WARN("fuzz: ", target_name(target), " schedule ", index, " (seed ",
+               options.seed, ") violated ", report.violations.size(),
+               " oracle(s); shrinking");
+      ShrinkResult shrunk =
+          shrink(schedule, run_options, options.shrink_budget);
+
+      CampaignFailure failure;
+      failure.target = target;
+      failure.index = index;
+      failure.shrunk = shrunk.schedule;
+      failure.report = shrunk.report;
+      failure.shrink_runs = shrunk.runs;
+      // Stamp the reproducer with what a replay must see.
+      failure.shrunk.expect_violations = shrunk.report.violated_oracles();
+      failure.shrunk.expect_digest = shrunk.report.digest;
+      std::string path = repro_filename(options, target, index);
+      failure.repro_path = failure.shrunk.write_file(path) ? path : "";
+      if (failure.repro_path.empty()) {
+        LOG_ERROR("fuzz: cannot write reproducer to ", path);
+      }
+      result.failures.push_back(std::move(failure));
+    }
+  }
+  return result;
+}
+
+ReplayResult replay_schedule_file(const std::string& path) {
+  ReplayResult out;
+  std::string error;
+  std::optional<Schedule> schedule = Schedule::load_file(path, &error);
+  if (!schedule) {
+    out.message = "cannot load schedule: " + error;
+    return out;
+  }
+  RunOptions options;
+  for (const std::string& expected : schedule->expect_violations) {
+    if (expected.rfind("canary.", 0) == 0) options.canary = true;
+  }
+  out.report = run_schedule(*schedule, options);
+
+  const std::vector<std::string> got = out.report.violated_oracles();
+  if (!schedule->expect_violations.empty()) {
+    std::vector<std::string> want = schedule->expect_violations;
+    std::sort(want.begin(), want.end());
+    if (got != want) {
+      out.message = "violation set mismatch: replay saw [";
+      for (const std::string& g : got) out.message += g + " ";
+      out.message += "] but the file expects [";
+      for (const std::string& w : want) out.message += w + " ";
+      out.message += "]";
+      return out;
+    }
+  }
+  if (!schedule->expect_digest.empty() &&
+      out.report.digest != schedule->expect_digest) {
+    out.message = "digest mismatch: replay produced " + out.report.digest +
+                  " but the file expects " + schedule->expect_digest;
+    return out;
+  }
+  out.ok = true;
+  out.message =
+      got.empty()
+          ? "replay clean: no oracle violations"
+          : "replay reproduced the expected violation(s) byte-identically";
+  return out;
+}
+
+}  // namespace sgxp2p::fuzz

@@ -1,0 +1,67 @@
+// Campaign driver + replay — the fuzzer's two entry points.
+//
+// run_campaign executes `schedules` generated schedules per target (indices
+// 0..schedules-1 through generate_schedule, so a campaign is reproducible
+// from its seed). The first oracle violation per target is shrunk to a
+// minimal reproducer, stamped with the violated-oracle set and the run
+// digest, and written as a `.sched` replay file; CI uploads those as
+// artifacts. A campaign stops early once `max_failures` distinct failures
+// have been shrunk — nightly runs want the whole sweep (max_failures high),
+// the canary test wants the first hit.
+//
+// replay_schedule_file re-executes a replay file and checks it against its
+// own `expect_violation` / `expect_digest` stamps: same violated oracles,
+// byte-identical digest. The canary oracle is armed automatically when the
+// file expects a canary.* violation, so replaying a canary-found repro works
+// without extra flags.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/shrinker.hpp"
+
+namespace sgxp2p::fuzz {
+
+struct CampaignOptions {
+  std::vector<FuzzTarget> targets;  // empty → all four
+  std::uint64_t seed = 1;
+  std::uint32_t schedules = 500;  // generated schedules per target
+  bool canary = false;            // arm the test-only canary oracle
+  std::string out_dir;            // replay files land here ("" = cwd)
+  std::uint32_t max_failures = 1;
+  std::uint32_t shrink_budget = 256;  // runs the shrinker may spend
+  /// Progress line every `progress_every` schedules (0 = silent).
+  std::uint32_t progress_every = 0;
+};
+
+struct CampaignFailure {
+  FuzzTarget target = FuzzTarget::kErb;
+  std::uint32_t index = 0;       // generate_schedule index that failed
+  Schedule shrunk;               // minimal reproducer (with expect_* stamps)
+  RunReport report;              // the shrunk schedule's run
+  std::uint32_t shrink_runs = 0;
+  std::string repro_path;        // written replay file ("" if write failed)
+};
+
+struct CampaignResult {
+  std::uint64_t executed = 0;  // schedules run (not counting shrinking)
+  std::vector<CampaignFailure> failures;
+
+  [[nodiscard]] bool clean() const { return failures.empty(); }
+};
+
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& options);
+
+struct ReplayResult {
+  bool ok = false;      // ran, and every expect_* stamp matched
+  RunReport report;
+  std::string message;  // human-readable verdict / mismatch description
+};
+
+[[nodiscard]] ReplayResult replay_schedule_file(const std::string& path);
+
+}  // namespace sgxp2p::fuzz

@@ -1,0 +1,23 @@
+// Seeded schedule generator.
+//
+// generate_schedule(target, campaign_seed, index) is a pure function: the
+// same triple always yields the same Schedule (asserted byte-for-byte by
+// test_fuzz.cpp), so a campaign is reproducible from its seed alone and a
+// CI failure names the exact schedule that produced it.
+//
+// Generated schedules are always sound by construction (Schedule::validate
+// passes): fault actions land only on a "faulted" node set whose size stays
+// within the byzantine budget the target's proofs quantify over, sponsors
+// and scenario pivots stay clean, and per-target n/t shapes track what the
+// protocols require (t < N/2, erng_opt in the fallback-cluster regime).
+#pragma once
+
+#include "fuzz/schedule.hpp"
+
+namespace sgxp2p::fuzz {
+
+[[nodiscard]] Schedule generate_schedule(FuzzTarget target,
+                                         std::uint64_t campaign_seed,
+                                         std::uint32_t index);
+
+}  // namespace sgxp2p::fuzz

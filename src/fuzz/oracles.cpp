@@ -1,0 +1,20 @@
+#include "fuzz/oracles.hpp"
+
+#include <algorithm>
+
+namespace sgxp2p::fuzz {
+
+std::vector<std::string> RunReport::violated_oracles() const {
+  std::vector<std::string> names;
+  names.reserve(violations.size());
+  for (const Violation& v : violations) names.push_back(v.oracle);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+bool same_violations(const RunReport& a, const RunReport& b) {
+  return a.violated_oracles() == b.violated_oracles();
+}
+
+}  // namespace sgxp2p::fuzz

@@ -1,0 +1,136 @@
+#include "fuzz/shrinker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sgxp2p::fuzz {
+
+namespace {
+
+/// Runs `candidate` if structurally sound and within budget; adopts it as
+/// the new current best iff it fails identically to the baseline.
+class Search {
+ public:
+  Search(Schedule best, RunReport best_report, const RunOptions& options,
+         std::uint32_t max_runs)
+      : best_(std::move(best)),
+        best_report_(std::move(best_report)),
+        options_(options),
+        max_runs_(max_runs) {}
+
+  bool try_adopt(const Schedule& candidate) {
+    if (runs_ >= max_runs_) return false;
+    std::string err;
+    if (!candidate.validate(&err)) return false;
+    ++runs_;
+    RunReport report = run_schedule(candidate, options_);
+    if (!same_violations(report, best_report_)) return false;
+    best_ = candidate;
+    best_report_ = std::move(report);
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const { return runs_ >= max_runs_; }
+  [[nodiscard]] const Schedule& best() const { return best_; }
+  [[nodiscard]] const RunReport& best_report() const { return best_report_; }
+  [[nodiscard]] std::uint32_t runs() const { return runs_; }
+
+ private:
+  Schedule best_;
+  RunReport best_report_;
+  RunOptions options_;
+  std::uint32_t max_runs_;
+  std::uint32_t runs_ = 0;
+};
+
+/// ddmin over the action list: chunks of halving size, restarting the scan
+/// whenever a removal sticks.
+void shrink_actions(Search& search) {
+  std::size_t chunk = std::max<std::size_t>(1, search.best().actions.size() / 2);
+  while (chunk >= 1 && !search.exhausted()) {
+    bool removed_any = false;
+    std::size_t start = 0;
+    while (start < search.best().actions.size() && !search.exhausted()) {
+      Schedule candidate = search.best();
+      const std::size_t end =
+          std::min(start + chunk, candidate.actions.size());
+      candidate.actions.erase(candidate.actions.begin() + start,
+                              candidate.actions.begin() + end);
+      if (search.try_adopt(candidate)) {
+        removed_any = true;  // indices shifted; rescan from the same start
+      } else {
+        start += chunk;
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+  }
+}
+
+/// Smallest round budget that still reproduces: binary search down, then a
+/// linear tail for off-by-ones.
+void shrink_rounds(Search& search) {
+  while (search.best().max_rounds > 1 && !search.exhausted()) {
+    Schedule candidate = search.best();
+    candidate.max_rounds /= 2;
+    if (!search.try_adopt(candidate)) break;
+  }
+  while (search.best().max_rounds > 1 && !search.exhausted()) {
+    Schedule candidate = search.best();
+    candidate.max_rounds -= 1;
+    if (!search.try_adopt(candidate)) break;
+  }
+}
+
+/// Peels unreferenced high node ids off the deployment. t is re-clamped to
+/// the new n; the run decides whether the smaller deployment still fails
+/// identically.
+void shrink_nodes(Search& search) {
+  while (search.best().n > 2 && !search.exhausted()) {
+    Schedule candidate = search.best();
+    const NodeId doomed = candidate.n - 1;
+    bool referenced = false;
+    for (const FaultAction& a : candidate.actions) {
+      if (a.node == doomed || a.peer == doomed) {
+        referenced = true;
+        break;
+      }
+    }
+    if (referenced) break;
+    candidate.n -= 1;
+    candidate.t = std::min(candidate.t, (candidate.n - 1) / 2);
+    if (!search.try_adopt(candidate)) break;
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Schedule& failing, const RunOptions& options,
+                    std::uint32_t max_runs) {
+  RunReport baseline = run_schedule(failing, options);
+  CHECK_MSG(!baseline.violations.empty(),
+            "shrink: the input schedule does not violate any oracle");
+  Search search(failing, std::move(baseline), options, max_runs);
+  // Re-run the phase stack until a full pass removes nothing: a rounds or
+  // nodes reduction can unlock further action removals.
+  for (;;) {
+    const std::size_t actions_before = search.best().actions.size();
+    const std::uint32_t rounds_before = search.best().max_rounds;
+    const std::uint32_t n_before = search.best().n;
+    shrink_actions(search);
+    shrink_rounds(search);
+    shrink_nodes(search);
+    if (search.exhausted() ||
+        (search.best().actions.size() == actions_before &&
+         search.best().max_rounds == rounds_before &&
+         search.best().n == n_before)) {
+      break;
+    }
+  }
+  return {search.best(), search.best_report(), search.runs() + 1};
+}
+
+}  // namespace sgxp2p::fuzz

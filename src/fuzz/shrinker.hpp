@@ -1,0 +1,40 @@
+// Failing-case shrinking — delta debugging over the schedule structure.
+//
+// Given a schedule whose run violates at least one oracle, shrink() searches
+// for a smaller schedule that fails the SAME way (identical sorted
+// violated-oracle set — not merely "still fails", which would let the search
+// wander to an unrelated defect). Three phases, each a fixpoint:
+//
+//   actions   ddmin over the action list: remove chunks of halving size,
+//             re-run, keep any candidate with an equal violation set
+//   rounds    binary-then-linear reduction of max_rounds (smaller budgets
+//             both speed up replay and sharpen termination findings)
+//   nodes     peel the highest node id while no action references it
+//
+// Every candidate must pass Schedule::validate before it is run, so the
+// search can never leave the sound set (e.g. drop a recover action but keep
+// its stale_seal) — soundness is structural, not re-derived here.
+//
+// The search is bounded by max_runs executions; the best schedule found so
+// far is returned when the budget runs out, so shrinking is always safe to
+// call from CI with a deadline.
+#pragma once
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/schedule.hpp"
+
+namespace sgxp2p::fuzz {
+
+struct ShrinkResult {
+  Schedule schedule;   // smallest equal-failure schedule found
+  RunReport report;    // its run (violations + digest)
+  std::uint32_t runs = 0;  // schedule executions spent
+};
+
+/// `failing` must violate at least one oracle under `options` (CHECKed).
+[[nodiscard]] ShrinkResult shrink(const Schedule& failing,
+                                  const RunOptions& options = {},
+                                  std::uint32_t max_runs = 256);
+
+}  // namespace sgxp2p::fuzz

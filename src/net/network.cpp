@@ -91,6 +91,28 @@ std::size_t Network::fifo_entries() const {
 
 bool Network::attached(NodeId id) const { return find_sink(id) != nullptr; }
 
+namespace {
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+}  // namespace
+
+void Network::block_link(NodeId a, NodeId b) {
+  if (a == b) return;
+  ++blocked_[pair_key(a, b)];
+}
+
+void Network::unblock_link(NodeId a, NodeId b) {
+  auto it = blocked_.find(pair_key(a, b));
+  if (it == blocked_.end()) return;
+  if (--it->second == 0) blocked_.erase(it);
+}
+
+bool Network::link_blocked(NodeId a, NodeId b) const {
+  return blocked_.contains(pair_key(a, b));
+}
+
 SimTime Network::route(NodeId from, NodeId to, std::size_t bytes,
                        SimTime now) {
   meter_.record(bytes, now);
@@ -128,6 +150,12 @@ SimTime Network::route(NodeId from, NodeId to, std::size_t bytes,
 void Network::send(NodeId from, NodeId to, Bytes blob) {
   if (!attached(from) || !attached(to) || from == to) return;
   SimTime now = simulator_->now();
+  if (!blocked_.empty() && link_blocked(from, to)) {
+    dropped_ctr_.inc();
+    obs::trace_event(now, from, "net", "cut_drop", obs::fnum("to", to));
+    obs::BufferPool::local().release(std::move(blob));
+    return;
+  }
   SimTime arrival = route(from, to, blob.size(), now);
   simulator_->schedule_delivery(arrival, handler_,
                                 Delivery{from, to, std::move(blob), nullptr});
@@ -139,6 +167,12 @@ void Network::multicast(NodeId from, const std::vector<NodeId>& group,
   auto shared = std::make_shared<const Bytes>(std::move(payload));
   for (NodeId to : group) {
     if (to == from || !attached(to)) continue;
+    if (!blocked_.empty() && link_blocked(from, to)) {
+      dropped_ctr_.inc();
+      obs::trace_event(simulator_->now(), from, "net", "cut_drop",
+                       obs::fnum("to", to));
+      continue;
+    }
     SimTime now = simulator_->now();
     SimTime arrival = route(from, to, shared->size(), now);
     simulator_->schedule_delivery(arrival, handler_,

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -128,6 +129,20 @@ class Network {
   void multicast(NodeId from, const std::vector<NodeId>& group,
                  Bytes payload);
 
+  // ----- partition injection (adversarial schedule hooks, src/fuzz/) -----
+
+  /// Cuts (or heals) the undirected link a ↔ b. While cut, sends between the
+  /// pair are dropped (counted under net.dropped) instead of scheduled — the
+  /// adversary severed the wire, so nothing traverses it. Messages already
+  /// in flight still arrive (the cut happens at the sender's NIC). Cuts are
+  /// refcounted so overlapping partition windows compose: a link is live
+  /// again only when every cut that covered it has been healed.
+  void block_link(NodeId a, NodeId b);
+  void unblock_link(NodeId a, NodeId b);
+  [[nodiscard]] bool link_blocked(NodeId a, NodeId b) const;
+  /// Currently cut undirected pairs (partition bookkeeping + tests).
+  [[nodiscard]] std::size_t blocked_links() const { return blocked_.size(); }
+
   [[nodiscard]] TrafficMeter& meter() { return meter_; }
   [[nodiscard]] Simulator& simulator() { return *simulator_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
@@ -183,6 +198,9 @@ class Network {
   std::unordered_map<std::uint64_t, SimTime> fifo_far_;
   // Shared-bandwidth model: time at which the bottleneck frees up.
   SimTime link_free_at_ = 0;
+  // Partitioned (undirected) pairs → number of live cuts covering them.
+  // Ordered map: partition state must never perturb iteration determinism.
+  std::map<std::uint64_t, std::uint32_t> blocked_;
 };
 
 }  // namespace sgxp2p::sim

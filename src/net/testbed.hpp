@@ -82,6 +82,21 @@ class Testbed {
     round_hook_ = std::move(hook);
   }
 
+  /// Chains `hook` after any hook already installed (both run, in
+  /// installation order). The fuzz runner composes its partition/crash
+  /// driver with the RecoveryCoordinator's hook through this.
+  void add_round_hook(std::function<void(std::uint32_t)> hook) {
+    if (!round_hook_) {
+      round_hook_ = std::move(hook);
+      return;
+    }
+    round_hook_ = [prev = std::move(round_hook_),
+                   next = std::move(hook)](std::uint32_t round) {
+      prev(round);
+      next(round);
+    };
+  }
+
   /// Crash injection: destroys node `id`'s enclave (all in-enclave state is
   /// lost) and detaches it from the network. The host object survives, as
   /// does any host-side sealed storage.

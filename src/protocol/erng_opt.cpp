@@ -84,9 +84,16 @@ void ErngOptNode::on_round_begin(std::uint32_t round) {
   if (round == 1) {
     // --- Cluster selection ---
     if (fallback_) {
-      // Paper §6.2 small-N mode: first ⌈2N/3⌉ nodes form the cluster.
+      // Paper §6.2 small-N mode: first ⌈2N/3⌉ nodes form the cluster. The
+      // membership is a function of N alone — public knowledge, like the
+      // identifier list (S1) — so seed S_chosen deterministically instead of
+      // learning it from kChosen receipt. (A byzantine cluster member could
+      // otherwise withhold its kChosen from a single peer and split cluster
+      // views: the victim derives smaller t_c/final_round parameters,
+      // rejects everyone's FINALs, and outputs ⊥ while the rest agree.)
       std::uint32_t size = (2 * config().n + 2) / 3;
       chosen_ = config().self < size;
+      for (NodeId id = 0; id < size; ++id) s_chosen_.insert(id);
     } else {
       std::uint64_t bound = std::max<std::uint64_t>(1, config().n / (2 * gamma_));
       chosen_ = read_rand().next_below(bound) == 0;

@@ -13,13 +13,28 @@
 //   check_bench_json BENCH_fig2a.json -- ./bench_fig2a --max-exp 3 --metrics-out BENCH_fig2a.json
 //   check_bench_json existing.json
 //
+// Regression-gate mode: `--compare baseline.json` additionally diffs the
+// fresh counters against a committed snapshot. Counters selected by
+// `--compare-keys p1,p2,…` (name-prefix match; default: every counter in
+// the baseline) must satisfy |cur − base| ≤ tolerance · max(|base|, 1),
+// with `--tolerance F` defaulting to 0 (exact). Deterministic simulation
+// counters (bench_scale) gate at 0; time-boxed microbench counters
+// (bench_micro) use a loose tolerance that still catches order-of-magnitude
+// throughput collapses. Counters present in the current run but absent from
+// the baseline are ignored, so adding metrics never breaks the gate.
+//
+//   check_bench_json BENCH_scale.json --compare tests/baselines/BENCH_scale.json
+//
 // Exit status 0 = valid, 1 = invalid or missing, 2 = bench command failed.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 
@@ -33,15 +48,101 @@ int fail(const char* what) {
   return 1;
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::optional<JsonValue> load_json(const char* path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return json_parse(buf.str());
+}
+
+/// Diffs current counters against the baseline's. Returns the number of
+/// counters outside tolerance (0 = gate passes).
+int compare_counters(const JsonValue& current, const JsonValue& baseline,
+                     const std::vector<std::string>& prefixes,
+                     double tolerance) {
+  int bad = 0;
+  int compared = 0;
+  for (const auto& [name, base_v] : baseline.object) {
+    if (base_v.type != JsonValue::Type::kInt) continue;
+    if (!prefixes.empty()) {
+      bool match = false;
+      for (const std::string& p : prefixes) {
+        if (name.rfind(p, 0) == 0) {
+          match = true;
+          break;
+        }
+      }
+      if (!match) continue;
+    }
+    ++compared;
+    const JsonValue* cur_v = current.get(name);
+    if (cur_v == nullptr || cur_v->type != JsonValue::Type::kInt) {
+      std::fprintf(stderr,
+                   "check_bench_json: counter %s in baseline but missing "
+                   "from the current run\n",
+                   name.c_str());
+      ++bad;
+      continue;
+    }
+    const double base = static_cast<double>(base_v.integer);
+    const double cur = static_cast<double>(cur_v->integer);
+    const double limit = tolerance * std::max(std::fabs(base), 1.0);
+    if (std::fabs(cur - base) > limit) {
+      std::fprintf(stderr,
+                   "check_bench_json: counter %s drifted: baseline %lld, "
+                   "current %lld, tolerance %.3f\n",
+                   name.c_str(), static_cast<long long>(base_v.integer),
+                   static_cast<long long>(cur_v->integer), tolerance);
+      ++bad;
+    }
+  }
+  std::printf("compare: %d counter(s) checked, %d outside tolerance\n",
+              compared, bad);
+  return bad;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: check_bench_json <json-path> [-- bench-cmd ...]\n");
+                 "usage: check_bench_json <json-path> [--compare base.json] "
+                 "[--tolerance F] [--compare-keys p1,p2] [-- bench-cmd ...]\n");
     return 1;
   }
   const char* path = argv[1];
+  const char* compare_path = nullptr;
+  double tolerance = 0.0;
+  std::vector<std::string> compare_keys;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--") == 0) break;
+    if (std::strcmp(argv[i], "--compare") == 0 && i + 1 < argc) {
+      compare_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--compare-keys") == 0 && i + 1 < argc) {
+      compare_keys = split_csv(argv[++i]);
+    } else {
+      std::fprintf(stderr, "check_bench_json: unknown option %s\n", argv[i]);
+      return 1;
+    }
+  }
 
   // Run the bench first when a command follows `--`.
   for (int i = 2; i < argc; ++i) {
@@ -130,6 +231,23 @@ int main(int argc, char** argv) {
                    "count\n",
                    name.c_str());
       return 1;
+    }
+  }
+
+  if (compare_path != nullptr) {
+    auto base_doc = load_json(compare_path);
+    if (!base_doc || !base_doc->is_object()) {
+      return fail("baseline file missing or not valid JSON");
+    }
+    const JsonValue* base_metrics = base_doc->get("metrics");
+    const JsonValue* base_counters =
+        base_metrics != nullptr ? base_metrics->get("counters") : nullptr;
+    if (base_counters == nullptr || !base_counters->is_object()) {
+      return fail("baseline has no metrics.counters object");
+    }
+    if (compare_counters(*counters, *base_counters, compare_keys, tolerance) >
+        0) {
+      return fail("counter regression against the committed baseline");
     }
   }
 

@@ -43,6 +43,28 @@
 //                                        (rollback attempt → counter trips →
 //                                        fresh re-admission path)
 //
+// fuzzing (src/fuzz/, docs/ROBUSTNESS.md):
+//   sgxp2p-sim --fuzz 500 --protocol all --fuzz-seed 7 --fuzz-out repros/
+//   sgxp2p-sim --replay-schedule repros/fuzz-erb-seed7-12.sched
+//
+//   --fuzz <count>                       run <count> generated adversarial
+//                                        schedules per target; shrink and
+//                                        write a replay file per failure.
+//                                        --protocol picks the target (erb,
+//                                        erng, erng-opt, recovery, or all)
+//   --fuzz-seed <int>                    campaign seed (default 1)
+//   --fuzz-out <dir>                     directory for replay files
+//   --fuzz-max-failures <int>            stop after this many shrunk
+//                                        failures (default 1)
+//   --fuzz-canary                        arm the test-only canary oracle
+//                                        (proves the find→shrink→replay loop)
+//   --replay-schedule <file>             re-execute a replay file and check
+//                                        its expect_violation/expect_digest
+//                                        stamps byte-identically
+//
+// Exit status: fuzz mode exits 1 when a failure was found, replay mode
+// exits 1 on any mismatch — both are CI gates.
+//
 // SGXP2P_LOG_LEVEL=trace|debug|info|warn|error|off raises/lowers stderr
 // logging verbosity.
 #include <algorithm>
@@ -54,6 +76,7 @@
 
 #include "adversary/strategies.hpp"
 #include "common/log.hpp"
+#include "fuzz/fuzzer.hpp"
 #include "net/testbed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -85,6 +108,13 @@ struct Options {
   std::uint32_t recover_after = 4;
   std::uint32_t checkpoint_every = 2;
   bool stale_replay = false;
+  // fuzzing
+  std::uint32_t fuzz = 0;  // schedules per target; 0 = fuzz mode off
+  std::uint64_t fuzz_seed = 1;
+  std::string fuzz_out;
+  std::uint32_t fuzz_max_failures = 1;
+  bool fuzz_canary = false;
+  std::string replay_schedule;  // replay mode when non-empty
 };
 
 const char* flag_value(int argc, char** argv, const char* name) {
@@ -124,6 +154,18 @@ Options parse(int argc, char** argv) {
     o.checkpoint_every = std::atoi(v);
   }
   o.stale_replay = flag_present(argc, argv, "--stale-replay");
+  if (const char* v = flag_value(argc, argv, "--fuzz")) o.fuzz = std::atoi(v);
+  if (const char* v = flag_value(argc, argv, "--fuzz-seed")) {
+    o.fuzz_seed = std::atoll(v);
+  }
+  if (const char* v = flag_value(argc, argv, "--fuzz-out")) o.fuzz_out = v;
+  if (const char* v = flag_value(argc, argv, "--fuzz-max-failures")) {
+    o.fuzz_max_failures = std::atoi(v);
+  }
+  o.fuzz_canary = flag_present(argc, argv, "--fuzz-canary");
+  if (const char* v = flag_value(argc, argv, "--replay-schedule")) {
+    o.replay_schedule = v;
+  }
   o.csv = flag_present(argc, argv, "--csv");
   if (flag_present(argc, argv, "--metrics-out")) {
     const char* v = flag_value(argc, argv, "--metrics-out");
@@ -191,9 +233,67 @@ Outcome drive(sim::Testbed& bed, std::uint32_t max_rounds, DoneFn done,
 
 }  // namespace
 
+int run_replay_mode(const Options& o) {
+  fuzz::ReplayResult r = fuzz::replay_schedule_file(o.replay_schedule);
+  std::printf("replay %s: %s\n", o.replay_schedule.c_str(),
+              r.message.c_str());
+  if (!r.report.digest.empty()) {
+    std::printf("rounds  : %u\ndigest  : %s\noutcome : %s\n", r.report.rounds,
+                r.report.digest.c_str(), r.report.outcome.c_str());
+    for (const auto& v : r.report.violations) {
+      std::printf("violated: %s — %s\n", v.oracle.c_str(), v.detail.c_str());
+    }
+  }
+  return r.ok ? 0 : 1;
+}
+
+int run_fuzz_mode(const Options& o) {
+  fuzz::CampaignOptions opts;
+  if (o.protocol == "erb") {
+    opts.targets = {fuzz::FuzzTarget::kErb};
+  } else if (o.protocol == "erng") {
+    opts.targets = {fuzz::FuzzTarget::kErngBasic};
+  } else if (o.protocol == "erng-opt") {
+    opts.targets = {fuzz::FuzzTarget::kErngOpt};
+  } else if (o.protocol == "recovery") {
+    opts.targets = {fuzz::FuzzTarget::kRecovery};
+  } else if (o.protocol != "all") {
+    std::fprintf(stderr, "--fuzz supports --protocol erb|erng|erng-opt|"
+                 "recovery|all, not '%s'\n", o.protocol.c_str());
+    return 2;
+  }
+  opts.seed = o.fuzz_seed;
+  opts.schedules = o.fuzz;
+  opts.canary = o.fuzz_canary;
+  opts.out_dir = o.fuzz_out;
+  opts.max_failures = o.fuzz_max_failures;
+  opts.progress_every = o.fuzz >= 1000 ? 500 : 0;
+
+  fuzz::CampaignResult result = fuzz::run_campaign(opts);
+  std::printf("fuzz: %llu schedule(s) executed, %zu failure(s)\n",
+              static_cast<unsigned long long>(result.executed),
+              result.failures.size());
+  for (const auto& f : result.failures) {
+    std::printf("FAIL %s schedule %u → shrunk to %zu action(s) in %u runs\n",
+                fuzz::target_name(f.target), f.index,
+                f.shrunk.actions.size(), f.shrink_runs);
+    for (const auto& v : f.report.violations) {
+      std::printf("  violated: %s — %s\n", v.oracle.c_str(),
+                  v.detail.c_str());
+    }
+    if (!f.repro_path.empty()) {
+      std::printf("  reproducer: %s (replay with --replay-schedule)\n",
+                  f.repro_path.c_str());
+    }
+  }
+  return result.clean() ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   Logger::instance().init_from_env();
   Options o = parse(argc, argv);
+  if (!o.replay_schedule.empty()) return run_replay_mode(o);
+  if (o.fuzz > 0) return run_fuzz_mode(o);
   if (!o.trace_path.empty()) obs::TraceRecorder::global().enable();
   if (o.n < 2) {
     std::fprintf(stderr, "--n must be at least 2\n");
