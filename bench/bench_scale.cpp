@@ -195,7 +195,7 @@ DispatchResult run_dispatch(std::uint32_t n, sim::SimEngine engine) {
   on_msg = simulator.add_delivery_handler([&](sim::Delivery&& d) {
     const NodeId self = d.to;
     simulator.schedule_delivery(arrival(), on_ack,
-                                sim::Delivery{self, d.from, {}, nullptr});
+                                sim::Delivery{self, d.from, 0, {}, nullptr});
     if (echoed[self] == 0) {
       echoed[self] = 1;
       // First receipt arms the next-round ECHO broadcast (timer lane).
@@ -204,7 +204,7 @@ DispatchResult run_dispatch(std::uint32_t n, sim::SimEngine engine) {
         for (NodeId to = 0; to < n; ++to) {
           if (to != self) {
             simulator.schedule_delivery(arrival(), on_msg,
-                                        sim::Delivery{self, to, {}, nullptr});
+                                        sim::Delivery{self, to, 0, {}, nullptr});
           }
         }
       });
@@ -214,7 +214,7 @@ DispatchResult run_dispatch(std::uint32_t n, sim::SimEngine engine) {
   echoed[0] = 1;  // the initiator does not echo
   for (NodeId to = 1; to < n; ++to) {
     simulator.schedule_delivery(arrival(), on_msg,
-                                sim::Delivery{0, to, {}, nullptr});
+                                sim::Delivery{0, to, 0, {}, nullptr});
   }
   simulator.run();
 

@@ -250,12 +250,15 @@ struct ObsOptions {
   std::string bench;         // e.g. "fig2a"
   std::string metrics_path;  // empty → no snapshot written
   std::string trace_path;    // empty → tracing stays off
+  std::size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
 };
 
-/// Handles `--metrics-out [path]` (default `BENCH_<name>.json`) and
-/// `--trace [path]` (default `BENCH_<name>.trace.jsonl`), applies
-/// SGXP2P_LOG_LEVEL, and enables the trace ring when requested. Call first
-/// thing in main(); pair with finish_obs() before returning.
+/// Handles `--metrics-out [path]` (default `BENCH_<name>.json`),
+/// `--trace [path]` (default `BENCH_<name>.trace.jsonl`), and
+/// `--trace-capacity N` (ring size in events; the 2^18 default overflows
+/// around n=2000 in bench_scale), applies SGXP2P_LOG_LEVEL, and enables the
+/// trace ring when requested. Call first thing in main(); pair with
+/// finish_obs() before returning.
 inline ObsOptions parse_obs(int argc, char** argv,
                             const std::string& bench_name) {
   Logger::instance().init_from_env();
@@ -271,9 +274,17 @@ inline ObsOptions parse_obs(int argc, char** argv,
       o.metrics_path = take_path("BENCH_" + bench_name + ".json");
     } else if (arg == "--trace") {
       o.trace_path = take_path("BENCH_" + bench_name + ".trace.jsonl");
+    } else if (arg == "--trace-capacity" && i + 1 < argc) {
+      o.trace_capacity = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
+      if (o.trace_capacity == 0) {
+        o.trace_capacity = obs::TraceRecorder::kDefaultCapacity;
+      }
     }
   }
-  if (!o.trace_path.empty()) obs::TraceRecorder::global().enable();
+  if (!o.trace_path.empty()) {
+    obs::TraceRecorder::global().enable(o.trace_capacity);
+  }
   return o;
 }
 
@@ -300,7 +311,7 @@ inline void finish_obs(const ObsOptions& o) {
     if (tr.dropped() > 0) {
       std::fprintf(stderr,
                    "warning: trace ring dropped %llu events; timeline is "
-                   "truncated\n",
+                   "truncated (raise --trace-capacity)\n",
                    static_cast<unsigned long long>(tr.dropped()));
     }
     if (!tr.write_file(o.trace_path)) {

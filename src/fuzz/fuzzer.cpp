@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace sgxp2p::fuzz {
 
@@ -31,6 +32,16 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   RunOptions run_options;
   run_options.canary = options.canary;
 
+  // fuzz.* lives on the CAMPAIGN-level registry, captured here — each
+  // run_schedule rebinds MetricsRegistry::current() to a fresh per-run
+  // registry, so campaign bookkeeping must never be registered inside the
+  // loop (it would leak into run digests and break replay stamps).
+  obs::MetricsRegistry& campaign_reg = obs::MetricsRegistry::current();
+  obs::Counter& c_schedules = campaign_reg.counter("fuzz.schedules");
+  obs::Counter& c_violations = campaign_reg.counter("fuzz.violations");
+  obs::Counter& c_failures = campaign_reg.counter("fuzz.failures");
+  obs::Counter& c_shrink_runs = campaign_reg.counter("fuzz.shrink_runs");
+
   CampaignResult result;
   for (FuzzTarget target : targets) {
     for (std::uint32_t index = 0; index < options.schedules; ++index) {
@@ -38,6 +49,8 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       Schedule schedule = generate_schedule(target, options.seed, index);
       RunReport report = run_schedule(schedule, run_options);
       ++result.executed;
+      c_schedules.inc();
+      c_violations.inc(report.violations.size());
       if (options.progress_every != 0 &&
           (index + 1) % options.progress_every == 0) {
         std::fprintf(stderr, "fuzz[%s] %u/%u schedules, %zu failure(s)\n",
@@ -51,6 +64,8 @@ CampaignResult run_campaign(const CampaignOptions& options) {
                " oracle(s); shrinking");
       ShrinkResult shrunk =
           shrink(schedule, run_options, options.shrink_budget);
+      c_failures.inc();
+      c_shrink_runs.inc(shrunk.runs);
 
       CampaignFailure failure;
       failure.target = target;
@@ -75,6 +90,12 @@ CampaignResult run_campaign(const CampaignOptions& options) {
 ReplayResult replay_schedule_file(const std::string& path) {
   ReplayResult out;
   std::string error;
+  // Same campaign-vs-run registry split as run_campaign: the replay
+  // bookkeeping must not end up in the replayed run's digest.
+  obs::MetricsRegistry& campaign_reg = obs::MetricsRegistry::current();
+  obs::Counter& c_replays = campaign_reg.counter("fuzz.replays");
+  obs::Counter& c_verified = campaign_reg.counter("fuzz.replays_verified");
+  c_replays.inc();
   std::optional<Schedule> schedule = Schedule::load_file(path, &error);
   if (!schedule) {
     out.message = "cannot load schedule: " + error;
@@ -106,6 +127,7 @@ ReplayResult replay_schedule_file(const std::string& path) {
     return out;
   }
   out.ok = true;
+  c_verified.inc();
   out.message =
       got.empty()
           ? "replay clean: no oracle violations"

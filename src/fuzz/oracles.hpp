@@ -15,6 +15,10 @@
 //   recovery.restore     clean seal ⇒ the checkpoint restore succeeded
 //   recovery.stale_detect stale-seal replay ⇒ detected, fresh re-admission
 //   metrics.conservation delivered ≤ sends and delivered_bytes ≤ bytes
+//   causal.conservation  (opt-in via RunOptions.check_causal) the causal
+//                        trace DAG is well-formed: spans contiguous, every
+//                        cause precedes its effect, every delivery's cause
+//                        is the matching recorded send
 //   canary.no_bottom     (test-only, opt-in) no honest ERB node decides ⊥ —
 //                        deliberately FALSE under omission faults; exists so
 //                        tests can prove the fuzzer finds and shrinks real
@@ -42,6 +46,7 @@ inline constexpr const char* kRecoveryLiveness = "recovery.liveness";
 inline constexpr const char* kRecoveryRestore = "recovery.restore";
 inline constexpr const char* kRecoveryStaleDetect = "recovery.stale_detect";
 inline constexpr const char* kMetricsConservation = "metrics.conservation";
+inline constexpr const char* kCausalConservation = "causal.conservation";
 inline constexpr const char* kCanaryNoBottom = "canary.no_bottom";
 }  // namespace oracle
 

@@ -10,7 +10,9 @@
 #include "common/check.hpp"
 #include "crypto/sha256.hpp"
 #include "net/testbed.hpp"
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/erb_node.hpp"
 #include "protocol/erng_basic.hpp"
 #include "protocol/erng_opt.hpp"
@@ -474,16 +476,45 @@ RunReport run_recovery(const Schedule& s, obs::MetricsRegistry& registry) {
 
 }  // namespace
 
+namespace {
+
+/// Parses the just-recorded causal trace and turns every DAG defect into a
+/// causal.conservation violation. Runs after finalize(): tracing never feeds
+/// back into metrics, so the digest is identical with the oracle on or off.
+void check_causal_conservation(const obs::TraceRecorder& tr,
+                               RunReport& report) {
+  std::string error;
+  auto graph = obs::CausalGraph::parse(tr.to_jsonl(), &error);
+  if (!graph) {
+    report.violations.push_back(
+        {oracle::kCausalConservation, "trace unparsable: " + error});
+    return;
+  }
+  for (const std::string& defect : graph->check_conservation()) {
+    report.violations.push_back({oracle::kCausalConservation, defect});
+  }
+}
+
+}  // namespace
+
 RunReport run_schedule(const Schedule& schedule, const RunOptions& options) {
   std::string error;
   CHECK_MSG(schedule.validate(&error), "run_schedule: invalid schedule");
   obs::MetricsRegistry registry;
   obs::MetricsRegistry::ScopedCurrent scoped(registry);
+  obs::TraceRecorder& tr = obs::TraceRecorder::global();
+  const bool was_tracing = tr.enabled();
+  if (options.check_causal) {
+    tr.enable();  // fresh spans — enable() resets the ring and counters
+    tr.reset();
+  }
+  RunReport report;
   switch (schedule.target) {
     case FuzzTarget::kErb:
-      return run_erb(schedule, options, registry);
+      report = run_erb(schedule, options, registry);
+      break;
     case FuzzTarget::kErngBasic:
-      return run_erng<protocol::ErngBasicNode>(
+      report = run_erng<protocol::ErngBasicNode>(
           schedule, registry,
           [](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
              protocol::PeerConfig pc, const sgx::SimIAS& ias)
@@ -491,8 +522,9 @@ RunReport run_schedule(const Schedule& schedule, const RunOptions& options) {
             return std::make_unique<protocol::ErngBasicNode>(platform, id,
                                                              host, pc, ias);
           });
+      break;
     case FuzzTarget::kErngOpt:
-      return run_erng<protocol::ErngOptNode>(
+      report = run_erng<protocol::ErngOptNode>(
           schedule, registry,
           [](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
              protocol::PeerConfig pc, const sgx::SimIAS& ias)
@@ -500,11 +532,18 @@ RunReport run_schedule(const Schedule& schedule, const RunOptions& options) {
             return std::make_unique<protocol::ErngOptNode>(platform, id, host,
                                                            pc, ias);
           });
+      break;
     case FuzzTarget::kRecovery:
-      return run_recovery(schedule, registry);
+      report = run_recovery(schedule, registry);
+      break;
+    default:
+      CHECK_MSG(false, "run_schedule: unknown target");
   }
-  CHECK_MSG(false, "run_schedule: unknown target");
-  return {};
+  if (options.check_causal) {
+    check_causal_conservation(tr, report);
+    if (!was_tracing) tr.disable();
+  }
+  return report;
 }
 
 }  // namespace sgxp2p::fuzz

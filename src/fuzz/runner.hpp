@@ -22,6 +22,11 @@ struct RunOptions {
   /// see oracles.hpp). Used by tests and --fuzz-canary to prove the
   /// find-shrink-replay loop works end to end.
   bool canary = false;
+  /// Records a causal trace of the run and checks the span DAG against the
+  /// conservation oracle (causal.conservation). Off by default: tracing
+  /// does not touch metrics, so digests are unaffected either way, but the
+  /// ring costs memory on big campaigns.
+  bool check_causal = false;
 };
 
 [[nodiscard]] RunReport run_schedule(const Schedule& schedule,

@@ -63,7 +63,7 @@ class Host final : public sgx::EnclaveHostIface, public adversary::HostContext {
     // The enclave reads the blob as a view and copies what it keeps (the
     // decrypted plaintext lives in its own buffer), so the host's buffer is
     // dead on return — recycle it for the next seal/send.
-    if (enclave_ != nullptr) enclave_->deliver(from, blob);
+    if (enclave_ != nullptr) enclave_->ecall_deliver(from, blob);
     obs::BufferPool::local().release(std::move(blob));
   }
   void schedule_in(SimDuration delay, std::function<void()> fn) override {

@@ -113,8 +113,8 @@ bool Network::link_blocked(NodeId a, NodeId b) const {
   return blocked_.contains(pair_key(a, b));
 }
 
-SimTime Network::route(NodeId from, NodeId to, std::size_t bytes,
-                       SimTime now) {
+Network::Routed Network::route(NodeId from, NodeId to, std::size_t bytes,
+                               SimTime now) {
   meter_.record(bytes, now);
   sends_ctr_.inc();
   bytes_ctr_.inc(bytes);
@@ -124,7 +124,11 @@ SimTime Network::route(NodeId from, NodeId to, std::size_t bytes,
           ? static_cast<SimDuration>(jitter_rng_.next_below(
                 static_cast<std::uint64_t>(config_.max_jitter) + 1))
           : 0;
-  SimTime arrival = now + config_.base_delay + jitter;
+  // The sender's accumulated enclave-transition cost delays the message
+  // before it hits the wire: the CPU spent `sgx_cost` switching worlds
+  // (ecall in, ocalls out) between the triggering event and this send.
+  const SimDuration sgx_cost = simulator_->pending_charge();
+  SimTime arrival = now + sgx_cost + config_.base_delay + jitter;
 
   if (config_.shared_bandwidth > 0) {
     // Serialize through the shared bottleneck: 1 byte takes 1e3/bw ms.
@@ -141,10 +145,18 @@ SimTime Network::route(NodeId from, NodeId to, std::size_t bytes,
   last = arrival;
 
   delay_hist_.observe(arrival - now);
-  obs::trace_event(now, from, "net", "send", obs::fnum("to", to),
-                   obs::fnum("bytes", static_cast<std::int64_t>(bytes)),
-                   obs::fnum("arrival", arrival));
-  return arrival;
+  std::uint64_t span =
+      sgx_cost > 0
+          ? obs::trace_event(now, from, "net", "send", obs::fnum("to", to),
+                             obs::fnum("bytes",
+                                       static_cast<std::int64_t>(bytes)),
+                             obs::fnum("arrival", arrival),
+                             obs::fnum("sgxms", sgx_cost))
+          : obs::trace_event(now, from, "net", "send", obs::fnum("to", to),
+                             obs::fnum("bytes",
+                                       static_cast<std::int64_t>(bytes)),
+                             obs::fnum("arrival", arrival));
+  return Routed{arrival, span};
 }
 
 void Network::send(NodeId from, NodeId to, Bytes blob) {
@@ -156,9 +168,9 @@ void Network::send(NodeId from, NodeId to, Bytes blob) {
     obs::BufferPool::local().release(std::move(blob));
     return;
   }
-  SimTime arrival = route(from, to, blob.size(), now);
-  simulator_->schedule_delivery(arrival, handler_,
-                                Delivery{from, to, std::move(blob), nullptr});
+  Routed r = route(from, to, blob.size(), now);
+  simulator_->schedule_delivery(
+      r.arrival, handler_, Delivery{from, to, r.span, std::move(blob), nullptr});
 }
 
 void Network::multicast(NodeId from, const std::vector<NodeId>& group,
@@ -174,24 +186,32 @@ void Network::multicast(NodeId from, const std::vector<NodeId>& group,
       continue;
     }
     SimTime now = simulator_->now();
-    SimTime arrival = route(from, to, shared->size(), now);
-    simulator_->schedule_delivery(arrival, handler_,
-                                  Delivery{from, to, Bytes{}, shared});
+    Routed r = route(from, to, shared->size(), now);
+    simulator_->schedule_delivery(r.arrival, handler_,
+                                  Delivery{from, to, r.span, Bytes{}, shared});
   }
 }
 
 void Network::on_delivery(Delivery&& d) {
+  const SimTime now = simulator_->now();
   const Sink* sink_ptr = find_sink(d.to);
   if (sink_ptr == nullptr) {
     dropped_ctr_.inc();  // receiver left the network
     LOG_DEBUG("net: drop ", d.from, "->", d.to, " (receiver detached)");
-    obs::trace_event(simulator_->now(), d.to, "net", "drop",
-                     obs::fnum("from", d.from));
+    obs::trace_event_caused(now, d.to, d.cause_span, "net", "drop",
+                            obs::fnum("from", d.from));
     if (!d.payload.empty()) obs::BufferPool::local().release(std::move(d.payload));
     return;
   }
   delivered_ctr_.inc();
   delivered_bytes_ctr_.inc(d.view().size());
+  // The cause is the `net send` span carried inside the Delivery — explicit,
+  // never ambient, so the heap engine's closure-wrapped dispatch emits the
+  // same edge. Everything the receiver does runs under the deliver's scope.
+  std::uint64_t deliver_span = obs::trace_event_caused(
+      now, d.to, d.cause_span, "net", "deliver", obs::fnum("from", d.from),
+      obs::fnum("bytes", static_cast<std::int64_t>(d.view().size())));
+  obs::TraceRecorder::Scope causal(deliver_span);
   const Sink& sink = *sink_ptr;
   if (sink.view) {
     sink.view(d.from, d.view());

@@ -159,9 +159,13 @@ class Network {
     }
   };
 
+  struct Routed {
+    SimTime arrival = 0;
+    std::uint64_t span = 0;  // span of the `net send` trace event (0 untraced)
+  };
   /// Meters the send and computes its arrival time (jitter, bandwidth,
-  /// per-pair FIFO).
-  SimTime route(NodeId from, NodeId to, std::size_t bytes, SimTime now);
+  /// per-pair FIFO, pending enclave-transition charge).
+  Routed route(NodeId from, NodeId to, std::size_t bytes, SimTime now);
   void on_delivery(Delivery&& d);
   /// Next admissible delivery time for the ordered pair from → to (0 = no
   /// earlier traffic, which constrains nothing since SimTime starts at 0).

@@ -224,6 +224,9 @@ void Simulator::schedule(SimTime at, std::function<void()> fn) {
   ev.at = std::max(at, now_);
   ev.seq = next_seq_++;
   ev.queued_at = now_;
+  // A timer inherits the causal context of whoever armed it, so the span
+  // DAG flows through protocol delays (retransmit timers, round alignment).
+  ev.cause_span = obs::TraceRecorder::global().current_cause();
   ev.fn = std::move(fn);
   enqueue(std::move(ev));
 }
@@ -249,6 +252,7 @@ void Simulator::schedule_delivery(SimTime at, std::uint32_t handler,
   ev.at = std::max(at, now_);
   ev.seq = next_seq_++;
   ev.queued_at = now_;
+  ev.cause_span = d.cause_span;
   ev.delivery = std::move(d);
   ev.handler = handler;
   enqueue(std::move(ev));
@@ -258,6 +262,12 @@ void Simulator::fire(Event& ev) {
   fired_ctr_.inc();
   depth_gauge_.set(static_cast<std::int64_t>(pending()));
   wait_hist_.observe(ev.at - ev.queued_at);
+  penalty_ = SimDuration{0};
+  // Everything the handler does — trace events, sends, timers it arms — is
+  // caused by this event. The Scope is inert when tracing is off, and the
+  // Network re-scopes deliveries to their own `deliver` span, so both
+  // engines (closure-wrapped heap deliveries included) emit identical DAGs.
+  obs::TraceRecorder::Scope causal(ev.cause_span);
   if (ev.fn) {
     ev.fn();
   } else {

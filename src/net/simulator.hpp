@@ -43,6 +43,7 @@
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sgx/trusted_time.hpp"
 
 namespace sgxp2p::sim {
@@ -64,6 +65,7 @@ enum class SimEngine {
 struct Delivery {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
+  std::uint64_t cause_span = 0;  // span of the `net send` trace event
   Bytes payload;
   std::shared_ptr<const Bytes> shared;
 
@@ -106,6 +108,16 @@ class Simulator : public sgx::TrustedClock {
   /// Runs a single event; returns false if the queue was empty.
   bool step();
 
+  /// Enclave-transition cost accounting (src/sgx/transition.hpp). A handler
+  /// that crosses the enclave boundary charges its virtual transition cost
+  /// here; the Network folds the accumulated charge into the arrival time of
+  /// the next send, modeling "the CPU was busy switching worlds before the
+  /// message hit the wire". fire() zeroes the accumulator before each event
+  /// so one handler's charges never leak into another's sends.
+  void charge(SimDuration cost) { penalty_ += cost; }
+  [[nodiscard]] SimDuration pending_charge() const { return penalty_; }
+  void clear_charge() { penalty_ = SimDuration{0}; }
+
   [[nodiscard]] bool idle() const { return pending() == 0; }
   [[nodiscard]] std::size_t pending() const {
     return engine_ == SimEngine::kHeap
@@ -118,6 +130,7 @@ class Simulator : public sgx::TrustedClock {
     SimTime at = 0;
     std::uint64_t seq = 0;  // tie-break: FIFO among equal timestamps
     SimTime queued_at = 0;  // enqueue time, for the sim.event_wait_ms hist
+    std::uint64_t cause_span = 0;  // ambient cause captured at schedule time
     std::function<void()> fn;  // timer path; empty for typed deliveries
     Delivery delivery;
     std::uint32_t handler = 0;
@@ -186,6 +199,7 @@ class Simulator : public sgx::TrustedClock {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  SimDuration penalty_ = SimDuration{0};  // unconsumed enclave-transition cost
   SimEngine engine_;
   std::vector<Event> heap_;
   Wheel wheel_;

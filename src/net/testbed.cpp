@@ -23,6 +23,12 @@ Testbed::Testbed(TestbedConfig config)
       simulator_(*registry_, config.engine),
       network_(simulator_, config.net, *registry_),
       platform_(simulator_, platform_seed(config.seed)) {
+  // Every ecall/ocall on this deployment is counted under sgx.*; when the
+  // config carries nonzero costs, each transition also charges virtual time
+  // that the Network folds into the next send's arrival.
+  platform_.transitions().bind(*registry_);
+  platform_.transitions().configure(
+      cfg_.sgx_costs, [this](SimDuration c) { simulator_.charge(c); });
   ias_ = std::make_unique<sgx::SimIAS>(platform_);
   CHECK_MSG(cfg_.n >= 1, "Testbed: need at least one node");
   CHECK_MSG(2 * cfg_.effective_t() < cfg_.n, "Testbed: t < N/2 required");
@@ -124,10 +130,16 @@ std::uint32_t Testbed::run_rounds(std::uint32_t max_rounds,
     // Crash/recovery injection runs first so a node killed "at round R"
     // never observes R's tick and a node relaunched at R ticks immediately.
     if (round_hook_) round_hook_(rounds_run_ + r);
-    // Trusted timers fire: every live enclave observes the new round.
+    // Trusted timers fire: every live enclave observes the new round. Each
+    // tick is its own ECALL: clear the transition-charge accumulator so one
+    // node's tick cost never delays a different node's sends.
     for (NodeId id = 0; id < cfg_.n; ++id) {
-      if (enclaves_[id] && network_.attached(id)) enclaves_[id]->on_tick();
+      if (enclaves_[id] && network_.attached(id)) {
+        simulator_.clear_charge();
+        enclaves_[id]->on_tick();
+      }
     }
+    simulator_.clear_charge();
     // P4: nodes that halted leave the network immediately.
     for (NodeId id = 0; id < cfg_.n; ++id) {
       if (enclaves_[id] && enclaves_[id]->halted() && network_.attached(id)) {

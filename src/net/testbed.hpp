@@ -21,6 +21,7 @@
 #include "protocol/peer_enclave.hpp"
 #include "sgx/attestation.hpp"
 #include "sgx/platform.hpp"
+#include "sgx/transition.hpp"
 
 namespace sgxp2p::sim {
 
@@ -38,6 +39,10 @@ struct TestbedConfig {
   /// registry at construction time (usually the global one). Sweep drivers
   /// hand every run its own registry so runs are isolated and mergeable.
   obs::MetricsRegistry* registry = nullptr;
+  /// Per-transition virtual costs (sgx/transition.hpp). Default zero: the
+  /// meter counts ecalls/ocalls but charges nothing, so every existing
+  /// baseline is unchanged unless a run opts into the cost model.
+  sgx::TransitionCosts sgx_costs;
 
   [[nodiscard]] std::uint32_t effective_t() const {
     return t != 0 ? t : (n - 1) / 2;

@@ -1,0 +1,307 @@
+#include "obs/causal.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace sgxp2p::obs {
+
+namespace {
+
+bool is_infrastructure(std::string_view c) {
+  return c == "net" || c == "sim" || c == "channel" || c == "sgx";
+}
+
+}  // namespace
+
+std::int64_t CausalEvent::num(std::string_view key,
+                              std::int64_t fallback) const {
+  for (const auto& [k, v] : nums) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+const std::string* CausalEvent::str(std::string_view key) const {
+  for (const auto& [k, v] : strs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<CausalGraph> CausalGraph::parse(const std::string& jsonl,
+                                              std::string* error) {
+  auto fail = [&](std::size_t lineno, const char* what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + what;
+    }
+    return std::nullopt;
+  };
+  CausalGraph g;
+  std::istringstream in(jsonl);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto doc = json_parse(line);
+    if (!doc || !doc->is_object()) return fail(lineno, "malformed JSON");
+    const JsonValue* vt = doc->get("vt");
+    const JsonValue* node = doc->get("node");
+    const JsonValue* span = doc->get("span");
+    const JsonValue* cause = doc->get("cause");
+    const JsonValue* comp = doc->get("component");
+    const JsonValue* event = doc->get("event");
+    if (vt == nullptr || node == nullptr || comp == nullptr ||
+        event == nullptr || !comp->is_string() || !event->is_string()) {
+      return fail(lineno, "missing trace fields");
+    }
+    if (span == nullptr || cause == nullptr) {
+      return fail(lineno, "trace has no span/cause (pre-causal format?)");
+    }
+    CausalEvent ev;
+    ev.vt = vt->as_int();
+    ev.node = static_cast<std::uint32_t>(node->as_int());
+    ev.span = static_cast<std::uint64_t>(span->as_int());
+    ev.cause = static_cast<std::uint64_t>(cause->as_int());
+    ev.component = comp->string;
+    ev.event = event->string;
+    if (ev.span == 0) return fail(lineno, "span 0 is not a valid span id");
+    for (const auto& [k, v] : doc->object) {
+      if (k == "vt" || k == "node" || k == "span" || k == "cause" ||
+          k == "component" || k == "event") {
+        continue;
+      }
+      if (v.is_string()) {
+        ev.strs.emplace_back(k, v.string);
+      } else {
+        ev.nums.emplace_back(k, v.as_int());
+      }
+    }
+    g.events_.push_back(std::move(ev));
+  }
+  if (!g.events_.empty()) {
+    g.min_span_ = g.events_.front().span;
+    g.max_span_ = g.events_.back().span;
+    for (const CausalEvent& ev : g.events_) {
+      if (ev.cause != 0 && ev.cause < g.min_span_) ++g.truncated_causes_;
+    }
+  }
+  return g;
+}
+
+const CausalEvent* CausalGraph::by_span(std::uint64_t span) const {
+  if (span < min_span_ || span > max_span_) return nullptr;
+  const std::size_t idx = static_cast<std::size_t>(span - min_span_);
+  if (idx >= events_.size() || events_[idx].span != span) return nullptr;
+  return &events_[idx];
+}
+
+std::vector<std::string> CausalGraph::check_conservation() const {
+  std::vector<std::string> violations;
+  auto bad = [&](const CausalEvent& ev, const std::string& what) {
+    violations.push_back("span " + std::to_string(ev.span) + " (" +
+                         ev.component + " " + ev.event + " @" +
+                         std::to_string(ev.vt) + "): " + what);
+  };
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const CausalEvent& ev = events_[i];
+    if (i > 0 && ev.span != events_[i - 1].span + 1) {
+      bad(ev, "span ids not contiguous (prev " +
+                  std::to_string(events_[i - 1].span) + ")");
+    }
+    const bool cause_in_window = ev.cause >= min_span_;
+    if (ev.cause != 0) {
+      if (ev.cause >= ev.span) {
+        bad(ev, "cause " + std::to_string(ev.cause) +
+                    " does not precede the event");
+        continue;
+      }
+      if (cause_in_window) {
+        const CausalEvent* parent = by_span(ev.cause);
+        if (parent == nullptr) {
+          bad(ev, "dangling cause " + std::to_string(ev.cause));
+          continue;
+        }
+        if (parent->vt > ev.vt) {
+          bad(ev, "cause at vt " + std::to_string(parent->vt) +
+                      " is later than the event");
+        }
+      }
+    }
+    if (ev.component == "net" && ev.event == "deliver") {
+      if (ev.cause == 0) {
+        bad(ev, "delivery with no recorded send");
+      } else if (cause_in_window) {
+        const CausalEvent* send = by_span(ev.cause);
+        if (send == nullptr || send->component != "net" ||
+            send->event != "send") {
+          bad(ev, "delivery's cause is not a net send");
+        } else if (send->node != static_cast<std::uint32_t>(ev.num("from")) ||
+                   send->num("to") != static_cast<std::int64_t>(ev.node)) {
+          bad(ev, "delivery endpoints do not mirror the send");
+        } else if (send->num("arrival") != ev.vt) {
+          bad(ev, "delivery vt " + std::to_string(ev.vt) +
+                      " != send arrival " +
+                      std::to_string(send->num("arrival")));
+        }
+      }
+      // cause below the window: unverifiable, already in truncated_causes_.
+    }
+  }
+  return violations;
+}
+
+std::vector<CausalGraph::CriticalPath> CausalGraph::critical_paths() const {
+  std::vector<CriticalPath> paths;
+  for (const CausalEvent& decide : events_) {
+    if (decide.event != "decide" || is_infrastructure(decide.component)) {
+      continue;
+    }
+    CriticalPath cp;
+    cp.decide_span = decide.span;
+    cp.node = decide.node;
+    cp.total_ms = decide.num("latency_ms");
+    const SimTime t0 = decide.vt - cp.total_ms;  // the protocol's T0
+    const CausalEvent* cur = &decide;
+    bool rooted = false;
+    while (true) {
+      if (cur->cause == 0) {
+        rooted = true;
+        break;
+      }
+      const CausalEvent* parent = by_span(cur->cause);
+      if (parent == nullptr) break;  // chain truncated out of the ring
+      Step step;
+      step.span = parent->span;
+      step.node = parent->node;
+      step.vt = parent->vt;
+      step.label = parent->component + "." + parent->event;
+      // The whole chain never reaches below T0 except via protocol_start
+      // (emitted just before the synchronized start); clamp so pre-start
+      // setup time is never attributed to the decide.
+      const SimTime from = std::max(parent->vt, t0);
+      std::int64_t gap = std::max<std::int64_t>(cur->vt - from, 0);
+      if (cur->component == "net" && cur->event == "deliver" &&
+          parent->component == "net" && parent->event == "send") {
+        // Wire hop. The send's sgxms share is enclave-transition time the
+        // sender paid before the message left the NIC.
+        const std::int64_t sgx = std::min(parent->num("sgxms"), gap);
+        cp.sgx_ms += sgx;
+        cp.network_ms += gap - sgx;
+        step.segment = "network";
+      } else {
+        // Same causal locality: handler compute, or the protocol waiting
+        // for the next round boundary (the "Wait(rnd)" in Algorithm 2).
+        cp.compute_ms += gap;
+        step.segment = "compute";
+      }
+      step.ms = gap;
+      cp.steps.push_back(std::move(step));
+      if (parent->vt <= t0) {
+        rooted = true;  // reached the protocol start boundary
+        break;
+      }
+      cur = parent;
+    }
+    if (rooted && cur->cause == 0 && cur->vt > t0) {
+      // Root fired after T0 (e.g. the first INIT rides round 1's tick at
+      // T0 exactly — gap 0 — but a late-started chain waits here).
+      Step step;
+      step.span = cur->span;
+      step.node = cur->node;
+      step.vt = cur->vt;
+      step.label = "wait." + cur->component + "." + cur->event;
+      step.segment = "compute";
+      step.ms = cur->vt - t0;
+      cp.compute_ms += step.ms;
+      cp.steps.push_back(std::move(step));
+    }
+    cp.unattributed_ms = cp.total_ms - cp.attributed_ms();
+    paths.push_back(std::move(cp));
+  }
+  return paths;
+}
+
+std::string CausalGraph::to_perfetto() const {
+  std::string out;
+  out.reserve(events_.size() * 160 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) out += ',';
+    first = false;
+    out += obj;
+  };
+  auto num = [](std::int64_t v) { return std::to_string(v); };
+
+  // One Perfetto "process" per node.
+  std::map<std::uint32_t, SimTime> last_vt;
+  for (const CausalEvent& ev : events_) {
+    last_vt[ev.node] = std::max(last_vt[ev.node], ev.vt);
+  }
+  for (const auto& [node, vt] : last_vt) {
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + num(node) +
+         ",\"args\":{\"name\":\"node " + num(node) + "\"}}");
+  }
+
+  // Round slices: round_begin → next round_begin on the same node.
+  std::map<std::uint32_t, std::vector<const CausalEvent*>> rounds;
+  for (const CausalEvent& ev : events_) {
+    if (ev.event == "round_begin") rounds[ev.node].push_back(&ev);
+  }
+  for (const auto& [node, begins] : rounds) {
+    for (std::size_t i = 0; i < begins.size(); ++i) {
+      const CausalEvent* b = begins[i];
+      const SimTime end = i + 1 < begins.size() ? begins[i + 1]->vt
+                                                : last_vt[node] + 1;
+      emit("{\"ph\":\"X\",\"name\":\"round " + num(b->num("round")) +
+           "\",\"cat\":\"round\",\"pid\":" + num(node) +
+           ",\"tid\":0,\"ts\":" + num(b->vt * 1000) +
+           ",\"dur\":" + num(std::max<SimTime>(end - b->vt, 1) * 1000) +
+           ",\"args\":{\"span\":" + num(static_cast<std::int64_t>(b->span)) +
+           "}}");
+    }
+  }
+
+  // Every event as a thin slice nested under its round, args = the DAG ids
+  // plus the numeric fields.
+  for (const CausalEvent& ev : events_) {
+    if (ev.event == "round_begin") continue;  // already a slice
+    std::string args =
+        "\"span\":" + num(static_cast<std::int64_t>(ev.span)) +
+        ",\"cause\":" + num(static_cast<std::int64_t>(ev.cause));
+    for (const auto& [k, v] : ev.nums) {
+      args += ",\"" + json_escape(k) + "\":" + num(v);
+    }
+    for (const auto& [k, v] : ev.strs) {
+      args += ",\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+    }
+    emit("{\"ph\":\"X\",\"name\":\"" + json_escape(ev.component) + "." +
+         json_escape(ev.event) + "\",\"cat\":\"" + json_escape(ev.component) +
+         "\",\"pid\":" + num(ev.node) + ",\"tid\":0,\"ts\":" +
+         num(ev.vt * 1000) + ",\"dur\":200,\"args\":{" + args + "}}");
+  }
+
+  // Flow arrows: send → deliver, id = the send's span.
+  for (const CausalEvent& ev : events_) {
+    if (ev.component != "net" || ev.event != "deliver") continue;
+    const CausalEvent* send = by_span(ev.cause);
+    if (send == nullptr) continue;
+    const std::string id = num(static_cast<std::int64_t>(send->span));
+    emit("{\"ph\":\"s\",\"name\":\"msg\",\"cat\":\"flow\",\"id\":" + id +
+         ",\"pid\":" + num(send->node) + ",\"tid\":0,\"ts\":" +
+         num(send->vt * 1000) + "}");
+    emit("{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"msg\",\"cat\":\"flow\",\"id\":" +
+         id + ",\"pid\":" + num(ev.node) + ",\"tid\":0,\"ts\":" +
+         num(ev.vt * 1000) + "}");
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sgxp2p::obs

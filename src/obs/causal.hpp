@@ -1,0 +1,130 @@
+// Causal-DAG analysis over the span/cause fields the TraceRecorder emits.
+//
+// A JSONL trace is a DAG: every event carries a unique monotonic `span` id
+// and a `cause` id naming the span that triggered it (0 = root: a round
+// tick, protocol_start, or setup work). CausalGraph parses one trace and
+// offers the three consumers built on the DAG:
+//
+//   * check_conservation() — the structural oracle the fuzzer reuses:
+//     spans strictly increase, every cause precedes its event in both span
+//     and virtual time, and every `net deliver` is caused by a recorded
+//     `net send` with matching endpoints and arrival time;
+//   * critical_paths() — walks backwards from each `decide`, attributing
+//     its latency to network delay, node-local compute (handler work and
+//     round-alignment waits), and enclave transitions;
+//   * to_perfetto() — Chrome-trace/Perfetto JSON (one track per node,
+//     events nested under round slices, flow arrows send → deliver) for
+//     ui.perfetto.dev.
+//
+// The ring drops oldest events under overflow; the graph detects that
+// (min recorded span > 1) and reports truncation-induced dangling causes
+// as `truncated_causes()` rather than conservation violations, so an
+// overflowed trace is flagged but not misdiagnosed as a causality bug.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sgxp2p::obs {
+
+/// One parsed trace event. Only the fields the analyses need are retained;
+/// numeric extras (round, bytes, arrival, sgxms, latency_ms, …) are looked
+/// up by key on demand.
+struct CausalEvent {
+  SimTime vt = 0;
+  std::uint32_t node = 0;
+  std::uint64_t span = 0;
+  std::uint64_t cause = 0;
+  std::string component;
+  std::string event;
+  std::vector<std::pair<std::string, std::int64_t>> nums;
+  std::vector<std::pair<std::string, std::string>> strs;
+
+  [[nodiscard]] std::int64_t num(std::string_view key,
+                                 std::int64_t fallback = 0) const;
+  [[nodiscard]] const std::string* str(std::string_view key) const;
+};
+
+class CausalGraph {
+ public:
+  /// Parses a JSONL trace (TraceRecorder::to_jsonl / a .trace.jsonl file).
+  /// Returns nullopt on malformed JSON or missing span/cause fields, with a
+  /// line-numbered reason in `*error` when provided.
+  static std::optional<CausalGraph> parse(const std::string& jsonl,
+                                          std::string* error = nullptr);
+
+  [[nodiscard]] const std::vector<CausalEvent>& events() const {
+    return events_;
+  }
+  /// Event with the given span id, or nullptr (unknown / truncated away).
+  [[nodiscard]] const CausalEvent* by_span(std::uint64_t span) const;
+
+  /// True when the ring dropped the start of the run (oldest span > 1):
+  /// causes pointing below the window are unverifiable, not dangling.
+  [[nodiscard]] bool truncated() const { return min_span_ > 1; }
+  /// Causes that point below the retained window (only when truncated()).
+  [[nodiscard]] std::uint64_t truncated_causes() const {
+    return truncated_causes_;
+  }
+
+  /// Cause-conservation oracle. Empty = the DAG is sound:
+  ///   - span ids strictly increase in record order;
+  ///   - every non-root cause references an earlier span (cause < span) and
+  ///     a no-later virtual time (parent.vt ≤ event.vt);
+  ///   - every `net deliver` has a cause, and it is a `net send` whose
+  ///     endpoints mirror the delivery and whose `arrival` equals the
+  ///     delivery's vt.
+  [[nodiscard]] std::vector<std::string> check_conservation() const;
+
+  // ----- critical paths -----
+
+  struct Step {
+    std::uint64_t span = 0;       // the event this hop lands on (the cause)
+    std::uint32_t node = 0;
+    SimTime vt = 0;
+    std::string label;            // "component.event"
+    const char* segment = "";     // "network" | "compute" | "sgx"
+    std::int64_t ms = 0;          // virtual ms attributed to this hop
+  };
+
+  struct CriticalPath {
+    std::uint64_t decide_span = 0;
+    std::uint32_t node = 0;
+    std::int64_t total_ms = 0;         // the decide's latency_ms field
+    std::int64_t network_ms = 0;       // wire time (send → deliver, minus sgx)
+    std::int64_t compute_ms = 0;       // same-node gaps incl. alignment waits
+    std::int64_t sgx_ms = 0;           // enclave-transition cost on the path
+    std::int64_t unattributed_ms = 0;  // chain broken (ring truncation)
+    std::vector<Step> steps;           // decide → … → root, one per hop
+
+    [[nodiscard]] std::int64_t attributed_ms() const {
+      return network_ms + compute_ms + sgx_ms;
+    }
+  };
+
+  /// One entry per `decide` event, walking the cause chain back to a root.
+  /// network + compute + sgx + unattributed always equals total.
+  [[nodiscard]] std::vector<CriticalPath> critical_paths() const;
+
+  // ----- Perfetto -----
+
+  /// Chrome-trace JSON ({"traceEvents":[…]}, ts in µs of virtual time):
+  /// one process per node, round_begin slices spanning their round, every
+  /// event a nested slice carrying span/cause args, and flow arrows from
+  /// each `net send` to its `net deliver`. Opens in ui.perfetto.dev.
+  [[nodiscard]] std::string to_perfetto() const;
+
+ private:
+  std::vector<CausalEvent> events_;
+  std::uint64_t min_span_ = 1;
+  std::uint64_t max_span_ = 0;
+  std::uint64_t truncated_causes_ = 0;
+  // span → index into events_, valid because spans are contiguous
+  // [min_span_, max_span_] in record order (drop-oldest keeps a window).
+};
+
+}  // namespace sgxp2p::obs

@@ -18,6 +18,8 @@ void TraceRecorder::enable(std::size_t capacity) {
   head_ = 0;
   count_ = 0;
   dropped_ = 0;
+  next_span_ = 1;
+  current_ = 0;
   enabled_ = true;
 }
 
@@ -27,6 +29,8 @@ void TraceRecorder::reset() {
   head_ = 0;
   count_ = 0;
   dropped_ = 0;
+  next_span_ = 1;
+  current_ = 0;
 }
 
 void TraceRecorder::push(const TraceEvent& ev) {
@@ -43,7 +47,9 @@ void TraceRecorder::push(const TraceEvent& ev) {
 void TraceRecorder::write_jsonl(std::ostream& os) const {
   for (std::size_t i = 0; i < count_; ++i) {
     const TraceEvent& ev = ring_[(head_ + i) % capacity_];
-    os << "{\"vt\":" << ev.vt << ",\"node\":" << ev.node << ",\"component\":\""
+    os << "{\"vt\":" << ev.vt << ",\"node\":" << ev.node
+       << ",\"span\":" << ev.span << ",\"cause\":" << ev.cause
+       << ",\"component\":\""
        << (ev.component != nullptr ? ev.component : "") << "\",\"event\":\""
        << (ev.event != nullptr ? ev.event : "") << '"';
     for (const TraceField& f : ev.fields) {

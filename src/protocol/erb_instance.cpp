@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
 
 namespace sgxp2p::protocol {
 
@@ -98,7 +99,11 @@ ErbInstance::Sends ErbInstance::on_round_begin(std::uint32_t global_round) {
     Val echo{MsgType::kEcho, cfg_.instance.initiator, cfg_.instance.epoch,
              global_round, *m_};
     multicast(std::move(echo), global_round, sends);
+    // The ECHO's real trigger is last round's INIT/ECHO delivery, not this
+    // round tick — hand its span back so the owner scopes the sends to it.
+    sends.cause = echo_cause_;
     echo_due_round_.reset();
+    echo_cause_ = 0;
   }
 
   // 4. Timeout: past instance round t + 2 without enough echoes → accept ⊥.
@@ -135,6 +140,7 @@ ErbInstance::Sends ErbInstance::on_val(NodeId from, const Val& val,
         s_echo_.insert(static_cast<std::size_t>(initiator_rank_));
         s_echo_.insert(static_cast<std::size_t>(self_rank_));
         echo_due_round_ = rnd + 1;
+        echo_cause_ = obs::TraceRecorder::global().current_cause();
         maybe_accept(rnd);
       }
       break;
@@ -149,6 +155,7 @@ ErbInstance::Sends ErbInstance::on_val(NodeId from, const Val& val,
         m_ = val.payload;
         s_echo_.insert(static_cast<std::size_t>(self_rank_));
         echo_due_round_ = rnd + 1;
+        echo_cause_ = obs::TraceRecorder::global().current_cause();
       }
       s_echo_.insert(static_cast<std::size_t>(from_rank));
       maybe_accept(rnd);

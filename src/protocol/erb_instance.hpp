@@ -87,6 +87,12 @@ class ErbInstance {
     /// Group the multicasts address (the instance's sorted participants,
     /// self included — senders skip self). Valid as long as the instance.
     const std::vector<NodeId>* group = nullptr;
+    /// Causal token (a trace span id) for deferred actions: an ECHO emitted
+    /// at a round boundary was really triggered by the INIT/ECHO delivery
+    /// one round earlier, and the owner scopes the sends to that delivery so
+    /// the critical path crosses the "Wait(rnd)" gap. 0 = no deferral — the
+    /// sends belong to whatever event is being handled right now.
+    std::uint64_t cause = 0;
 
     [[nodiscard]] bool empty() const {
       return multicasts.empty() && unicasts.empty();
@@ -138,6 +144,7 @@ class ErbInstance {
   std::optional<Bytes> m_;              // m̄, the stored message
   RankSet s_echo_;                      // S_echo (distinct count only)
   std::optional<std::uint32_t> echo_due_round_;  // multicast ECHO at this instance round
+  std::uint64_t echo_cause_ = 0;        // span of the delivery that armed it
 
   // Pending multicast awaiting ACKs: (global round it was sent in, the
   // H(val) receivers will echo back, distinct ackers so far).

@@ -47,6 +47,9 @@ void ErbSequenceNode::close_execution(std::uint32_t round) {
 }
 
 void ErbSequenceNode::perform(const ErbInstance::Sends& sends) {
+  // A deferred batch (the scheduled ECHO) is causally the child of last
+  // round's delivery, not of the round tick that flushed it.
+  obs::TraceRecorder::Scope causal(sends.cause);
   // Multicasts first — that is the order the old per-peer vector carried.
   for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
   for (const auto& send : sends.unicasts) send_val(send.to, send.val);

@@ -48,6 +48,9 @@ ErbInstance& ErngBasicNode::instance_for(NodeId initiator) {
 }
 
 void ErngBasicNode::perform(const ErbInstance::Sends& sends) {
+  // A deferred batch (the scheduled ECHO) is causally the child of last
+  // round's delivery, not of the round tick that flushed it.
+  obs::TraceRecorder::Scope causal(sends.cause);
   // Multicasts first — that is the order the old per-peer vector carried.
   for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
   for (const auto& send : sends.unicasts) send_val(send.to, send.val);
@@ -76,7 +79,8 @@ void ErngBasicNode::finalize(std::uint32_t round) {
   result_.value = std::move(acc);
   obs_event("decide", obs::fnum("round", round),
             obs::fnum("set_size", static_cast<std::int64_t>(count)),
-            obs::fnum("bottom", result_.is_bottom ? 1 : 0));
+            obs::fnum("bottom", result_.is_bottom ? 1 : 0),
+            obs::fnum("latency_ms", result_.decided_at - start_time()));
 }
 
 void ErngBasicNode::on_round_begin(std::uint32_t round) {

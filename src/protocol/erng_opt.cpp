@@ -75,6 +75,9 @@ ErbInstance* ErngOptNode::instance_for(NodeId initiator) {
 }
 
 void ErngOptNode::perform(const ErbInstance::Sends& sends) {
+  // A deferred batch (the scheduled ECHO) is causally the child of last
+  // round's delivery, not of the round tick that flushed it.
+  obs::TraceRecorder::Scope causal(sends.cause);
   // Multicasts first — that is the order the old per-peer vector carried.
   for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
   for (const auto& send : sends.unicasts) send_val(send.to, send.val);
@@ -172,7 +175,8 @@ void ErngOptNode::record_decide() {
       .observe(result_.decided_at - start_time());
   obs_event("decide", obs::fnum("round", result_.round),
             obs::fnum("set_size", static_cast<std::int64_t>(result_.set_size)),
-            obs::fnum("bottom", result_.is_bottom ? 1 : 0));
+            obs::fnum("bottom", result_.is_bottom ? 1 : 0),
+            obs::fnum("latency_ms", result_.decided_at - start_time()));
 }
 
 void ErngOptNode::send_final(std::uint32_t round) {

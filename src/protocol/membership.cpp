@@ -100,6 +100,9 @@ ErbInstance* RosterNode::join_instance(NodeId sponsor, std::size_t w) {
 }
 
 void RosterNode::perform(const ErbInstance::Sends& sends) {
+  // A deferred batch (the scheduled ECHO) is causally the child of last
+  // round's delivery, not of the round tick that flushed it.
+  obs::TraceRecorder::Scope causal(sends.cause);
   // Multicasts first — that is the order the old per-peer vector carried.
   for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
   for (const auto& send : sends.unicasts) send_val(send.to, send.val);

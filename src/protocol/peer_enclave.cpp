@@ -99,9 +99,13 @@ void PeerEnclave::on_tick() {
   if (!started_ || halted_) return;
   std::uint32_t rnd = current_round();
   if (rnd == 0) return;
+  account_ecall("tick");  // the trusted timer enters the enclave
   if (rounds_ctr_ == nullptr) rounds_ctr_ = &obs_counter("round_begin");
   rounds_ctr_->inc();
-  obs_event("round_begin", obs::fnum("round", rnd));
+  // The round tick is a causal root; everything the protocol does at the
+  // boundary (scheduled ECHOs, retries) descends from this span.
+  std::uint64_t span = obs_event("round_begin", obs::fnum("round", rnd));
+  obs::TraceRecorder::Scope causal(span);
   on_round_begin(rnd);
 }
 
@@ -119,13 +123,13 @@ obs::Counter& PeerEnclave::obs_counter(const char* name, const char* label) {
   return obs::MetricsRegistry::current().counter(full, label);
 }
 
-void PeerEnclave::obs_event(const char* event, obs::TraceField f0,
-                            obs::TraceField f1, obs::TraceField f2,
-                            obs::TraceField f3) {
+std::uint64_t PeerEnclave::obs_event(const char* event, obs::TraceField f0,
+                                     obs::TraceField f1, obs::TraceField f2,
+                                     obs::TraceField f3) {
   obs::TraceRecorder& tr = obs::TraceRecorder::global();
-  if (!tr.enabled()) return;  // skip the trusted_time() read when off
-  tr.record(obs::TraceEvent{trusted_time(), cfg_.self, obs_ns_, event,
-                            {f0, f1, f2, f3}});
+  if (!tr.enabled()) return 0;  // skip the trusted_time() read when off
+  return tr.record(obs::TraceEvent{trusted_time(), cfg_.self, 0, 0, obs_ns_,
+                                   event, {f0, f1, f2, f3}});
 }
 
 void PeerEnclave::deliver(NodeId from, ByteView blob) {

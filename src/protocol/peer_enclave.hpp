@@ -159,9 +159,11 @@ class PeerEnclave : public sgx::Enclave {
   /// the registry, so fine to call on warm paths.
   obs::Counter& obs_counter(const char* name, const char* label = "");
   /// Trace event stamped with trusted time, self id, and the namespace.
-  void obs_event(const char* event, obs::TraceField f0 = {},
-                 obs::TraceField f1 = {}, obs::TraceField f2 = {},
-                 obs::TraceField f3 = {});
+  /// Returns the assigned span id (0 when tracing is off) so callers can
+  /// scope follow-on work to this event via TraceRecorder::Scope.
+  std::uint64_t obs_event(const char* event, obs::TraceField f0 = {},
+                          obs::TraceField f1 = {}, obs::TraceField f2 = {},
+                          obs::TraceField f3 = {});
 
  private:
   Bytes seal_for(NodeId to, ByteView plaintext);

@@ -25,6 +25,7 @@
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "crypto/drbg.hpp"
+#include "obs/trace.hpp"
 #include "sgx/attestation.hpp"
 #include "sgx/measurement.hpp"
 #include "sgx/platform.hpp"
@@ -61,7 +62,27 @@ class Enclave {
   /// layer inside the enclave.)
   virtual void deliver(NodeId from, ByteView blob) = 0;
 
+  /// The accounted entry point hosts call instead of deliver(): meters the
+  /// world switch (sgx.ecalls, and virtual cost when the run's cost model
+  /// is on) before crossing into trusted code.
+  void ecall_deliver(NodeId from, ByteView blob) {
+    account_ecall("deliver");
+    deliver(from, blob);
+  }
+
  protected:
+  /// Meters one enclave entry of the given kind ("deliver", "tick", …) and
+  /// emits an `sgx ecall` trace event when the cost model charged anything.
+  /// Subclasses call this for ECALLs that don't route through
+  /// ecall_deliver (e.g. the round tick).
+  void account_ecall(const char* kind) {
+    const SimDuration cost = platform_->transitions().ecall();
+    if (cost > 0) {
+      obs::trace_event(trusted_time(), static_cast<std::uint32_t>(cpu_),
+                       "sgx", "ecall", obs::fstr("kind", kind),
+                       obs::fnum("cost_ms", cost));
+    }
+  }
   /// F2 — hardware randomness, invisible to the host.
   crypto::Drbg& read_rand() { return drbg_; }
 
@@ -93,8 +114,17 @@ class Enclave {
     return platform_->counter_increment(cpu_, measurement_);
   }
 
-  /// OCALL: hand a blob to the host for transfer.
+  /// OCALL: hand a blob to the host for transfer. Metered: each exit adds
+  /// its virtual cost to the pending charge the Network folds into this
+  /// message's arrival time, so a fan-out of k sends pays k serialized
+  /// transitions.
   void ocall_transfer(NodeId to, Bytes blob) {
+    const SimDuration cost = platform_->transitions().ocall();
+    if (cost > 0) {
+      obs::trace_event(trusted_time(), static_cast<std::uint32_t>(cpu_),
+                       "sgx", "ocall", obs::fstr("kind", "transfer"),
+                       obs::fnum("cost_ms", cost));
+    }
     host_->transfer(to, std::move(blob));
   }
 

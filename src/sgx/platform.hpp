@@ -25,6 +25,7 @@
 #include "crypto/drbg.hpp"
 #include "crypto/hmac.hpp"
 #include "sgx/measurement.hpp"
+#include "sgx/transition.hpp"
 #include "sgx/trusted_time.hpp"
 
 namespace sgxp2p::sgx {
@@ -63,6 +64,12 @@ class SgxPlatform {
   /// Increments and returns the new value (first increment returns 1).
   std::uint64_t counter_increment(CpuId cpu, const Measurement& m);
 
+  /// Fleet-wide enclave-transition meter (counts every ecall/ocall on any
+  /// CPU of this platform; charges virtual cost when configured). Lives on
+  /// the platform because transitions are a hardware property, not protocol
+  /// state — the Testbed binds it to its registry and cost model.
+  [[nodiscard]] TransitionMeter& transitions() { return transitions_; }
+
  private:
   const TrustedClock* clock_;
   Bytes attestation_root_;
@@ -70,6 +77,7 @@ class SgxPlatform {
   crypto::Drbg entropy_;
   std::uint64_t launch_counter_ = 0;
   std::map<std::pair<CpuId, Measurement>, std::uint64_t> counters_;
+  TransitionMeter transitions_;
 };
 
 }  // namespace sgxp2p::sgx

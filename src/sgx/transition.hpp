@@ -1,0 +1,101 @@
+// Enclave-transition accounting (the cost the paper's testbed pays for
+// free in simulation).
+//
+// Real SGX enclaves pay microseconds per world switch: an ECALL flushes and
+// refills TLBs, an OCALL exits and re-enters the trusted environment
+// (Stress-SGX and the IIT-Delhi SGX benchmark suite in PAPERS.md measure
+// 8–14k cycles per transition on client parts). The simulator's virtual
+// clock ignores this by default, which flatters the O(n²) clique protocols:
+// every round a node performs one ECALL per inbound message plus one OCALL
+// per outbound message, so transition overhead scales with message
+// complexity — exactly the term committee sharding is supposed to shrink.
+//
+// TransitionMeter counts every ecall/ocall and, when configured with
+// nonzero per-transition costs, charges the virtual cost through a caller-
+// supplied hook (the Testbed wires it to Simulator::charge, which folds the
+// accumulated cost into the arrival time of the handler's next sends).
+// Default costs are zero, so existing baselines, traces, and bench tables
+// are unchanged unless a run opts in.
+//
+// Metrics (registered by bind(), typically on the testbed's registry):
+//   sgx.ecalls              total enclave entries
+//   sgx.ocalls              total enclave exits
+//   sgx.transition_cost_ms  virtual ms charged to the simulator clock
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/time.hpp"
+#include "obs/metrics.hpp"
+
+namespace sgxp2p::sgx {
+
+/// Per-transition virtual costs in ms. Zero (the default) disables charging
+/// while counting still happens.
+struct TransitionCosts {
+  SimDuration ecall_ms = 0;
+  SimDuration ocall_ms = 0;
+
+  [[nodiscard]] bool enabled() const { return ecall_ms > 0 || ocall_ms > 0; }
+};
+
+class TransitionMeter {
+ public:
+  using ChargeFn = std::function<void(SimDuration)>;
+
+  /// Registers the sgx.* counters on `registry`. Optional: an unbound meter
+  /// still keeps local counts (platforms built outside a Testbed).
+  void bind(obs::MetricsRegistry& registry) {
+    ecalls_ctr_ = &registry.counter("sgx.ecalls");
+    ocalls_ctr_ = &registry.counter("sgx.ocalls");
+    cost_ctr_ = &registry.counter("sgx.transition_cost_ms");
+  }
+
+  /// Sets the cost model and the sink the virtual cost is charged to.
+  void configure(TransitionCosts costs, ChargeFn charge) {
+    costs_ = costs;
+    charge_ = std::move(charge);
+  }
+
+  /// Records one enclave entry; returns the virtual cost charged (0 when
+  /// the cost model is off).
+  SimDuration ecall() {
+    ++ecalls_;
+    if (ecalls_ctr_ != nullptr) ecalls_ctr_->inc();
+    return apply(costs_.ecall_ms);
+  }
+
+  /// Records one enclave exit; returns the virtual cost charged.
+  SimDuration ocall() {
+    ++ocalls_;
+    if (ocalls_ctr_ != nullptr) ocalls_ctr_->inc();
+    return apply(costs_.ocall_ms);
+  }
+
+  [[nodiscard]] const TransitionCosts& costs() const { return costs_; }
+  [[nodiscard]] std::uint64_t ecalls() const { return ecalls_; }
+  [[nodiscard]] std::uint64_t ocalls() const { return ocalls_; }
+  [[nodiscard]] std::uint64_t charged_ms() const { return charged_ms_; }
+
+ private:
+  SimDuration apply(SimDuration cost) {
+    if (cost <= 0) return 0;
+    charged_ms_ += static_cast<std::uint64_t>(cost);
+    if (cost_ctr_ != nullptr) cost_ctr_->inc(static_cast<std::uint64_t>(cost));
+    if (charge_) charge_(cost);
+    return cost;
+  }
+
+  TransitionCosts costs_;
+  ChargeFn charge_;
+  std::uint64_t ecalls_ = 0;
+  std::uint64_t ocalls_ = 0;
+  std::uint64_t charged_ms_ = 0;
+  obs::Counter* ecalls_ctr_ = nullptr;
+  obs::Counter* ocalls_ctr_ = nullptr;
+  obs::Counter* cost_ctr_ = nullptr;
+};
+
+}  // namespace sgxp2p::sgx

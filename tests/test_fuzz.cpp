@@ -13,6 +13,7 @@
 #include "fuzz/runner.hpp"
 #include "fuzz/schedule.hpp"
 #include "fuzz/shrinker.hpp"
+#include "obs/metrics.hpp"
 
 namespace sgxp2p::fuzz {
 namespace {
@@ -115,6 +116,26 @@ TEST(ScheduleFuzzCampaign, CanaryFoundShrunkAndReplayable) {
   EXPECT_EQ(replay.report.digest, failure.report.digest);
 
   std::filesystem::remove_all(dir);
+}
+
+// Campaign bookkeeping lands in the caller's registry (fuzz.* namespace),
+// never in the hermetic per-run registries the digests are computed over.
+TEST(ScheduleFuzzCampaign, FuzzMetricsCountOnCampaignRegistry) {
+  obs::MetricsRegistry campaign;
+  obs::MetricsRegistry::ScopedCurrent scoped(campaign);
+  CampaignOptions options;
+  options.targets = {FuzzTarget::kErb};
+  options.seed = 2;
+  options.schedules = 3;
+  CampaignResult result = run_campaign(options);
+  EXPECT_TRUE(result.clean());
+  auto snap = campaign.snapshot();
+  const auto* schedules = snap.find_counter("fuzz.schedules");
+  ASSERT_NE(schedules, nullptr);
+  EXPECT_EQ(schedules->value, 3u);
+  EXPECT_EQ(snap.find_counter("fuzz.failures")->value, 0u);
+  EXPECT_EQ(snap.find_counter("fuzz.violations")->value, 0u);
+  EXPECT_EQ(snap.find_counter("fuzz.shrink_runs")->value, 0u);
 }
 
 TEST(ScheduleFuzzCorpus, PinnedSchedulesReplayByteIdentically) {

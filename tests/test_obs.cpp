@@ -138,7 +138,7 @@ TEST(ObsTrace, RingKeepsOrderAndDropsOldest) {
   tr.enable(/*capacity=*/4);
   for (int i = 0; i < 6; ++i) {
     tr.record(obs::TraceEvent{
-        i, 0, "test", "tick", {obs::fnum("i", i)}});
+        i, 0, 0, 0, "test", "tick", {obs::fnum("i", i)}});
   }
   EXPECT_EQ(tr.size(), 4u);
   EXPECT_EQ(tr.dropped(), 2u);
@@ -161,7 +161,7 @@ TEST(ObsTrace, RingKeepsOrderAndDropsOldest) {
 
 TEST(ObsTrace, DisabledRecordIsNoOp) {
   TraceRecorder tr;
-  tr.record(obs::TraceEvent{1, 2, "test", "ignored", {}});
+  tr.record(obs::TraceEvent{1, 2, 0, 0, "test", "ignored", {}});
   EXPECT_EQ(tr.size(), 0u);
 }
 

@@ -1,0 +1,163 @@
+// sgxp2p-causal — causal-DAG analyzer for span/cause JSONL traces.
+//
+// Reads one trace (bench --trace output, sgxp2p-sim --trace, or a fuzz
+// reproducer's trace) and, per the selected modes:
+//
+//   --check           run the cause-conservation oracle: every non-root
+//                     event names an earlier cause, every delivery's cause
+//                     is a recorded send with matching endpoints/arrival.
+//                     Exit 2 on any violation.
+//   --critical-path   walk backwards from every decide, printing the
+//                     per-decide latency attribution (network / compute /
+//                     enclave-transition) and the aggregate split.
+//   --perfetto FILE   write Chrome-trace JSON openable in ui.perfetto.dev.
+//
+// With no mode flags, runs --check and --critical-path.
+//
+//   sgxp2p-causal BENCH_fig2a.trace.jsonl
+//   sgxp2p-causal run.trace.jsonl --perfetto run.perfetto.json
+//
+// Exit status: 0 ok, 1 unreadable/unparseable input or bad usage,
+// 2 conservation violations (or truncated trace under --check --strict).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/causal.hpp"
+
+using sgxp2p::obs::CausalGraph;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sgxp2p-causal <trace.jsonl> [--check] "
+               "[--critical-path] [--perfetto FILE] [--strict]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) return usage();
+  const char* path = argv[1];
+  bool do_check = false;
+  bool do_path = false;
+  bool strict = false;
+  const char* perfetto_out = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      do_check = true;
+    } else if (std::strcmp(argv[i], "--critical-path") == 0) {
+      do_path = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
+      perfetto_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "sgxp2p-causal: unknown option %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (!do_check && !do_path && perfetto_out == nullptr) {
+    do_check = do_path = true;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "sgxp2p-causal: cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto graph = CausalGraph::parse(buf.str(), &error);
+  if (!graph) {
+    std::fprintf(stderr, "sgxp2p-causal: %s: %s\n", path, error.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu events, spans %s\n", path, graph->events().size(),
+              graph->truncated() ? "TRUNCATED (ring overflowed; raise "
+                                   "--trace-capacity)"
+                                 : "complete");
+
+  int rc = 0;
+  if (do_check) {
+    auto violations = graph->check_conservation();
+    if (violations.empty()) {
+      std::printf("conservation: ok (%llu cause(s) below the retained "
+                  "window)\n",
+                  static_cast<unsigned long long>(graph->truncated_causes()));
+    } else {
+      for (const std::string& v : violations) {
+        std::fprintf(stderr, "conservation violation: %s\n", v.c_str());
+      }
+      std::fprintf(stderr, "conservation: %zu violation(s)\n",
+                   violations.size());
+      rc = 2;
+    }
+    if (strict && graph->truncated()) {
+      std::fprintf(stderr,
+                   "strict: trace is truncated — conservation cannot be "
+                   "fully verified\n");
+      rc = 2;
+    }
+  }
+
+  if (do_path) {
+    auto paths = graph->critical_paths();
+    if (paths.empty()) {
+      std::printf("\nno decide events — nothing to attribute\n");
+    } else {
+      std::int64_t tot = 0, net = 0, cpu = 0, sgx = 0, un = 0;
+      std::printf("\n=== per-decide latency attribution (virtual ms) ===\n");
+      std::printf("%6s %10s %9s %9s %9s %9s %6s\n", "node", "total",
+                  "network", "compute", "sgx", "unattrib", "hops");
+      for (const auto& p : paths) {
+        std::printf("%6u %10lld %9lld %9lld %9lld %9lld %6zu\n", p.node,
+                    static_cast<long long>(p.total_ms),
+                    static_cast<long long>(p.network_ms),
+                    static_cast<long long>(p.compute_ms),
+                    static_cast<long long>(p.sgx_ms),
+                    static_cast<long long>(p.unattributed_ms),
+                    p.steps.size());
+        tot += p.total_ms;
+        net += p.network_ms;
+        cpu += p.compute_ms;
+        sgx += p.sgx_ms;
+        un += p.unattributed_ms;
+      }
+      const double denom = tot > 0 ? static_cast<double>(tot) : 1.0;
+      std::printf("aggregate: total %lld = network %lld (%.1f%%) + compute "
+                  "%lld (%.1f%%) + sgx %lld (%.1f%%) + unattributed %lld "
+                  "(%.1f%%)\n",
+                  static_cast<long long>(tot), static_cast<long long>(net),
+                  100.0 * static_cast<double>(net) / denom,
+                  static_cast<long long>(cpu),
+                  100.0 * static_cast<double>(cpu) / denom,
+                  static_cast<long long>(sgx),
+                  100.0 * static_cast<double>(sgx) / denom,
+                  static_cast<long long>(un),
+                  100.0 * static_cast<double>(un) / denom);
+    }
+  }
+
+  if (perfetto_out != nullptr) {
+    std::ofstream out(perfetto_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "sgxp2p-causal: cannot write %s\n", perfetto_out);
+      return 1;
+    }
+    out << graph->to_perfetto();
+    if (!out) {
+      std::fprintf(stderr, "sgxp2p-causal: short write to %s\n", perfetto_out);
+      return 1;
+    }
+    std::printf("perfetto: wrote %s (open in ui.perfetto.dev)\n",
+                perfetto_out);
+  }
+  return rc;
+}

@@ -29,6 +29,9 @@
 //                                        (default sim_metrics.json)
 //   --trace [path]                       record + write a JSONL event trace
 //                                        (default sim_trace.jsonl)
+//   --trace-capacity <int>               trace ring size in events (default
+//                                        2^18; raise for big-N runs so the
+//                                        causal DAG keeps its roots)
 //
 // recovery-scenario flags (--protocol recovery): node 1 of an N-member
 // roster crashes, its host keeps the sealed checkpoints, the node
@@ -103,6 +106,7 @@ struct Options {
   bool csv = false;
   std::string metrics_path;  // empty → no snapshot written
   std::string trace_path;    // empty → tracing stays off
+  std::size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
   // recovery scenario
   std::uint32_t crash_at = 6;
   std::uint32_t recover_after = 4;
@@ -175,6 +179,10 @@ Options parse(int argc, char** argv) {
   if (flag_present(argc, argv, "--trace")) {
     const char* v = flag_value(argc, argv, "--trace");
     o.trace_path = (v != nullptr && v[0] != '-') ? v : "sim_trace.jsonl";
+  }
+  if (const char* v = flag_value(argc, argv, "--trace-capacity")) {
+    std::size_t cap = std::strtoull(v, nullptr, 10);
+    if (cap > 0) o.trace_capacity = cap;
   }
   return o;
 }
@@ -294,7 +302,9 @@ int main(int argc, char** argv) {
   Options o = parse(argc, argv);
   if (!o.replay_schedule.empty()) return run_replay_mode(o);
   if (o.fuzz > 0) return run_fuzz_mode(o);
-  if (!o.trace_path.empty()) obs::TraceRecorder::global().enable();
+  if (!o.trace_path.empty()) {
+    obs::TraceRecorder::global().enable(o.trace_capacity);
+  }
   if (o.n < 2) {
     std::fprintf(stderr, "--n must be at least 2\n");
     return 2;
@@ -549,7 +559,9 @@ int main(int argc, char** argv) {
   if (!o.trace_path.empty()) {
     const auto& tr = obs::TraceRecorder::global();
     if (tr.dropped() > 0) {
-      std::fprintf(stderr, "warning: trace ring dropped %llu events\n",
+      std::fprintf(stderr,
+                   "warning: trace ring dropped %llu events; causal roots "
+                   "are truncated (raise --trace-capacity)\n",
                    static_cast<unsigned long long>(tr.dropped()));
     }
     if (!tr.write_file(o.trace_path)) {

@@ -32,9 +32,9 @@ using sgxp2p::obs::json_parse;
 namespace {
 
 bool is_protocol_component(const std::string& c) {
-  // Everything that isn't infrastructure (net/sim/channel) is a protocol
+  // Everything that isn't infrastructure (net/sim/channel/sgx) is a protocol
   // namespace: erb, erng, eba, peer.
-  return c != "net" && c != "sim" && c != "channel";
+  return c != "net" && c != "sim" && c != "channel" && c != "sgx";
 }
 
 struct RoundRow {
