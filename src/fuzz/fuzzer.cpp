@@ -27,7 +27,7 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   std::vector<FuzzTarget> targets = options.targets;
   if (targets.empty()) {
     targets = {FuzzTarget::kErb, FuzzTarget::kErngBasic, FuzzTarget::kErngOpt,
-               FuzzTarget::kRecovery};
+               FuzzTarget::kRecovery, FuzzTarget::kShard};
   }
   RunOptions run_options;
   run_options.canary = options.canary;

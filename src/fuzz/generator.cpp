@@ -191,6 +191,21 @@ Schedule generate_schedule(FuzzTarget target, std::uint64_t campaign_seed,
       }
       break;
     }
+    case FuzzTarget::kShard: {
+      // Small multi-committee topologies: enough nodes for 2–4 committees,
+      // committees small enough that t ≤ (c−1)/2 leaves room for faults.
+      s.n = 10 + static_cast<std::uint32_t>(rng.next_below(15));  // 10–24
+      s.committee_size = 5 + static_cast<std::uint32_t>(rng.next_below(3));
+      const std::uint32_t t_c = (s.committee_size - 1) / 2;
+      s.t = 1 + static_cast<std::uint32_t>(rng.next_below(t_c));
+      s.max_rounds = s.min_rounds();
+      std::vector<NodeId> pool;
+      for (NodeId id = 0; id < s.n; ++id) pool.push_back(id);
+      std::size_t want = 1 + rng.next_below(s.t);
+      add_faulted_actions(rng, s, pick_faulted(rng, pool, want, 0, 0),
+                          s.max_rounds, /*allow_crash=*/true);
+      break;
+    }
   }
 
   std::string error;

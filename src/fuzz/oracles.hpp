@@ -12,6 +12,13 @@
 //   erng.agreement       all honest outputs are byte-identical (incl. ⊥-ness)
 //   recovery.liveness    victim rejoined and every honest roster converged
 //                        on admitting the fresh joiner
+//   shard.termination    every honest node adopted a global digest in every
+//                        epoch, within the epoch round budget
+//   shard.agreement      all honest global digests per epoch are identical
+//                        (and intra-committee digests match)
+//   shard.validity       the agreed global digest equals an independent
+//                        bottom-up recomputation from honest members'
+//                        committee digests
 //   recovery.restore     clean seal ⇒ the checkpoint restore succeeded
 //   recovery.stale_detect stale-seal replay ⇒ detected, fresh re-admission
 //   metrics.conservation delivered ≤ sends and delivered_bytes ≤ bytes
@@ -45,6 +52,9 @@ inline constexpr const char* kErngAgreement = "erng.agreement";
 inline constexpr const char* kRecoveryLiveness = "recovery.liveness";
 inline constexpr const char* kRecoveryRestore = "recovery.restore";
 inline constexpr const char* kRecoveryStaleDetect = "recovery.stale_detect";
+inline constexpr const char* kShardTermination = "shard.termination";
+inline constexpr const char* kShardAgreement = "shard.agreement";
+inline constexpr const char* kShardValidity = "shard.validity";
 inline constexpr const char* kMetricsConservation = "metrics.conservation";
 inline constexpr const char* kCausalConservation = "causal.conservation";
 inline constexpr const char* kCanaryNoBottom = "canary.no_bottom";

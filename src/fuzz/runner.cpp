@@ -18,6 +18,7 @@
 #include "protocol/erng_opt.hpp"
 #include "recovery/coordinator.hpp"
 #include "recovery/recoverable_node.hpp"
+#include "shard/coordinator.hpp"
 
 namespace sgxp2p::fuzz {
 
@@ -474,6 +475,55 @@ RunReport run_recovery(const Schedule& s, obs::MetricsRegistry& registry) {
   return report;
 }
 
+// ----- Shard -------------------------------------------------------------
+
+RunReport run_shard(const Schedule& s, obs::MetricsRegistry& registry) {
+  RunContext ctx(s, registry);
+  ctx.bed.build(shard::ShardCoordinator::make_factory(),
+                ctx.strategy_factory());
+  ctx.install_fault_hook(s.n);
+  ctx.start();
+
+  const std::vector<NodeId> honest = honest_set(s);
+  shard::ShardConfig cfg;
+  cfg.committee_size = s.committee_size;
+  cfg.epochs = 2;  // two chained epochs exercise the beacon handoff
+  cfg.is_honest = [honest](NodeId id) {
+    return std::binary_search(honest.begin(), honest.end(), id);
+  };
+  shard::ShardCoordinator coord(ctx.bed, std::move(cfg));
+  const std::vector<shard::EpochSummary> epochs = coord.run_all();
+
+  RunReport report;
+  report.rounds = ctx.bed.rounds_run();
+  std::ostringstream outcome;
+  for (const shard::EpochSummary& e : epochs) {
+    outcome << "e" << e.epoch << ":" << hex8(e.global_digest) << "/"
+            << e.decided << "of" << e.honest << " ";
+    const std::string at = " (epoch " + std::to_string(e.epoch) + ")";
+    if (!e.termination) {
+      report.violations.push_back(
+          {oracle::kShardTermination,
+           std::to_string(e.honest - e.decided) +
+               " honest node(s) undecided after " +
+               std::to_string(e.rounds_used) + " rounds" + at});
+    }
+    if (!e.agreement) {
+      report.violations.push_back(
+          {oracle::kShardAgreement,
+           "honest nodes hold divergent digests" + at});
+    }
+    if (!e.validity) {
+      report.violations.push_back(
+          {oracle::kShardValidity,
+           "agreed digest does not match the bottom-up recomputation" + at});
+    }
+  }
+  report.outcome = outcome.str();
+  finalize(registry, report);
+  return report;
+}
+
 }  // namespace
 
 namespace {
@@ -535,6 +585,9 @@ RunReport run_schedule(const Schedule& schedule, const RunOptions& options) {
       break;
     case FuzzTarget::kRecovery:
       report = run_recovery(schedule, registry);
+      break;
+    case FuzzTarget::kShard:
+      report = run_shard(schedule, registry);
       break;
     default:
       CHECK_MSG(false, "run_schedule: unknown target");

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "shard/election.hpp"
+
 namespace sgxp2p::fuzz {
 
 namespace {
@@ -25,7 +27,7 @@ constexpr KindName kKindNames[] = {
 };
 
 constexpr const char* kTargetNames[] = {"erb", "erng_basic", "erng_opt",
-                                        "recovery"};
+                                        "recovery", "shard"};
 
 }  // namespace
 
@@ -127,6 +129,13 @@ std::uint32_t Schedule::min_rounds() const {
       const RecoveryWindows w = recovery_windows(*this);
       return (static_cast<std::uint32_t>(w.w_extra) + 1) * w.W + 2;
     }
+    case FuzzTarget::kShard: {
+      // The shard runner drives two chained epochs (so the beacon handoff is
+      // exercised); each needs the full epoch budget at this geometry.
+      const std::uint32_t c =
+          committee_size != 0 ? committee_size : shard::auto_committee_size(n);
+      return 2 * shard::epoch_round_budget(n, c);
+    }
   }
   return 1;
 }
@@ -145,6 +154,21 @@ bool Schedule::validate(std::string* error) const {
   if (target == FuzzTarget::kRecovery &&
       (checkpoint_every == 0 || checkpoint_every > max_rounds)) {
     return fail("checkpoint_every out of range");
+  }
+  if (target == FuzzTarget::kShard) {
+    if (committee_size != 0 && (committee_size < 4 || committee_size > n)) {
+      return fail("shard: committee_size must be 0 (auto) or in [4, n]");
+    }
+    // Election placement is seed-dependent, so the budget must hold even if
+    // every faulted node lands in one committee: t ≤ (c − 1) / 2, the
+    // smallest per-committee byzantine bound any committee can have.
+    const std::uint32_t c =
+        committee_size != 0 ? committee_size : shard::auto_committee_size(n);
+    if (t > (c - 1) / 2) {
+      return fail("shard: t exceeds the per-committee budget (c-1)/2");
+    }
+  } else if (committee_size != 0) {
+    return fail("committee_size only valid for the shard target");
   }
   for (const FaultAction& a : actions) {
     if (a.node >= n) return fail("action node out of range");
@@ -245,6 +269,9 @@ std::string Schedule::to_text() const {
   if (target == FuzzTarget::kRecovery) {
     out << "checkpoint_every " << checkpoint_every << '\n';
   }
+  if (target == FuzzTarget::kShard && committee_size != 0) {
+    out << "committee_size " << committee_size << '\n';
+  }
   for (const FaultAction& a : actions) {
     out << "action " << action_kind_name(a.kind) << ' ' << a.node << ' '
         << a.round << ' ';
@@ -301,6 +328,8 @@ std::optional<Schedule> Schedule::from_text(const std::string& text,
       ls >> s.max_rounds;
     } else if (key == "checkpoint_every") {
       ls >> s.checkpoint_every;
+    } else if (key == "committee_size") {
+      ls >> s.committee_size;
     } else if (key == "action") {
       std::string kind_name, peer_str;
       FaultAction a;

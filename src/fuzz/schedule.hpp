@@ -65,8 +65,14 @@ struct FaultAction {
   friend bool operator==(const FaultAction&, const FaultAction&) = default;
 };
 
-/// The four protocol stacks the fuzzer exercises.
-enum class FuzzTarget : std::uint8_t { kErb, kErngBasic, kErngOpt, kRecovery };
+/// The five protocol stacks the fuzzer exercises.
+enum class FuzzTarget : std::uint8_t {
+  kErb,
+  kErngBasic,
+  kErngOpt,
+  kRecovery,
+  kShard,
+};
 
 [[nodiscard]] const char* target_name(FuzzTarget target);
 [[nodiscard]] std::optional<FuzzTarget> target_from(const std::string& name);
@@ -78,6 +84,7 @@ struct Schedule {
   std::uint64_t seed = 1;
   std::uint32_t max_rounds = 8;
   std::uint32_t checkpoint_every = 2;  // recovery target only
+  std::uint32_t committee_size = 0;    // shard target only; 0 = auto c(n)
   std::vector<FaultAction> actions;
 
   // Replay expectations, filled when a failing case is emitted.

@@ -14,6 +14,7 @@ Network::Network(Simulator& simulator, NetworkConfig config,
                  obs::MetricsRegistry& registry)
     : simulator_(&simulator),
       config_(config),
+      registry_(&registry),
       jitter_rng_(config.seed),
       handler_(simulator.add_delivery_handler(
           [this](Delivery&& d) { on_delivery(std::move(d)); })),
@@ -28,7 +29,7 @@ Network::Network(Simulator& simulator, NetworkConfig config,
           "net.delay_ms", {100, 200, 300, 400, 500, 750, 1000, 2000, 5000})) {}
 
 Network::Sink& Network::sink_slot(NodeId id) {
-  if (id < kDenseFifoIds) {
+  if (id < kMaxTableIds) {
     if (id >= sinks_dense_.size()) sinks_dense_.resize(id + 1);
     return sinks_dense_[id];
   }
@@ -36,7 +37,7 @@ Network::Sink& Network::sink_slot(NodeId id) {
 }
 
 const Network::Sink* Network::find_sink(NodeId id) const {
-  if (id < kDenseFifoIds) {
+  if (id < kMaxTableIds) {
     if (id >= sinks_dense_.size() || !sinks_dense_[id].attached()) {
       return nullptr;
     }
@@ -54,15 +55,23 @@ void Network::attach_view(NodeId id, DeliverViewFn sink) {
   sink_slot(id) = Sink{nullptr, std::move(sink)};
 }
 
+namespace {
+auto sparse_lower_bound(std::vector<std::pair<NodeId, SimTime>>& sparse,
+                        NodeId to) {
+  return std::lower_bound(
+      sparse.begin(), sparse.end(), to,
+      [](const auto& entry, NodeId id) { return entry.first < id; });
+}
+}  // namespace
+
 void Network::detach(NodeId id) {
   if (id < sinks_dense_.size()) sinks_dense_[id] = Sink{};
   sinks_far_.erase(id);
-  if (id < fifo_rows_.size()) {
-    fifo_rows_[id].clear();
-    fifo_rows_[id].shrink_to_fit();
-  }
+  if (id < fifo_rows_.size()) fifo_rows_[id] = FifoRow{};
   for (auto& row : fifo_rows_) {
-    if (id < row.size()) row[id] = 0;
+    if (id < row.dense.size()) row.dense[id] = 0;
+    auto it = sparse_lower_bound(row.sparse, id);
+    if (it != row.sparse.end() && it->first == id) row.sparse.erase(it);
   }
   std::erase_if(fifo_far_, [id](const auto& entry) {
     return static_cast<NodeId>(entry.first >> 32) == id ||
@@ -71,22 +80,77 @@ void Network::detach(NodeId id) {
 }
 
 SimTime& Network::fifo_slot(NodeId from, NodeId to) {
-  if (from < kDenseFifoIds && to < kDenseFifoIds) {
-    if (from >= fifo_rows_.size()) fifo_rows_.resize(from + 1);
-    auto& row = fifo_rows_[from];
-    if (to >= row.size()) row.resize(to + 1, 0);
-    return row[to];
+  if (from >= kMaxTableIds || to >= kMaxTableIds) {
+    return fifo_far_[(static_cast<std::uint64_t>(from) << 32) |
+                     static_cast<std::uint64_t>(to)];
   }
-  return fifo_far_[(static_cast<std::uint64_t>(from) << 32) |
-                   static_cast<std::uint64_t>(to)];
+  if (from >= fifo_rows_.size()) fifo_rows_.resize(from + 1);
+  FifoRow& row = fifo_rows_[from];
+  if (to < row.dense.size()) return row.dense[to];
+  if (!row.dense.empty() && to < kDenseColumnCap) {
+    row.dense.resize(to + 1, 0);
+    return row.dense[to];
+  }
+  auto it = sparse_lower_bound(row.sparse, to);
+  if (it != row.sparse.end() && it->first == to) return it->second;
+  it = row.sparse.insert(it, {to, 0});
+  if (to < kDenseColumnCap) {
+    // Promote once the row collects enough small-id destinations: a clique
+    // sender touches every column and earns the O(1) array; a sharded
+    // sender with ~10² destinations never pays for one.
+    std::size_t small = 0;
+    NodeId max_small = 0;
+    for (const auto& [dest, when] : row.sparse) {
+      if (dest < kDenseColumnCap) {
+        ++small;
+        max_small = dest;  // sorted: last small id is the max
+      } else {
+        break;
+      }
+    }
+    if (small >= kFifoPromoteAt) {
+      row.dense.assign(max_small + 1, 0);
+      std::vector<std::pair<NodeId, SimTime>> far_tail;
+      for (auto& [dest, when] : row.sparse) {
+        if (dest < kDenseColumnCap) {
+          row.dense[dest] = when;
+        } else {
+          far_tail.emplace_back(dest, when);
+        }
+      }
+      row.sparse = std::move(far_tail);
+      return row.dense[to];
+    }
+  }
+  return it->second;
 }
 
 std::size_t Network::fifo_entries() const {
   std::size_t live = fifo_far_.size();
   for (const auto& row : fifo_rows_) {
-    for (SimTime t : row) live += t != 0 ? 1 : 0;
+    for (SimTime t : row.dense) live += t != 0 ? 1 : 0;
+    for (const auto& [dest, when] : row.sparse) live += when != 0 ? 1 : 0;
   }
   return live;
+}
+
+std::size_t Network::fifo_pair_slots() const {
+  std::size_t slots = fifo_far_.size();
+  for (const auto& row : fifo_rows_) {
+    slots += row.dense.size() + row.sparse.size();
+  }
+  return slots;
+}
+
+std::size_t Network::sink_slots() const {
+  return sinks_dense_.size() + sinks_far_.size();
+}
+
+void Network::publish_capacity_gauges() {
+  registry_->gauge("net.fifo_pair_slots")
+      .set(static_cast<std::int64_t>(fifo_pair_slots()));
+  registry_->gauge("net.sink_slots")
+      .set(static_cast<std::int64_t>(sink_slots()));
 }
 
 bool Network::attached(NodeId id) const { return find_sink(id) != nullptr; }

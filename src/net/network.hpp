@@ -148,6 +148,15 @@ class Network {
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
   /// Live per-ordered-pair FIFO entries (detach-leak regression hook).
   [[nodiscard]] std::size_t fifo_entries() const;
+  /// Allocated per-pair FIFO slots (dense + sparse + far map). Grows with
+  /// the pairs actually communicating, NOT with n² — the memory-
+  /// proportionality regression test reads this through the net.* gauges.
+  [[nodiscard]] std::size_t fifo_pair_slots() const;
+  /// Allocated sink-table slots (≈ highest attached id + far entries).
+  [[nodiscard]] std::size_t sink_slots() const;
+  /// Stamps net.fifo_pair_slots / net.sink_slots gauges on the registry
+  /// this network instruments.
+  void publish_capacity_gauges();
 
  private:
   struct Sink {
@@ -176,8 +185,22 @@ class Network {
   [[nodiscard]] const Sink* find_sink(NodeId id) const;
   Sink& sink_slot(NodeId id);
 
+  /// FIFO guarantee: next admissible delivery time per ordered pair,
+  /// size-adaptive per sender row. A row starts as a sorted sparse vector
+  /// (binary-searched — a 100k-node sharded topology has ~10² destinations
+  /// per sender, so rows stay tiny and total state is O(live pairs), never
+  /// O(n²) up front). A row that accumulates kFifoPromoteAt small-id
+  /// destinations is promoted to a dense prefix array, restoring the O(1)
+  /// hot path the clique benches rely on; destinations ≥ kDenseColumnCap
+  /// always stay in the sparse tail.
+  struct FifoRow {
+    std::vector<std::pair<NodeId, SimTime>> sparse;  // sorted by id
+    std::vector<SimTime> dense;  // promoted columns [0, dense.size())
+  };
+
   Simulator* simulator_;
   NetworkConfig config_;
+  obs::MetricsRegistry* registry_;
   Rng jitter_rng_;
   TrafficMeter meter_;
   std::uint32_t handler_;
@@ -190,15 +213,14 @@ class Network {
   obs::Counter& dropped_ctr_;
   obs::Histogram& size_hist_;
   obs::Histogram& delay_hist_;
-  std::vector<Sink> sinks_dense_;             // ids < kDenseFifoIds
+  // Ids below kMaxTableIds index flat tables (lazily grown to the highest
+  // id seen — O(n), not O(n²)); larger/sparser ids fall back to the maps.
+  static constexpr NodeId kMaxTableIds = 1u << 20;
+  static constexpr NodeId kDenseColumnCap = 4096;
+  static constexpr std::size_t kFifoPromoteAt = 48;
+  std::vector<Sink> sinks_dense_;               // ids < kMaxTableIds
   std::unordered_map<NodeId, Sink> sinks_far_;  // sparse/large ids
-  // FIFO guarantee: next admissible delivery time per ordered pair. Small
-  // node ids (every testbed numbers nodes 0..n−1) index a dense matrix —
-  // the hash map this replaces was the second-hottest item in the
-  // bench_scale profile at ~n² live pairs. Sparse/large ids (sybils,
-  // hand-built networks) fall back to the map.
-  static constexpr NodeId kDenseFifoIds = 4096;
-  std::vector<std::vector<SimTime>> fifo_rows_;   // [from][to], 0 = unused
+  std::vector<FifoRow> fifo_rows_;              // [from], adaptive per row
   std::unordered_map<std::uint64_t, SimTime> fifo_far_;
   // Shared-bandwidth model: time at which the bottleneck frees up.
   SimTime link_free_at_ = 0;

@@ -79,28 +79,40 @@ void Testbed::run_setup() {
   // trusted bootstrap: handshake artifacts are real (quotes, X25519) but are
   // exchanged by the harness rather than over the adversarial wire — the
   // paper assumes setup completes and excludes it from all measurements.
-  if (cfg_.mode == protocol::ChannelMode::kAttested) {
-    std::vector<Bytes> hello(cfg_.n);
-    for (NodeId id = 0; id < cfg_.n; ++id) {
-      hello[id] = enclaves_[id]->handshake_blob();
+  //
+  // Default topology is the paper's full clique. When cfg_.setup_peers is
+  // set it names each node's out-neighbors and only those pairs are set up
+  // (callers wanting bidirectional channels list symmetric neighbor sets);
+  // sharded 100k-node deployments use this to avoid the O(n²) bootstrap.
+  const auto peers_of = [this](NodeId a) {
+    if (cfg_.setup_peers) return cfg_.setup_peers(a);
+    std::vector<NodeId> all;
+    all.reserve(cfg_.n - 1);
+    for (NodeId b = 0; b < cfg_.n; ++b) {
+      if (b != a) all.push_back(b);
     }
+    return all;
+  };
+  if (cfg_.mode == protocol::ChannelMode::kAttested) {
+    std::vector<Bytes> hello(cfg_.n);  // computed lazily: sparse setups
     for (NodeId a = 0; a < cfg_.n; ++a) {
-      for (NodeId b = 0; b < cfg_.n; ++b) {
+      for (NodeId b : peers_of(a)) {
         if (a == b) continue;
+        if (hello[a].empty()) hello[a] = enclaves_[a]->handshake_blob();
         bool ok = enclaves_[b]->accept_handshake(hello[a]);
         CHECK_MSG(ok, "Testbed: attested handshake failed");
       }
     }
   } else {
     for (NodeId a = 0; a < cfg_.n; ++a) {
-      for (NodeId b = 0; b < cfg_.n; ++b) {
+      for (NodeId b : peers_of(a)) {
         if (a != b) enclaves_[a]->install_fast_link(b);
       }
     }
   }
   // Initial instance-sequence exchange (P6), over the sealed links.
   for (NodeId a = 0; a < cfg_.n; ++a) {
-    for (NodeId b = 0; b < cfg_.n; ++b) {
+    for (NodeId b : peers_of(a)) {
       if (a == b) continue;
       Bytes blob = enclaves_[a]->make_seq_blob(b);
       bool ok = enclaves_[b]->accept_seq_blob(a, blob);

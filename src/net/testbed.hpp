@@ -43,6 +43,11 @@ struct TestbedConfig {
   /// meter counts ecalls/ocalls but charges nothing, so every existing
   /// baseline is unchanged unless a run opts into the cost model.
   sgx::TransitionCosts sgx_costs;
+  /// Setup-phase topology: returns the peers node `id` exchanges handshake
+  /// and sequence blobs with during run_setup(). Unset → full clique (the
+  /// paper's setup). Sharded deployments at n=100k pass a sparse (or empty,
+  /// in accounted mode) neighbor map so setup stays far below O(n²).
+  std::function<std::vector<NodeId>(NodeId)> setup_peers;
 
   [[nodiscard]] std::uint32_t effective_t() const {
     return t != 0 ? t : (n - 1) / 2;

@@ -17,6 +17,7 @@ const char* obs_namespace(const std::string& program_name) {
   if (program_name.rfind("erng", 0) == 0) return "erng";
   if (program_name.rfind("erb", 0) == 0) return "erb";
   if (program_name.rfind("eba", 0) == 0) return "eba";
+  if (program_name.rfind("shard", 0) == 0) return "shard";
   return "peer";
 }
 }  // namespace

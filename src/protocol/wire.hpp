@@ -30,6 +30,9 @@ enum class MsgType : std::uint8_t {
   kJoin = 7,     // membership (Appendix G): joiner → sponsor
   kWelcome = 8,  // membership: sponsor → joiner, carries roster + seq table
   kRejoin = 9,   // recovery: relaunched member → sponsor, re-announces seq
+  kConfirm = 10,  // shard: intra-committee digest confirmation (gates RECORD)
+  kRecord = 11,   // shard: child rep → parent reps, subtree digest + count
+  kGlobal = 12,   // shard: global digest flowing down the dissemination tree
 };
 
 struct Val {
@@ -74,7 +77,7 @@ inline std::optional<Val> parse_val(ByteView data) {
   val.round = r.u32();
   val.payload = r.bytes();
   if (!r.done()) return std::nullopt;
-  if (type < 1 || type > 9) return std::nullopt;
+  if (type < 1 || type > 12) return std::nullopt;
   val.type = static_cast<MsgType>(type);
   return val;
 }
@@ -90,6 +93,9 @@ inline const char* msg_type_name(MsgType t) {
     case MsgType::kJoin: return "JOIN";
     case MsgType::kWelcome: return "WELCOME";
     case MsgType::kRejoin: return "REJOIN";
+    case MsgType::kConfirm: return "CONFIRM";
+    case MsgType::kRecord: return "RECORD";
+    case MsgType::kGlobal: return "GLOBAL";
   }
   return "?";
 }

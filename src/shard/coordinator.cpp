@@ -1,0 +1,167 @@
+#include "shard/coordinator.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+#include "shard/digest.hpp"
+
+namespace sgxp2p::shard {
+
+ShardCoordinator::ShardCoordinator(sim::Testbed& bed, ShardConfig config)
+    : bed_(bed), cfg_(std::move(config)) {
+  CHECK_MSG(cfg_.epochs >= 1, "ShardCoordinator: need at least one epoch");
+  if (cfg_.genesis_seed.empty()) {
+    BinaryWriter w;
+    w.str("sgxp2p-shard-genesis");
+    w.u64(bed_.config().seed);
+    seed_ = crypto::Sha256::hash_bytes(w.view());
+  } else {
+    seed_ = cfg_.genesis_seed;
+  }
+}
+
+sim::Testbed::EnclaveFactory ShardCoordinator::make_factory() {
+  return [](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+            protocol::PeerConfig pc,
+            const sgx::SimIAS& ias) -> std::unique_ptr<protocol::PeerEnclave> {
+    return std::make_unique<ShardNode>(platform, id, host, pc, ias);
+  };
+}
+
+std::uint32_t ShardCoordinator::epoch_budget() const {
+  const std::uint32_t n = bed_.config().n;
+  const std::uint32_t c = cfg_.committee_size != 0
+                              ? std::min(cfg_.committee_size, n)
+                              : auto_committee_size(n);
+  return epoch_round_budget(n, c);
+}
+
+bool ShardCoordinator::honest(NodeId id) const {
+  if (!bed_.has_enclave(id) || !bed_.network().attached(id)) return false;
+  if (cfg_.is_honest) return cfg_.is_honest(id);
+  return !bed_.host(id).is_byzantine();
+}
+
+std::vector<NodeId> ShardCoordinator::oracle_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < bed_.config().n; ++id) {
+    if (honest(id)) out.push_back(id);
+  }
+  return out;
+}
+
+EpochSummary ShardCoordinator::run_epoch() {
+  CHECK_MSG(next_epoch_ < cfg_.epochs, "run_epoch: all epochs consumed");
+  const std::uint64_t epoch = next_epoch_++;
+  const std::uint32_t base = bed_.rounds_run() + 1;
+  election_ = Election::compute(bed_.config().n, cfg_.committee_size, epoch,
+                                seed_, base);
+  for (NodeId id = 0; id < bed_.config().n; ++id) {
+    if (!bed_.has_enclave(id)) continue;
+    bed_.enclave_as<ShardNode>(id).begin_epoch(election_.make_view(id));
+  }
+  const std::uint32_t budget = epoch_round_budget(bed_.config().n,
+                                                  election_.committee_size());
+  const std::uint32_t used = bed_.run_rounds(budget, [&] {
+    for (NodeId id = 0; id < bed_.config().n; ++id) {
+      if (!honest(id)) continue;
+      const auto& r = bed_.enclave_as<ShardNode>(id).result();
+      if (!r.done || r.epoch != epoch) return false;
+    }
+    return true;
+  });
+  EpochSummary summary = harvest(used);
+  summary.budget_rounds = budget;
+  bed_.registry().counter("shard.epochs").inc();
+  summaries_.push_back(summary);
+  return summaries_.back();
+}
+
+EpochSummary ShardCoordinator::harvest(std::uint32_t rounds_used) {
+  const std::uint64_t epoch = election_.epoch();
+  EpochSummary summary;
+  summary.epoch = epoch;
+  summary.rounds_used = rounds_used;
+  const std::vector<NodeId> honest_ids = oracle_nodes();
+  summary.honest = honest_ids.size();
+
+  // Termination + agreement over the honest population.
+  summary.agreement = true;
+  for (NodeId id : honest_ids) {
+    const auto& r = bed_.enclave_as<ShardNode>(id).result();
+    if (!r.done || r.epoch != epoch) continue;
+    ++summary.decided;
+    if (summary.global_digest.empty()) {
+      summary.global_digest = r.global_digest;
+    } else if (summary.global_digest != r.global_digest) {
+      summary.agreement = false;
+    }
+  }
+  summary.termination =
+      summary.decided == summary.honest && summary.honest > 0;
+
+  // Validity: recompute the global digest bottom-up from the committee
+  // digests honest members themselves hold (checking intra-committee
+  // agreement on the way) and compare against the adopted digest.
+  const auto& committees = election_.committees();
+  std::vector<Bytes> committee_digests(committees.size());
+  bool complete = true;
+  for (std::size_t k = 0; k < committees.size(); ++k) {
+    for (NodeId id : committees[k].members) {
+      if (!honest(id)) continue;
+      const auto& r = bed_.enclave_as<ShardNode>(id).result();
+      if (!r.done || r.epoch != epoch) continue;
+      if (committee_digests[k].empty()) {
+        committee_digests[k] = r.committee_digest;
+      } else if (committee_digests[k] != r.committee_digest) {
+        summary.agreement = false;  // intra-committee split
+      }
+    }
+    if (committee_digests[k].empty()) complete = false;
+  }
+  if (complete && !summary.global_digest.empty()) {
+    std::vector<Bytes> subtree(committees.size());
+    for (std::size_t k = committees.size(); k-- > 0;) {
+      std::vector<Bytes> child_digests;
+      child_digests.reserve(committees[k].children.size());
+      for (std::uint32_t child : committees[k].children) {
+        child_digests.push_back(subtree[child]);
+      }
+      subtree[k] = subtree_digest(committee_digests[k], child_digests);
+    }
+    summary.validity = subtree[0] == summary.global_digest;
+  } else {
+    summary.validity = false;
+  }
+
+  // Beacon chaining: next epoch is seeded by this epoch's agreed digest
+  // (lowest-id decided honest node); with no decision, advance the chain
+  // deterministically so the run can still make progress.
+  if (!summary.global_digest.empty()) {
+    seed_ = summary.global_digest;
+  } else {
+    BinaryWriter w;
+    w.str("sgxp2p-shard-advance");
+    w.bytes(seed_);
+    w.u64(epoch);
+    seed_ = crypto::Sha256::hash_bytes(w.view());
+  }
+  return summary;
+}
+
+std::vector<EpochSummary> ShardCoordinator::run_all() {
+  while (next_epoch_ < cfg_.epochs) run_epoch();
+  return summaries_;
+}
+
+bool ShardCoordinator::all_ok() const {
+  if (summaries_.empty()) return false;
+  for (const auto& s : summaries_) {
+    if (!s.ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace sgxp2p::shard

@@ -1,0 +1,90 @@
+// ShardCoordinator — drives the epoch loop over a sim::Testbed of
+// ShardNodes and stitches per-committee outputs into the global verdict.
+//
+// Per epoch: compute the deterministic election from the chained beacon
+// seed (epoch e + 1 is seeded by epoch e's agreed global digest — the
+// ERNG-as-election-beacon loop the paper motivates), install per-node views
+// via ShardNode::begin_epoch (trusted bootstrap: every enclave could
+// recompute the same assignment from public inputs), run rounds until every
+// honest node adopts the global digest or the epoch budget is spent, then
+// check the end-to-end oracles:
+//
+//   termination — every honest live node decided within the budget;
+//   agreement   — all decided honest nodes hold one identical digest;
+//   validity    — that digest equals the coordinator's independent
+//                 bottom-up recomputation from the committee digests the
+//                 honest members themselves hold (so the dissemination tree
+//                 faithfully aggregated, nothing was dropped or substituted).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/testbed.hpp"
+#include "shard/election.hpp"
+#include "shard/shard_node.hpp"
+
+namespace sgxp2p::shard {
+
+struct ShardConfig {
+  std::uint32_t committee_size = 0;  // 0 → auto_committee_size(n)
+  std::uint64_t epochs = 1;
+  Bytes genesis_seed;  // empty → derived from the testbed seed
+  /// Which nodes the oracles quantify over. Default: non-byzantine hosts.
+  /// The fuzz runner narrows this to its schedule's honest set.
+  std::function<bool(NodeId)> is_honest;
+};
+
+struct EpochSummary {
+  std::uint64_t epoch = 0;
+  std::uint32_t budget_rounds = 0;
+  std::uint32_t rounds_used = 0;
+  Bytes global_digest;      // the agreed digest (empty if none decided)
+  std::size_t honest = 0;   // oracle population
+  std::size_t decided = 0;
+  bool termination = false;
+  bool agreement = false;
+  bool validity = false;
+
+  [[nodiscard]] bool ok() const { return termination && agreement && validity; }
+};
+
+class ShardCoordinator {
+ public:
+  ShardCoordinator(sim::Testbed& bed, ShardConfig config);
+
+  /// Testbed factory constructing ShardNodes.
+  [[nodiscard]] static sim::Testbed::EnclaveFactory make_factory();
+
+  /// Runs the next epoch to completion (early-stops once every honest node
+  /// decided) and returns its summary. The testbed must be started.
+  EpochSummary run_epoch();
+  /// Runs all configured epochs.
+  std::vector<EpochSummary> run_all();
+
+  [[nodiscard]] const Election& election() const { return election_; }
+  [[nodiscard]] const std::vector<EpochSummary>& summaries() const {
+    return summaries_;
+  }
+  [[nodiscard]] bool all_ok() const;
+  [[nodiscard]] std::uint64_t epochs_run() const { return next_epoch_; }
+  /// Rounds one epoch may need at the configured n and committee size.
+  [[nodiscard]] std::uint32_t epoch_budget() const;
+  /// The seed the next election will use (beacon chaining state).
+  [[nodiscard]] const Bytes& next_seed() const { return seed_; }
+
+ private:
+  [[nodiscard]] bool honest(NodeId id) const;
+  [[nodiscard]] std::vector<NodeId> oracle_nodes() const;
+  EpochSummary harvest(std::uint32_t rounds_used);
+
+  sim::Testbed& bed_;
+  ShardConfig cfg_;
+  std::uint64_t next_epoch_ = 0;
+  Bytes seed_;
+  Election election_;
+  std::vector<EpochSummary> summaries_;
+};
+
+}  // namespace sgxp2p::shard

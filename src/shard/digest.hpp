@@ -1,0 +1,57 @@
+// Digest schema for the shard layer, shared by ShardNode (computing inside
+// the enclave), the ShardCoordinator (recomputing for the validity oracle),
+// and bench_shard (cross-engine byte-identity checks).
+//
+//   committee digest  = H("…-committee" ‖ epoch ‖ k ‖ per-initiator outcome)
+//   subtree digest(k) = H("…-subtree" ‖ committee digest(k) ‖ child subtree
+//                         digests, ascending child order)
+//   global digest     = subtree digest(root)
+//
+// An initiator outcome is the ERB instance's decision: 0x01 + the accepted
+// value (length-prefixed) or 0x00 for ⊥ — so two enclaves agree on the
+// digest iff they agree on every instance, which is exactly what committee
+// ERB guarantees for honest members.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sgxp2p::shard {
+
+inline constexpr std::size_t kShardDigestSize = crypto::kSha256DigestSize;
+
+/// `outcomes` holds the committee's m_init initiator decisions in ascending
+/// initiator order; nullopt = ⊥.
+inline Bytes committee_digest(std::uint64_t epoch, std::uint32_t committee,
+                              const std::vector<std::optional<Bytes>>& outcomes) {
+  BinaryWriter w;
+  w.str("sgxp2p-shard-committee");
+  w.u64(epoch);
+  w.u32(committee);
+  for (const auto& outcome : outcomes) {
+    if (outcome.has_value()) {
+      w.u8(1);
+      w.bytes(*outcome);
+    } else {
+      w.u8(0);
+    }
+  }
+  return crypto::Sha256::hash_bytes(w.view());
+}
+
+/// `child_digests` in ascending child-committee order (possibly empty).
+inline Bytes subtree_digest(ByteView own_committee_digest,
+                            const std::vector<Bytes>& child_digests) {
+  BinaryWriter w;
+  w.str("sgxp2p-shard-subtree");
+  w.raw(own_committee_digest);
+  for (const Bytes& child : child_digests) w.raw(child);
+  return crypto::Sha256::hash_bytes(w.view());
+}
+
+}  // namespace sgxp2p::shard

@@ -1,0 +1,167 @@
+#include "shard/election.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sgxp2p::shard {
+
+namespace {
+
+/// Peak in-flight simulated deliveries one wave may put on the wire; the
+/// wave count scales the 100k-node bench's memory high-water instead of
+/// letting all K committees' ECHO storms coexist.
+constexpr double kInFlightBudget = 1.5e6;
+
+std::uint32_t committee_count(std::uint32_t n, std::uint32_t c) {
+  return std::max<std::uint32_t>(1, n / c);
+}
+
+/// Largest committee: the last one absorbs the n mod c remainder.
+std::uint32_t max_committee_size(std::uint32_t n, std::uint32_t c) {
+  const std::uint32_t k = committee_count(n, c);
+  return k == 1 ? n : c + (n - k * c);
+}
+
+}  // namespace
+
+std::uint32_t auto_committee_size(std::uint32_t n) {
+  std::uint32_t lg = 0;
+  while ((std::uint32_t{1} << lg) < n) ++lg;  // ⌈log₂ n⌉
+  return std::min(n, std::clamp<std::uint32_t>(lg + 3, 4, 32));
+}
+
+std::uint32_t num_waves(std::uint32_t n, std::uint32_t c) {
+  const std::uint32_t k = committee_count(n, c);
+  if (k <= 1) return 1;
+  // Peak round ≈ every committee's m instances multicasting ECHOs plus the
+  // matching ACKs: K · m · c² · 2 deliveries if all waves ran at once.
+  const double m = (static_cast<double>(c) + 1.0) / 2.0;
+  const double peak = static_cast<double>(k) * m * c * c * 2.0;
+  const auto waves =
+      static_cast<std::uint32_t>((peak + kInFlightBudget - 1) / kInFlightBudget);
+  return std::clamp<std::uint32_t>(waves, 1, k);
+}
+
+std::uint32_t wave_stride(std::uint32_t n, std::uint32_t c) {
+  // One committee's ERB phase resolves at instance round t_max + 3 and the
+  // CONFIRM exchange rides the same round; +2 slack between waves.
+  return (max_committee_size(n, c) - 1) / 2 + 5;
+}
+
+std::uint32_t tree_depth(std::uint32_t committees) {
+  std::uint32_t depth = 1;
+  std::uint32_t level_first = 0;  // index of first committee on this level
+  std::uint32_t level_size = 1;
+  while (level_first + level_size < committees) {
+    level_first += level_size;
+    level_size *= kTreeFanout;
+    ++depth;
+  }
+  return depth;
+}
+
+std::uint32_t epoch_round_budget(std::uint32_t n, std::uint32_t c) {
+  const std::uint32_t k = committee_count(n, c);
+  const std::uint32_t waves = num_waves(n, c);
+  const std::uint32_t t_max = (max_committee_size(n, c) - 1) / 2;
+  // Last wave's ERB+CONFIRM finishes (waves−1)·stride + t_max + 3 rounds in;
+  // the RECORD climb and GLOBAL descent are event-driven Δ-hops, ≤ one round
+  // per two tree levels each way; the rest is settling slack.
+  return (waves - 1) * wave_stride(n, c) + t_max + tree_depth(k) + 10;
+}
+
+Election Election::compute(std::uint32_t n, std::uint32_t committee_size,
+                           std::uint64_t epoch, ByteView seed,
+                           std::uint32_t base_round) {
+  CHECK_MSG(n >= 1, "Election: need at least one node");
+  Election e;
+  e.n_ = n;
+  e.c_ = committee_size != 0 ? std::min(committee_size, n)
+                             : auto_committee_size(n);
+  e.epoch_ = epoch;
+  e.base_round_ = base_round;
+
+  // Derive the permutation stream from H(tag ‖ seed ‖ epoch): the seed is
+  // beacon output (enclave randomness), so a host cannot grind assignments.
+  BinaryWriter w;
+  w.str("sgxp2p-shard-elect");
+  w.bytes(seed);
+  w.u64(epoch);
+  const crypto::Sha256Digest digest = crypto::Sha256::hash(w.view());
+  Rng rng(load_le64(digest.data()));
+
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  // Explicit Fisher–Yates (std::shuffle is implementation-defined and would
+  // break cross-platform byte-identity of committed baselines).
+  for (std::uint32_t i = n - 1; i >= 1; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.next_below(i + 1));
+    std::swap(perm[i], perm[j]);
+  }
+
+  const std::uint32_t k = committee_count(n, e.c_);
+  const std::uint32_t waves = num_waves(n, e.c_);
+  const std::uint32_t per_wave = (k + waves - 1) / waves;
+  const std::uint32_t stride = wave_stride(n, e.c_);
+
+  e.committees_.resize(k);
+  e.committee_of_.assign(n, kNoCommittee);
+  std::uint32_t next = 0;
+  for (std::uint32_t ci = 0; ci < k; ++ci) {
+    CommitteeInfo& info = e.committees_[ci];
+    const std::uint32_t take =
+        ci + 1 == k ? n - next : e.c_;  // last absorbs the remainder
+    info.members.assign(perm.begin() + next, perm.begin() + next + take);
+    next += take;
+    std::sort(info.members.begin(), info.members.end());
+    info.t_c = (take - 1) / 2;
+    info.m_init = info.t_c + 1;
+    info.start_round = base_round + (ci / per_wave) * stride;
+    info.parent = ci == 0 ? kNoCommittee : (ci - 1) / kTreeFanout;
+    for (std::uint32_t child = ci * kTreeFanout + 1;
+         child <= ci * kTreeFanout + kTreeFanout && child < k; ++child) {
+      info.children.push_back(child);
+    }
+    for (NodeId member : info.members) e.committee_of_[member] = ci;
+  }
+  // Subtree committee counts, leaves upward.
+  for (std::uint32_t ci = k; ci-- > 1;) {
+    e.committees_[(ci - 1) / kTreeFanout].subtree_count +=
+        e.committees_[ci].subtree_count;
+  }
+  return e;
+}
+
+ShardView Election::make_view(NodeId id) const {
+  const std::uint32_t ci = committee_of(id);
+  CHECK_MSG(ci != kNoCommittee, "make_view: node not assigned");
+  const CommitteeInfo& info = committees_[ci];
+  ShardView view;
+  view.epoch = epoch_;
+  view.committee = ci;
+  view.members = info.members;
+  view.t_c = info.t_c;
+  view.m_init = info.m_init;
+  view.start_round = info.start_round;
+  view.reps = info.reps();
+  view.is_rep =
+      std::find(view.reps.begin(), view.reps.end(), id) != view.reps.end();
+  view.parent = info.parent;
+  if (info.parent != kNoCommittee) {
+    view.parent_reps = committees_[info.parent].reps();
+  }
+  for (std::uint32_t child : info.children) {
+    const CommitteeInfo& ch = committees_[child];
+    view.children.push_back({child, ch.subtree_count, ch.reps()});
+  }
+  view.subtree_count = info.subtree_count;
+  view.total_committees = committees_.size();
+  return view;
+}
+
+}  // namespace sgxp2p::shard

@@ -1,0 +1,104 @@
+// Committee election + epoch geometry for the sharded ERB/ERNG overlay.
+//
+// The clique protocols cost O(n²) messages; the shard layer breaks that by
+// electing K ≈ n/c committees of size c = O(log n) from the previous
+// epoch's ERNG beacon output, running the full ERB machinery only inside
+// each committee, and stitching committee digests through a constant-fanout
+// dissemination tree (shard/shard_node.hpp).
+//
+// Everything here is a pure deterministic function of public inputs
+// (n, c, epoch, seed): every enclave — and every verifier — recomputes the
+// identical assignment, so the election itself needs no messages. Bias
+// resistance follows from the seed being enclave randomness no host could
+// grind (paper P1/P3); the permutation is an explicit Fisher–Yates over a
+// seeded xoshiro stream, NOT std::shuffle, so assignments are byte-identical
+// across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "shard/view.hpp"
+
+namespace sgxp2p::shard {
+
+/// Dissemination-tree fanout: committee k's parent is (k−1)/kTreeFanout.
+inline constexpr std::uint32_t kTreeFanout = 4;
+
+/// Default committee size: c(n) = clamp(⌈log₂ n⌉ + 3, 4, 32), capped at n.
+/// Logarithmic committees keep per-node message cost O(c²·m/c) = O(c·m)
+/// while (c−1)/2 per-committee fault budgets still absorb a global t bound.
+std::uint32_t auto_committee_size(std::uint32_t n);
+
+/// Committees start their intra-committee ERB phase in staggered waves so
+/// the peak number of in-flight simulated deliveries stays bounded (one
+/// wave's ECHO storm, not all K committees at once). 1 at small n.
+std::uint32_t num_waves(std::uint32_t n, std::uint32_t c);
+
+/// Rounds between consecutive wave starts (covers one committee's ERB +
+/// CONFIRM phase).
+std::uint32_t wave_stride(std::uint32_t n, std::uint32_t c);
+
+/// Levels of the kTreeFanout-ary dissemination tree over K committees.
+std::uint32_t tree_depth(std::uint32_t committees);
+
+/// Worst-case rounds one epoch needs: last wave's ERB + CONFIRM phase, the
+/// RECORD climb, the GLOBAL descent, and slack. The coordinator budgets
+/// epochs with this and the fuzz schedule validator requires max_rounds to
+/// cover it, so both agree on epoch boundaries by construction.
+std::uint32_t epoch_round_budget(std::uint32_t n, std::uint32_t c);
+
+struct CommitteeInfo {
+  std::vector<NodeId> members;  // sorted ascending
+  std::uint32_t t_c = 0;        // (size − 1) / 2
+  std::uint32_t m_init = 0;     // initiators/reps = first t_c + 1 members
+  std::uint32_t start_round = 1;
+  std::uint32_t parent = kNoCommittee;
+  std::vector<std::uint32_t> children;  // ascending
+  std::uint64_t subtree_count = 1;
+
+  /// Reps (= initiators): the first m_init members of the sorted roster.
+  [[nodiscard]] std::vector<NodeId> reps() const {
+    return {members.begin(), members.begin() + m_init};
+  }
+};
+
+class Election {
+ public:
+  /// Computes the full epoch-`epoch` assignment for `n` nodes from the
+  /// beacon `seed`. committee_size 0 → auto_committee_size(n). `base_round`
+  /// is the global round the epoch starts at (wave 0's start_round).
+  static Election compute(std::uint32_t n, std::uint32_t committee_size,
+                          std::uint64_t epoch, ByteView seed,
+                          std::uint32_t base_round);
+
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+  [[nodiscard]] std::uint32_t committee_size() const { return c_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint32_t base_round() const { return base_round_; }
+  [[nodiscard]] const std::vector<CommitteeInfo>& committees() const {
+    return committees_;
+  }
+  [[nodiscard]] std::uint32_t committee_of(NodeId id) const {
+    return committee_of_.at(id);
+  }
+  /// Last round of the epoch (inclusive): base_round + budget − 1.
+  [[nodiscard]] std::uint32_t end_round() const {
+    return base_round_ + epoch_round_budget(n_, c_) - 1;
+  }
+
+  /// The per-node cut handed to ShardNode::begin_epoch.
+  [[nodiscard]] ShardView make_view(NodeId id) const;
+
+ private:
+  std::uint32_t n_ = 0;
+  std::uint32_t c_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t base_round_ = 1;
+  std::vector<CommitteeInfo> committees_;
+  std::vector<std::uint32_t> committee_of_;
+};
+
+}  // namespace sgxp2p::shard

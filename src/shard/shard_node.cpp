@@ -1,0 +1,277 @@
+#include "shard/shard_node.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "shard/digest.hpp"
+
+namespace sgxp2p::shard {
+
+using protocol::ErbInstance;
+using protocol::MsgType;
+using protocol::Val;
+
+namespace {
+constexpr std::size_t kRandSize = 32;  // each initiator's contribution
+}
+
+ShardNode::ShardNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+                     sgx::EnclaveHostIface& host, protocol::PeerConfig config,
+                     const sgx::SimIAS& ias)
+    : PeerEnclave(platform, cpu, ShardNode::program(), host, config, ias) {}
+
+void ShardNode::begin_epoch(ShardView view) {
+  view_ = std::move(view);
+  epoch_active_ = true;
+  epoch_started_at_ = trusted_time();
+  instances_.clear();
+  instances_created_ = false;
+  digest_ready_ = false;
+  committee_digest_.clear();
+  value_count_ = 0;
+  confirm_ranks_ = protocol::RankSet(view_.members.size());
+  child_records_.clear();
+  record_sent_ = false;
+  global_forwarded_ = false;
+  result_ = {};
+}
+
+int ShardNode::member_rank(NodeId id) const {
+  auto it = std::lower_bound(view_.members.begin(), view_.members.end(), id);
+  if (it == view_.members.end() || *it != id) return -1;
+  return static_cast<int>(it - view_.members.begin());
+}
+
+bool ShardNode::is_initiator_member(NodeId id) const {
+  const int rank = member_rank(id);
+  return rank >= 0 && static_cast<std::uint32_t>(rank) < view_.m_init;
+}
+
+void ShardNode::ensure_instances() {
+  if (instances_created_) return;
+  instances_created_ = true;
+  for (std::uint32_t i = 0; i < view_.m_init; ++i) {
+    const NodeId initiator = view_.members[i];
+    protocol::ErbConfig cfg;
+    cfg.self = config().self;
+    cfg.instance = InstanceId{initiator, view_.epoch};
+    cfg.participants = view_.members;
+    cfg.t = view_.t_c;
+    cfg.start_round = view_.start_round;
+    cfg.is_initiator = initiator == config().self;
+    if (cfg.is_initiator) cfg.init_payload = read_rand().generate(kRandSize);
+    instances_.emplace(initiator, ErbInstance(std::move(cfg)));
+  }
+}
+
+void ShardNode::perform(const ErbInstance::Sends& sends) {
+  // Deferred batches (the scheduled ECHO) stay causally attached to last
+  // round's delivery, as in the clique protocols.
+  obs::TraceRecorder::Scope causal(sends.cause);
+  for (const Val& v : sends.multicasts) broadcast_val(*sends.group, v);
+  for (const auto& send : sends.unicasts) send_val(send.to, send.val);
+}
+
+void ShardNode::on_round_begin(std::uint32_t round) {
+  if (!epoch_active_ || round < view_.start_round) return;
+  if (digest_ready_) return;
+  ensure_instances();
+  for (auto& [initiator, inst] : instances_) {
+    perform(inst.on_round_begin(round));
+    if (inst.wants_halt()) {
+      halt_self();
+      return;
+    }
+  }
+  // Instance round t_c + 3: every instance has resolved (the ⊥ deadline
+  // fired in the tick above at the latest) — the committee digest is final.
+  if (round == view_.start_round + view_.t_c + 2) {
+    compute_committee_digest(round);
+  }
+}
+
+void ShardNode::compute_committee_digest(std::uint32_t round) {
+  std::vector<std::optional<Bytes>> outcomes;
+  outcomes.reserve(instances_.size());
+  for (const auto& [initiator, inst] : instances_) {  // ascending initiator
+    if (inst.has_value()) {
+      outcomes.emplace_back(inst.value());
+      ++value_count_;
+    } else {
+      outcomes.emplace_back(std::nullopt);
+    }
+  }
+  committee_digest_ = committee_digest(view_.epoch, view_.committee, outcomes);
+  digest_ready_ = true;
+  instances_.clear();  // bounds per-node memory to the active wave
+  obs_event("digest", obs::fnum("round", round),
+            obs::fnum("committee", view_.committee),
+            obs::fnum("values", static_cast<std::int64_t>(value_count_)));
+  Val confirm;
+  confirm.type = MsgType::kConfirm;
+  confirm.initiator = view_.committee;
+  confirm.seq = view_.epoch;
+  confirm.round = round;
+  confirm.payload = committee_digest_;
+  broadcast_val(view_.members, confirm);
+  confirm_ranks_.insert(static_cast<std::size_t>(member_rank(config().self)));
+  try_advance();
+}
+
+void ShardNode::on_val(NodeId from, const Val& val) {
+  if (!epoch_active_) return;
+  switch (val.type) {
+    case MsgType::kInit:
+    case MsgType::kEcho:
+    case MsgType::kAck: {
+      if (digest_ready_ || val.seq != view_.epoch) return;
+      if (!is_initiator_member(val.initiator) || member_rank(from) < 0) return;
+      if (!instances_created_ && current_round() < view_.start_round) return;
+      ensure_instances();
+      auto it = instances_.find(val.initiator);
+      if (it == instances_.end()) return;
+      perform(it->second.on_val(from, val, current_round()));
+      if (it->second.wants_halt()) halt_self();
+      return;
+    }
+    case MsgType::kConfirm:
+      on_confirm(from, val);
+      return;
+    case MsgType::kRecord:
+      on_record(from, val);
+      return;
+    case MsgType::kGlobal:
+      on_global(from, val);
+      return;
+    default:
+      return;
+  }
+}
+
+void ShardNode::on_confirm(NodeId from, const Val& val) {
+  // Same committee, same epoch, same round (P5: the CONFIRM exchange is one
+  // lockstep round — a replayed or delayed confirm is an omission).
+  if (!digest_ready_ || val.seq != view_.epoch) return;
+  if (val.initiator != view_.committee || val.round != current_round()) return;
+  const int rank = member_rank(from);
+  if (rank < 0) return;
+  if (val.payload != committee_digest_) {
+    // A legitimately divergent enclave (omission-starved member) — its view
+    // never gathers the threshold, so it cannot represent the committee.
+    obs_counter("confirm_mismatch").inc();
+    return;
+  }
+  confirm_ranks_.insert(static_cast<std::size_t>(rank));
+  try_advance();
+}
+
+void ShardNode::on_record(NodeId from, const Val& val) {
+  if (!view_.is_rep || val.seq != view_.epoch) return;
+  const ShardView::Child* child = nullptr;
+  for (const auto& c : view_.children) {
+    if (c.committee == val.initiator) {
+      child = &c;
+      break;
+    }
+  }
+  if (child == nullptr) return;
+  if (std::find(child->reps.begin(), child->reps.end(), from) ==
+      child->reps.end()) {
+    return;
+  }
+  BinaryReader r(val.payload);
+  const std::uint64_t count = r.u64();
+  Bytes digest = r.raw(kShardDigestSize);
+  if (!r.done() || count != child->subtree_count) return;
+  auto it = child_records_.find(child->committee);
+  if (it != child_records_.end()) {
+    // Every RECORD for a committee is confirm-gated, so conflicting digests
+    // would falsify the enclave-honesty model; count, keep the first.
+    if (it->second != digest) obs_counter("record_conflict").inc();
+    return;
+  }
+  child_records_.emplace(child->committee, std::move(digest));
+  try_advance();
+}
+
+void ShardNode::try_advance() {
+  if (!digest_ready_ || !view_.is_rep || record_sent_) return;
+  if (confirm_ranks_.size() < view_.confirm_threshold()) return;
+  if (child_records_.size() < view_.children.size()) return;
+  std::vector<Bytes> child_digests;
+  child_digests.reserve(child_records_.size());
+  for (const auto& [committee, digest] : child_records_) {  // ascending
+    child_digests.push_back(digest);
+  }
+  Bytes sub = subtree_digest(committee_digest_, child_digests);
+  record_sent_ = true;
+  if (view_.is_root()) {
+    adopt_global(sub);
+    forward_global(sub);
+    return;
+  }
+  BinaryWriter w;
+  w.u64(view_.subtree_count);
+  w.raw(sub);
+  Val record;
+  record.type = MsgType::kRecord;
+  record.initiator = view_.committee;
+  record.seq = view_.epoch;
+  record.round = current_round();
+  record.payload = w.take();
+  obs_counter("records_sent").inc();
+  for (NodeId rep : view_.parent_reps) send_val(rep, record);
+}
+
+void ShardNode::on_global(NodeId from, const Val& val) {
+  if (val.seq != view_.epoch || val.payload.size() != kShardDigestSize) return;
+  const bool from_parent =
+      val.initiator == view_.parent &&
+      std::find(view_.parent_reps.begin(), view_.parent_reps.end(), from) !=
+          view_.parent_reps.end();
+  const bool from_committee =
+      val.initiator == view_.committee &&
+      std::find(view_.reps.begin(), view_.reps.end(), from) !=
+          view_.reps.end();
+  if (!from_parent && !from_committee) return;
+  adopt_global(val.payload);
+  if (from_parent) forward_global(val.payload);
+}
+
+void ShardNode::forward_global(const Bytes& digest) {
+  if (!view_.is_rep || global_forwarded_) return;
+  global_forwarded_ = true;
+  Val global;
+  global.type = MsgType::kGlobal;
+  global.initiator = view_.committee;
+  global.seq = view_.epoch;
+  global.round = current_round();
+  global.payload = digest;
+  obs_counter("global_sent").inc();
+  broadcast_val(view_.members, global);
+  for (const auto& child : view_.children) {
+    for (NodeId rep : child.reps) send_val(rep, global);
+  }
+}
+
+void ShardNode::adopt_global(const Bytes& digest) {
+  if (result_.done) return;
+  result_.done = true;
+  result_.epoch = view_.epoch;
+  result_.global_digest = digest;
+  result_.committee_digest = committee_digest_;
+  result_.round = current_round();
+  result_.decided_at = trusted_time();
+  result_.value_count = value_count_;
+  obs_counter("decides").inc();
+  obs::MetricsRegistry::current()
+      .histogram("shard.decide_latency_ms",
+                 {1000, 2000, 4000, 8000, 16000, 60000, 300000, 1200000})
+      .observe(result_.decided_at - epoch_started_at_);
+  obs_event("decide", obs::fnum("round", result_.round),
+            obs::fnum("committee", view_.committee),
+            obs::fnum("epoch", static_cast<std::int64_t>(view_.epoch)));
+}
+
+}  // namespace sgxp2p::shard

@@ -1,0 +1,107 @@
+// ShardNode — one enclave's role in the committee-sharded epoch protocol.
+//
+// Per epoch, driven by the deterministic election (shard/election.hpp):
+//
+//   1. Committee ERB: the committee's first t_c + 1 members each initiate an
+//      ErbInstance carrying fresh enclave randomness; all members run the
+//      full Algorithm-2 machinery over the committee-scoped roster (P4/P5/P6
+//      intact, t = t_c). Resolved by instance round t_c + 3.
+//   2. CONFIRM: each member hashes the m initiator outcomes into the
+//      committee digest and multicasts it intra-committee. A rep may act on
+//      its digest only after collecting ≥ |committee| − t_c matching
+//      CONFIRMs (own included). This is the soundness gate: enclaves never
+//      forge digests (the enclave-honesty model — byzantine hosts can only
+//      omit/delay/replay, and corruption fails AEAD), but a byzantine host
+//      CAN starve its own enclave into a legitimately divergent view (⊥
+//      where the committee accepted m). Such an enclave can gather at most
+//      t_c + 1 < |committee| − t_c matching confirms, so it self-gates and
+//      never represents the committee.
+//   3. RECORD climb: a confirmed rep holding RECORDs from every child
+//      committee sends its subtree digest + committee count to the parent's
+//      reps. t_c + 1 reps per committee ⇒ at least one honest-hosted rep,
+//      so every edge of the dissemination tree is crossed.
+//   4. GLOBAL descent: root reps compute the global digest and flood it
+//      down — to each child committee's reps and intra-committee — with
+//      per-node fanout bounded by c + kTreeFanout·(t_c + 1) = O(log n).
+//
+// Per-node message cost is O(c·m) = O(log² n) versus the clique's O(n),
+// which is the sublinearity bench_shard gates on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "protocol/erb_instance.hpp"
+#include "protocol/peer_enclave.hpp"
+#include "shard/view.hpp"
+
+namespace sgxp2p::shard {
+
+class ShardNode final : public protocol::PeerEnclave {
+ public:
+  struct Result {
+    bool done = false;
+    std::uint64_t epoch = 0;
+    Bytes global_digest;       // the epoch's agreed 32-byte digest
+    Bytes committee_digest;    // own committee's contribution
+    std::uint32_t round = 0;   // global round the node adopted the digest
+    SimTime decided_at = 0;
+    std::size_t value_count = 0;  // own committee initiators with non-⊥
+  };
+
+  ShardNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
+            sgx::EnclaveHostIface& host, protocol::PeerConfig config,
+            const sgx::SimIAS& ias);
+
+  /// Installs the node's slice of epoch `view.epoch`. Called by the harness
+  /// at the epoch's base round boundary; models the enclave recomputing the
+  /// deterministic election from the public beacon output (trusted
+  /// bootstrap, like the testbed's setup phase).
+  void begin_epoch(ShardView view);
+
+  [[nodiscard]] const Result& result() const { return result_; }
+  [[nodiscard]] const ShardView& view() const { return view_; }
+  [[nodiscard]] static sgx::ProgramIdentity program() {
+    return {"shard-node", "1.0"};
+  }
+
+ protected:
+  void on_round_begin(std::uint32_t round) override;
+  void on_val(NodeId from, const protocol::Val& val) override;
+
+ private:
+  void ensure_instances();
+  void perform(const protocol::ErbInstance::Sends& sends);
+  void compute_committee_digest(std::uint32_t round);
+  void on_confirm(NodeId from, const protocol::Val& val);
+  void on_record(NodeId from, const protocol::Val& val);
+  void on_global(NodeId from, const protocol::Val& val);
+  /// Fires whatever the gathered state now allows: the RECORD up (confirmed
+  /// rep with a full child set) or, at the root, the GLOBAL descent.
+  void try_advance();
+  void forward_global(const Bytes& digest);
+  void adopt_global(const Bytes& digest);
+  [[nodiscard]] int member_rank(NodeId id) const;
+  [[nodiscard]] bool is_initiator_member(NodeId id) const;
+
+  ShardView view_;
+  bool epoch_active_ = false;
+  SimTime epoch_started_at_ = 0;
+
+  std::map<NodeId, protocol::ErbInstance> instances_;  // keyed by initiator
+  bool instances_created_ = false;
+  bool digest_ready_ = false;
+  Bytes committee_digest_;
+  std::size_t value_count_ = 0;
+
+  protocol::RankSet confirm_ranks_;  // members whose CONFIRM matched ours
+  std::map<std::uint32_t, Bytes> child_records_;  // child committee → digest
+  bool record_sent_ = false;
+  bool global_forwarded_ = false;
+
+  Result result_;
+};
+
+}  // namespace sgxp2p::shard

@@ -1,0 +1,49 @@
+// ShardView — one node's slice of an epoch's committee election.
+//
+// The election itself (shard/election.hpp) is a deterministic function of
+// (n, committee size, epoch, beacon seed), so every enclave can recompute
+// the full assignment from public inputs; the view is the per-node cut the
+// harness hands to a ShardNode at epoch start: its own committee roster and
+// thresholds, plus the neighboring rep sets of the dissemination tree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace sgxp2p::shard {
+
+/// Sentinel committee index (the root has no parent).
+inline constexpr std::uint32_t kNoCommittee = 0xffffffffu;
+
+struct ShardView {
+  std::uint64_t epoch = 0;
+  std::uint32_t committee = kNoCommittee;  // own committee index
+  std::vector<NodeId> members;             // sorted, self included
+  std::uint32_t t_c = 0;                   // per-committee fault budget
+  std::uint32_t m_init = 0;                // initiators = first m_init members
+  std::uint32_t start_round = 1;           // global round of instance round 1
+  bool is_rep = false;
+  std::vector<NodeId> reps;         // own committee's reps (first t_c + 1)
+  std::uint32_t parent = kNoCommittee;
+  std::vector<NodeId> parent_reps;  // empty at the root
+
+  struct Child {
+    std::uint32_t committee = kNoCommittee;
+    std::uint64_t subtree_count = 0;  // committees under it, itself included
+    std::vector<NodeId> reps;
+  };
+  std::vector<Child> children;        // ascending committee index
+  std::uint64_t subtree_count = 1;    // committees in own subtree, self incl.
+  std::uint64_t total_committees = 1;
+
+  [[nodiscard]] bool is_root() const { return parent == kNoCommittee; }
+  /// Matching-CONFIRM threshold gating a rep's RECORD: with ≤ t_c byzantine
+  /// hosts per committee, only the unique honest digest can gather it.
+  [[nodiscard]] std::uint32_t confirm_threshold() const {
+    return static_cast<std::uint32_t>(members.size()) - t_c;
+  }
+};
+
+}  // namespace sgxp2p::shard

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -291,9 +292,9 @@ TEST(NetworkDetach, PurgesFifoStateBothDirections) {
 }
 
 TEST(NetworkDetach, PurgesSparseIdFallback) {
-  // Ids ≥ the dense-table bound exercise the map fallback for both the
-  // sink table and the FIFO state.
-  const NodeId far_id = 100000;
+  // Ids ≥ the dense-table bound (2²⁰) exercise the map fallback for both
+  // the sink table and the FIFO state.
+  const NodeId far_id = (1u << 20) + 7;
   obs::MetricsRegistry reg;
   obs::MetricsRegistry::ScopedCurrent bind(reg);
   sim::Simulator simulator(reg);
@@ -308,6 +309,82 @@ TEST(NetworkDetach, PurgesSparseIdFallback) {
 
   net.detach(far_id);
   EXPECT_FALSE(net.attached(far_id));
+  EXPECT_EQ(net.fifo_entries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FIFO state must grow with the pairs that actually talk, never O(n²)
+// (regression: the pre-shard dense matrix allocated n·4096 slots up front,
+// which at n = 100k would be 4 × 10¹¹ entries).
+
+TEST(NetworkCapacity, FifoSlotsTrackTalkingPairsNotN2) {
+  obs::MetricsRegistry reg;
+  obs::MetricsRegistry::ScopedCurrent bind(reg);
+  sim::Simulator simulator(reg);
+  sim::Network net(simulator, sim::NetworkConfig{}, reg);
+  // 50k attached nodes, but each of 200 senders talks to only 8 scattered
+  // destinations — shard-like sparsity. Slots must stay ≈ #pairs.
+  const NodeId n = 50000;
+  const std::uint32_t senders = 200;
+  const std::uint32_t fanout = 8;
+  std::set<NodeId> attached;
+  auto ensure = [&](NodeId id) {
+    if (attached.insert(id).second) net.attach(id, [](NodeId, Bytes) {});
+  };
+  std::size_t pairs = 0;
+  for (std::uint32_t s = 0; s < senders; ++s) {
+    const NodeId from = (s * 9973u) % n;
+    ensure(from);
+    for (std::uint32_t k = 0; k < fanout; ++k) {
+      const NodeId to = (from + 1 + k * 6131u) % n;
+      if (to == from) continue;
+      ensure(to);
+      net.send(from, to, to_bytes("sparse"));
+      ++pairs;
+    }
+  }
+  simulator.run();
+  net.publish_capacity_gauges();
+  EXPECT_EQ(net.fifo_entries(), pairs);
+  // Proportional to pairs (each sparse slot is exact; no row reached the
+  // dense-promotion threshold), nowhere near n² or even n.
+  EXPECT_LE(net.fifo_pair_slots(), pairs);
+  EXPECT_LT(net.fifo_pair_slots(), static_cast<std::size_t>(n));
+  // Sink slots track the highest attached small id, not n².
+  EXPECT_LE(net.sink_slots(), static_cast<std::size_t>(n));
+  EXPECT_EQ(reg.gauge("net.fifo_pair_slots").value(),
+            static_cast<std::int64_t>(net.fifo_pair_slots()));
+  EXPECT_EQ(reg.gauge("net.sink_slots").value(),
+            static_cast<std::int64_t>(net.sink_slots()));
+}
+
+TEST(NetworkCapacity, HotRowPromotesToDenseWithoutLosingOrder) {
+  obs::MetricsRegistry reg;
+  obs::MetricsRegistry::ScopedCurrent bind(reg);
+  sim::Simulator simulator(reg);
+  sim::Network net(simulator, sim::NetworkConfig{}, reg);
+  // One clique-style sender fanning out to 64 small ids crosses the
+  // promotion threshold (48); the row flips to a dense prefix column and
+  // per-pair sequencing must survive the migration mid-stream.
+  const std::uint32_t fanout = 64;
+  std::vector<int> got(fanout, 0);
+  net.attach(1000, [](NodeId, Bytes) {});
+  for (NodeId to = 0; to < fanout; ++to) {
+    got[to] = 0;
+    net.attach(to, [&got, to](NodeId, Bytes) { ++got[to]; });
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId to = 0; to < fanout; ++to) {
+      net.send(1000, to, to_bytes("hot"));
+    }
+  }
+  simulator.run();
+  for (NodeId to = 0; to < fanout; ++to) EXPECT_EQ(got[to], 3);
+  EXPECT_EQ(net.fifo_entries(), static_cast<std::size_t>(fanout));
+  // Promoted row costs ≤ max-small-id slots — bounded, and detach of the
+  // sender releases the whole row.
+  EXPECT_LE(net.fifo_pair_slots(), static_cast<std::size_t>(fanout) + 4096);
+  net.detach(1000);
   EXPECT_EQ(net.fifo_entries(), 0u);
 }
 

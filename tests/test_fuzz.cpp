@@ -19,8 +19,9 @@ namespace sgxp2p::fuzz {
 namespace {
 
 TEST(ScheduleFuzzFormat, TextRoundTripIsIdentity) {
-  for (FuzzTarget target : {FuzzTarget::kErb, FuzzTarget::kErngBasic,
-                            FuzzTarget::kErngOpt, FuzzTarget::kRecovery}) {
+  for (FuzzTarget target :
+       {FuzzTarget::kErb, FuzzTarget::kErngBasic, FuzzTarget::kErngOpt,
+        FuzzTarget::kRecovery, FuzzTarget::kShard}) {
     Schedule s = generate_schedule(target, 7, 3);
     s.expect_violations = {"erb.agreement"};
     s.expect_digest = "00ff";
@@ -64,8 +65,9 @@ TEST(ScheduleFuzzFormat, ValidateRejectsUnsoundSchedules) {
 }
 
 TEST(ScheduleFuzzGenerator, SameSeedIsByteIdentical) {
-  for (FuzzTarget target : {FuzzTarget::kErb, FuzzTarget::kErngBasic,
-                            FuzzTarget::kErngOpt, FuzzTarget::kRecovery}) {
+  for (FuzzTarget target :
+       {FuzzTarget::kErb, FuzzTarget::kErngBasic, FuzzTarget::kErngOpt,
+        FuzzTarget::kRecovery, FuzzTarget::kShard}) {
     for (std::uint32_t index : {0u, 17u, 93u}) {
       Schedule a = generate_schedule(target, 42, index);
       Schedule b = generate_schedule(target, 42, index);
@@ -77,8 +79,9 @@ TEST(ScheduleFuzzGenerator, SameSeedIsByteIdentical) {
 }
 
 TEST(ScheduleFuzzRunner, RunDigestIsDeterministic) {
-  for (FuzzTarget target : {FuzzTarget::kErb, FuzzTarget::kErngBasic,
-                            FuzzTarget::kErngOpt, FuzzTarget::kRecovery}) {
+  for (FuzzTarget target :
+       {FuzzTarget::kErb, FuzzTarget::kErngBasic, FuzzTarget::kErngOpt,
+        FuzzTarget::kRecovery, FuzzTarget::kShard}) {
     Schedule s = generate_schedule(target, 5, 11);
     RunReport a = run_schedule(s, {});
     RunReport b = run_schedule(s, {});
@@ -150,7 +153,7 @@ TEST(ScheduleFuzzCorpus, PinnedSchedulesReplayByteIdentically) {
     ++replayed;
   }
   // One pinned schedule per fuzz target.
-  EXPECT_GE(replayed, 4);
+  EXPECT_GE(replayed, 5);
 }
 
 }  // namespace

@@ -10,9 +10,10 @@
 //   sgxp2p-sim --protocol eba --n 9 --adversary omission --byz 3
 //   sgxp2p-sim --protocol recovery --n 6 --crash-at 3 --recover-after 4
 //   sgxp2p-sim --protocol recovery --n 6 --stale-replay
+//   sgxp2p-sim --protocol shard --n 2000 --epochs 3
 //
 // Flags:
-//   --protocol erb|erng|erng-opt|eba|recovery   (default erb)
+//   --protocol erb|erng|erng-opt|eba|recovery|shard   (default erb)
 //   --n <int>                            network size (default 9)
 //   --t <int>                            byzantine bound (default (n-1)/2,
 //                                        or n/3 for erng-opt)
@@ -46,6 +47,16 @@
 //                                        (rollback attempt → counter trips →
 //                                        fresh re-admission path)
 //
+// shard-scenario flags (--protocol shard, docs/SHARDING.md): each epoch
+// elects K committees of size c from the beacon seed, runs committee-local
+// ERB, and stitches the digests through the dissemination tree.
+//   --committee-size <int>               members per committee (default 0 =
+//                                        auto c(n) ≈ log₂ n + 3)
+//   --committees <int>                    alternative: target committee count
+//                                        (maps to committee_size n/K; ignored
+//                                        when --committee-size is given)
+//   --epochs <int>                       chained epochs to run (default 1)
+//
 // fuzzing (src/fuzz/, docs/ROBUSTNESS.md):
 //   sgxp2p-sim --fuzz 500 --protocol all --fuzz-seed 7 --fuzz-out repros/
 //   sgxp2p-sim --replay-schedule repros/fuzz-erb-seed7-12.sched
@@ -54,7 +65,8 @@
 //                                        schedules per target; shrink and
 //                                        write a replay file per failure.
 //                                        --protocol picks the target (erb,
-//                                        erng, erng-opt, recovery, or all)
+//                                        erng, erng-opt, recovery, shard,
+//                                        or all)
 //   --fuzz-seed <int>                    campaign seed (default 1)
 //   --fuzz-out <dir>                     directory for replay files
 //   --fuzz-max-failures <int>            stop after this many shrunk
@@ -88,6 +100,7 @@
 #include "protocol/erng_basic.hpp"
 #include "protocol/erng_opt.hpp"
 #include "recovery/coordinator.hpp"
+#include "shard/coordinator.hpp"
 
 using namespace sgxp2p;
 
@@ -112,6 +125,10 @@ struct Options {
   std::uint32_t recover_after = 4;
   std::uint32_t checkpoint_every = 2;
   bool stale_replay = false;
+  // shard scenario
+  std::uint32_t committee_size = 0;  // 0 = auto c(n)
+  std::uint32_t committees = 0;      // 0 = derive from committee_size
+  std::uint32_t epochs = 1;
   // fuzzing
   std::uint32_t fuzz = 0;  // schedules per target; 0 = fuzz mode off
   std::uint64_t fuzz_seed = 1;
@@ -158,6 +175,15 @@ Options parse(int argc, char** argv) {
     o.checkpoint_every = std::atoi(v);
   }
   o.stale_replay = flag_present(argc, argv, "--stale-replay");
+  if (const char* v = flag_value(argc, argv, "--committee-size")) {
+    o.committee_size = std::atoi(v);
+  }
+  if (const char* v = flag_value(argc, argv, "--committees")) {
+    o.committees = std::atoi(v);
+  }
+  if (const char* v = flag_value(argc, argv, "--epochs")) {
+    o.epochs = std::atoi(v);
+  }
   if (const char* v = flag_value(argc, argv, "--fuzz")) o.fuzz = std::atoi(v);
   if (const char* v = flag_value(argc, argv, "--fuzz-seed")) {
     o.fuzz_seed = std::atoll(v);
@@ -265,9 +291,11 @@ int run_fuzz_mode(const Options& o) {
     opts.targets = {fuzz::FuzzTarget::kErngOpt};
   } else if (o.protocol == "recovery") {
     opts.targets = {fuzz::FuzzTarget::kRecovery};
+  } else if (o.protocol == "shard") {
+    opts.targets = {fuzz::FuzzTarget::kShard};
   } else if (o.protocol != "all") {
     std::fprintf(stderr, "--fuzz supports --protocol erb|erng|erng-opt|"
-                 "recovery|all, not '%s'\n", o.protocol.c_str());
+                 "recovery|shard|all, not '%s'\n", o.protocol.c_str());
     return 2;
   }
   opts.seed = o.fuzz_seed;
@@ -512,6 +540,44 @@ int main(int argc, char** argv) {
                : "; post-recovery join did NOT converge");
     } else {
       out.summary += " rejoin did NOT complete";
+    }
+  } else if (o.protocol == "shard") {
+    if (o.n < 4) {
+      std::fprintf(stderr, "--protocol shard needs --n >= 4\n");
+      return 2;
+    }
+    std::uint32_t csize = o.committee_size;
+    if (csize == 0 && o.committees > 0) {
+      // --committees K is sugar for a committee size of n/K.
+      csize = std::max(4u, o.n / o.committees);
+    }
+    shard::ShardConfig scfg;
+    scfg.committee_size = csize;
+    scfg.epochs = o.epochs;
+    bed.build(shard::ShardCoordinator::make_factory(), strategies);
+    bed.start();
+    shard::ShardCoordinator coord(bed, scfg);
+    std::vector<shard::EpochSummary> epochs = coord.run_all();
+    out.rounds = bed.rounds_run();
+    out.messages = bed.network().meter().messages();
+    out.bytes = bed.network().meter().bytes();
+    out.termination_s = to_seconds(bed.simulator().now() - bed.start_time());
+    const std::size_t committees = coord.election().committees().size();
+    out.summary = "K=" + std::to_string(committees) +
+                  " c=" + std::to_string(coord.election().committee_size());
+    for (const shard::EpochSummary& e : epochs) {
+      out.summary +=
+          " e" + std::to_string(e.epoch) + "=" +
+          (e.global_digest.empty()
+               ? std::string("none")
+               : hex_encode(ByteView(e.global_digest.data(),
+                                     std::min<std::size_t>(
+                                         8, e.global_digest.size()))) +
+                     "…") +
+          (e.ok() ? "" : "[ORACLE FAIL]");
+    }
+    if (!coord.all_ok()) {
+      out.summary += " — agreement/validity oracle FAILED";
     }
   } else {
     std::fprintf(stderr, "unknown protocol '%s'\n", o.protocol.c_str());
