@@ -48,6 +48,10 @@ class BinaryWriter {
   /// Raw bytes with no length prefix (fixed-size fields like hashes/keys).
   void raw(ByteView v) { append(buf_, v); }
 
+  /// Empties the buffer but keeps its capacity — lets long-lived writers
+  /// (per-node digest scratch, epoch loops) serialize without reallocating.
+  void clear() { buf_.clear(); }
+
   [[nodiscard]] const Bytes& view() const { return buf_; }
   [[nodiscard]] Bytes take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }

@@ -133,6 +133,10 @@ struct RunContext {
     cfg.net.base_delay = milliseconds(100);
     cfg.net.max_jitter = milliseconds(100);
     cfg.registry = &registry;
+    // Replay files stamp expect_digest against serial execution; one worker
+    // keeps every schedule byte-stable regardless of the ambient
+    // SGXP2P_SIM_JOBS / engine configuration the process runs under.
+    cfg.jobs = 1;
     return cfg;
   }
 

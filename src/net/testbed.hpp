@@ -35,6 +35,10 @@ struct TestbedConfig {
   /// Event-engine selection (timer wheel by default; the reference heap is
   /// kept for equivalence tests and as the bench_scale baseline).
   SimEngine engine = SimEngine::kDefault;
+  /// Worker count for SimEngine::kParallel (0 → SGXP2P_SIM_JOBS env, else
+  /// hardware concurrency). Ignored by the serial engines. jobs=1 runs the
+  /// serial wheel path — the fuzzer pins it so reproducers stay byte-stable.
+  std::uint32_t jobs = 0;
   /// Registry this deployment instruments. nullptr → the thread's current
   /// registry at construction time (usually the global one). Sweep drivers
   /// hand every run its own registry so runs are isolated and mergeable.

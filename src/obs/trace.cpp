@@ -20,6 +20,8 @@ void TraceRecorder::enable(std::size_t capacity) {
   dropped_ = 0;
   next_span_ = 1;
   current_ = 0;
+  token_counter_.store(1, std::memory_order_relaxed);
+  token_map_.clear();
   enabled_ = true;
 }
 
@@ -31,6 +33,8 @@ void TraceRecorder::reset() {
   dropped_ = 0;
   next_span_ = 1;
   current_ = 0;
+  token_counter_.store(1, std::memory_order_relaxed);
+  token_map_.clear();
 }
 
 void TraceRecorder::push(const TraceEvent& ev) {

@@ -76,7 +76,7 @@ class Enclave {
   /// Subclasses call this for ECALLs that don't route through
   /// ecall_deliver (e.g. the round tick).
   void account_ecall(const char* kind) {
-    const SimDuration cost = platform_->transitions().ecall();
+    const SimDuration cost = platform_->transitions().ecall(transition_carry_);
     if (cost > 0) {
       obs::trace_event(trusted_time(), static_cast<std::uint32_t>(cpu_),
                        "sgx", "ecall", obs::fstr("kind", kind),
@@ -119,7 +119,7 @@ class Enclave {
   /// message's arrival time, so a fan-out of k sends pays k serialized
   /// transitions.
   void ocall_transfer(NodeId to, Bytes blob) {
-    const SimDuration cost = platform_->transitions().ocall();
+    const SimDuration cost = platform_->transitions().ocall(transition_carry_);
     if (cost > 0) {
       obs::trace_event(trusted_time(), static_cast<std::uint32_t>(cpu_),
                        "sgx", "ocall", obs::fstr("kind", "transfer"),
@@ -134,6 +134,10 @@ class Enclave {
   Measurement measurement_;
   EnclaveHostIface* host_;
   crypto::Drbg drbg_;
+  // Sub-millisecond remainder of the calibrated transition model. Per
+  // enclave so ms-boundary crossings follow this node's canonical
+  // transition order — deterministic under the parallel engine.
+  TransitionMeter::NsCarry transition_carry_;
 };
 
 }  // namespace sgxp2p::sgx

@@ -21,11 +21,13 @@ crypto::Drbg SgxPlatform::make_enclave_drbg(CpuId cpu) {
 
 std::uint64_t SgxPlatform::counter_read(CpuId cpu,
                                         const Measurement& m) const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
   auto it = counters_.find({cpu, m});
   return it == counters_.end() ? 0 : it->second;
 }
 
 std::uint64_t SgxPlatform::counter_increment(CpuId cpu, const Measurement& m) {
+  std::lock_guard<std::mutex> lock(counters_mu_);
   return ++counters_[{cpu, m}];
 }
 

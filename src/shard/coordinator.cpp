@@ -60,7 +60,8 @@ EpochSummary ShardCoordinator::run_epoch() {
                                 seed_, base);
   for (NodeId id = 0; id < bed_.config().n; ++id) {
     if (!bed_.has_enclave(id)) continue;
-    bed_.enclave_as<ShardNode>(id).begin_epoch(election_.make_view(id));
+    election_.make_view_into(id, view_scratch_);
+    bed_.enclave_as<ShardNode>(id).begin_epoch(view_scratch_);
   }
   const std::uint32_t budget = epoch_round_budget(bed_.config().n,
                                                   election_.committee_size());

@@ -85,6 +85,9 @@ class ShardCoordinator {
   Bytes seed_;
   Election election_;
   std::vector<EpochSummary> summaries_;
+  // One view filled in place per node per epoch (make_view_into): installing
+  // an epoch at n=10⁵ reuses these vectors instead of building n fresh ones.
+  ShardView view_scratch_;
 };
 
 }  // namespace sgxp2p::shard

@@ -26,10 +26,14 @@ namespace sgxp2p::shard {
 inline constexpr std::size_t kShardDigestSize = crypto::kSha256DigestSize;
 
 /// `outcomes` holds the committee's m_init initiator decisions in ascending
-/// initiator order; nullopt = ⊥.
-inline Bytes committee_digest(std::uint64_t epoch, std::uint32_t committee,
-                              const std::vector<std::optional<Bytes>>& outcomes) {
-  BinaryWriter w;
+/// initiator order; nullopt = ⊥. The _into variant serializes through the
+/// caller's scratch writer and assigns into `out`, so a node recomputing
+/// its digest every epoch reuses both buffers instead of reallocating.
+inline void committee_digest_into(
+    std::uint64_t epoch, std::uint32_t committee,
+    const std::vector<std::optional<Bytes>>& outcomes, BinaryWriter& w,
+    Bytes& out) {
+  w.clear();
   w.str("sgxp2p-shard-committee");
   w.u64(epoch);
   w.u32(committee);
@@ -41,7 +45,16 @@ inline Bytes committee_digest(std::uint64_t epoch, std::uint32_t committee,
       w.u8(0);
     }
   }
-  return crypto::Sha256::hash_bytes(w.view());
+  const crypto::Sha256Digest digest = crypto::Sha256::hash(w.view());
+  out.assign(digest.begin(), digest.end());
+}
+
+inline Bytes committee_digest(std::uint64_t epoch, std::uint32_t committee,
+                              const std::vector<std::optional<Bytes>>& outcomes) {
+  BinaryWriter w;
+  Bytes out;
+  committee_digest_into(epoch, committee, outcomes, w, out);
+  return out;
 }
 
 /// `child_digests` in ascending child-committee order (possibly empty).

@@ -138,30 +138,41 @@ Election Election::compute(std::uint32_t n, std::uint32_t committee_size,
 }
 
 ShardView Election::make_view(NodeId id) const {
+  ShardView view;
+  make_view_into(id, view);
+  return view;
+}
+
+void Election::make_view_into(NodeId id, ShardView& out) const {
   const std::uint32_t ci = committee_of(id);
   CHECK_MSG(ci != kNoCommittee, "make_view: node not assigned");
   const CommitteeInfo& info = committees_[ci];
-  ShardView view;
-  view.epoch = epoch_;
-  view.committee = ci;
-  view.members = info.members;
-  view.t_c = info.t_c;
-  view.m_init = info.m_init;
-  view.start_round = info.start_round;
-  view.reps = info.reps();
-  view.is_rep =
-      std::find(view.reps.begin(), view.reps.end(), id) != view.reps.end();
-  view.parent = info.parent;
+  out.epoch = epoch_;
+  out.committee = ci;
+  out.members = info.members;  // copy-assign: reuses out's capacity
+  out.t_c = info.t_c;
+  out.m_init = info.m_init;
+  out.start_round = info.start_round;
+  out.reps.assign(info.members.begin(), info.members.begin() + info.m_init);
+  out.is_rep =
+      std::find(out.reps.begin(), out.reps.end(), id) != out.reps.end();
+  out.parent = info.parent;
+  out.parent_reps.clear();
   if (info.parent != kNoCommittee) {
-    view.parent_reps = committees_[info.parent].reps();
+    const CommitteeInfo& p = committees_[info.parent];
+    out.parent_reps.assign(p.members.begin(),
+                           p.members.begin() + p.m_init);
   }
-  for (std::uint32_t child : info.children) {
-    const CommitteeInfo& ch = committees_[child];
-    view.children.push_back({child, ch.subtree_count, ch.reps()});
+  out.children.resize(info.children.size());
+  for (std::size_t i = 0; i < info.children.size(); ++i) {
+    const CommitteeInfo& ch = committees_[info.children[i]];
+    ShardView::Child& child = out.children[i];
+    child.committee = info.children[i];
+    child.subtree_count = ch.subtree_count;
+    child.reps.assign(ch.members.begin(), ch.members.begin() + ch.m_init);
   }
-  view.subtree_count = info.subtree_count;
-  view.total_committees = committees_.size();
-  return view;
+  out.subtree_count = info.subtree_count;
+  out.total_committees = committees_.size();
 }
 
 }  // namespace sgxp2p::shard

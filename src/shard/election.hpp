@@ -91,6 +91,10 @@ class Election {
 
   /// The per-node cut handed to ShardNode::begin_epoch.
   [[nodiscard]] ShardView make_view(NodeId id) const;
+  /// Fills `out` in place, reusing its vectors' capacity. The coordinator
+  /// threads one scratch view through all n begin_epoch calls per epoch, so
+  /// installing views at n=10⁵ allocates O(1) instead of O(n) vectors.
+  void make_view_into(NodeId id, ShardView& out) const;
 
  private:
   std::uint32_t n_ = 0;

@@ -21,8 +21,8 @@ ShardNode::ShardNode(sgx::SgxPlatform& platform, sgx::CpuId cpu,
                      const sgx::SimIAS& ias)
     : PeerEnclave(platform, cpu, ShardNode::program(), host, config, ias) {}
 
-void ShardNode::begin_epoch(ShardView view) {
-  view_ = std::move(view);
+void ShardNode::begin_epoch(const ShardView& view) {
+  view_ = view;  // member-wise copy-assign reuses last epoch's capacity
   epoch_active_ = true;
   epoch_started_at_ = trusted_time();
   instances_.clear();
@@ -92,17 +92,18 @@ void ShardNode::on_round_begin(std::uint32_t round) {
 }
 
 void ShardNode::compute_committee_digest(std::uint32_t round) {
-  std::vector<std::optional<Bytes>> outcomes;
-  outcomes.reserve(instances_.size());
+  outcomes_scratch_.clear();
+  outcomes_scratch_.reserve(instances_.size());
   for (const auto& [initiator, inst] : instances_) {  // ascending initiator
     if (inst.has_value()) {
-      outcomes.emplace_back(inst.value());
+      outcomes_scratch_.emplace_back(inst.value());
       ++value_count_;
     } else {
-      outcomes.emplace_back(std::nullopt);
+      outcomes_scratch_.emplace_back(std::nullopt);
     }
   }
-  committee_digest_ = committee_digest(view_.epoch, view_.committee, outcomes);
+  committee_digest_into(view_.epoch, view_.committee, outcomes_scratch_,
+                        digest_scratch_, committee_digest_);
   digest_ready_ = true;
   instances_.clear();  // bounds per-node memory to the active wave
   obs_event("digest", obs::fnum("round", round),

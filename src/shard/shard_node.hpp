@@ -33,6 +33,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/serde.hpp"
 #include "protocol/erb_instance.hpp"
 #include "protocol/peer_enclave.hpp"
 #include "shard/view.hpp"
@@ -58,8 +59,11 @@ class ShardNode final : public protocol::PeerEnclave {
   /// Installs the node's slice of epoch `view.epoch`. Called by the harness
   /// at the epoch's base round boundary; models the enclave recomputing the
   /// deterministic election from the public beacon output (trusted
-  /// bootstrap, like the testbed's setup phase).
-  void begin_epoch(ShardView view);
+  /// bootstrap, like the testbed's setup phase). Takes a reference so the
+  /// coordinator can reuse one scratch view for all n installs, and the
+  /// copy-assign into view_ reuses this node's vector capacity from the
+  /// previous epoch instead of reallocating.
+  void begin_epoch(const ShardView& view);
 
   [[nodiscard]] const Result& result() const { return result_; }
   [[nodiscard]] const ShardView& view() const { return view_; }
@@ -100,6 +104,12 @@ class ShardNode final : public protocol::PeerEnclave {
   std::map<std::uint32_t, Bytes> child_records_;  // child committee → digest
   bool record_sent_ = false;
   bool global_forwarded_ = false;
+
+  // Digest scratch, reused across epochs: the outcome list and the hash
+  // input buffer would otherwise reallocate per node per epoch — at 10⁵
+  // nodes that churn dominates the epoch-boundary allocation profile.
+  std::vector<std::optional<Bytes>> outcomes_scratch_;
+  BinaryWriter digest_scratch_;
 
   Result result_;
 };

@@ -1,0 +1,439 @@
+// Parallel-engine equivalence suite: SimEngine::kParallel must be
+// observationally identical to the serial wheel — byte-identical JSONL
+// traces and metric snapshots for the same seed, across every protocol
+// stack (ERB, both ERNG variants, crash-recovery, and the sharded epoch
+// overlay) and every worker count. This is the contract that lets
+// bench_scale attribute its speedup entirely to the engine: if any event
+// fired in a different order, or any worker-side effect replayed out of
+// canonical (vt, seq) order, the traces would diverge at that line.
+//
+// Also here: exception propagation out of a worker lane, the causal span
+// DAG soundness of a parallel trace (tokens must resolve to real spans),
+// the explicit-only publication of sim.parallel_* stats, and the deferred
+// mid-window Network::detach regression.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/simulator.hpp"
+#include "net/testbed.hpp"
+#include "obs/causal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pool.hpp"
+#include "obs/trace.hpp"
+#include "recovery/coordinator.hpp"
+#include "shard/coordinator.hpp"
+#include "testbed_util.hpp"
+
+namespace sgxp2p {
+namespace {
+
+using protocol::ErbNode;
+using protocol::ErngBasicNode;
+using protocol::ErngOptNode;
+using testutil::all_honest_done;
+using testutil::all_honest_erb_decided;
+using testutil::small_config;
+
+// Everything observable about one protocol run, plus how many conservative
+// windows actually fanned out (so a "byte-identical" pass can prove the
+// parallel path ran instead of silently falling back to serial).
+struct Artifacts {
+  std::string trace;    // full JSONL event trace
+  std::string metrics;  // registry snapshot JSON
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t windows = 0;  // parallel windows dispatched (0 on kWheel)
+};
+
+template <typename Body>
+Artifacts capture(Body body) {
+  obs::BufferPool::local().clear();
+  obs::MetricsRegistry reg;
+  obs::MetricsRegistry::ScopedCurrent bind(reg);
+  auto& tr = obs::TraceRecorder::global();
+  tr.enable();
+  tr.reset();
+  Artifacts a = body();
+  EXPECT_EQ(tr.dropped(), 0u) << "trace ring overflowed; grow the capacity";
+  a.trace = tr.to_jsonl();
+  tr.disable();
+  a.metrics = reg.to_json();
+  return a;
+}
+
+Artifacts finish(sim::Testbed& bed, std::uint32_t rounds) {
+  Artifacts a;
+  a.rounds = rounds;
+  a.messages = bed.network().meter().messages();
+  a.bytes = bed.network().meter().bytes();
+  a.windows = bed.simulator().parallel_stats().windows;
+  return a;
+}
+
+// Applies the engine/jobs choice and, for kParallel, drops the fan-out
+// threshold to 1 so these tiny deployments exercise real windows.
+void arm(sim::Testbed& bed) { bed.simulator().set_parallel_threshold(1); }
+
+Artifacts run_erb(sim::SimEngine engine, std::uint32_t jobs) {
+  return capture([engine, jobs]() {
+    auto cfg = small_config(25, 7);
+    cfg.engine = engine;
+    cfg.jobs = jobs;
+    sim::Testbed bed(cfg);
+    arm(bed);
+    bed.build(testutil::erb_factory(0, to_bytes("engine-equivalence")));
+    bed.start();
+    std::uint32_t rounds = bed.run_rounds(cfg.effective_t() + 4,
+                                          all_honest_erb_decided(bed));
+    for (NodeId id : bed.honest_nodes()) {
+      EXPECT_TRUE(bed.enclave_as<ErbNode>(id).result().decided);
+    }
+    return finish(bed, rounds);
+  });
+}
+
+Artifacts run_erng_basic(sim::SimEngine engine, std::uint32_t jobs) {
+  return capture([engine, jobs]() {
+    auto cfg = small_config(9, 11);
+    cfg.engine = engine;
+    cfg.jobs = jobs;
+    sim::Testbed bed(cfg);
+    arm(bed);
+    bed.build(testutil::erng_basic_factory());
+    bed.start();
+    std::uint32_t rounds = bed.run_rounds(cfg.effective_t() + 4,
+                                          all_honest_done<ErngBasicNode>(bed));
+    for (NodeId id : bed.honest_nodes()) {
+      EXPECT_TRUE(bed.enclave_as<ErngBasicNode>(id).result().done);
+    }
+    return finish(bed, rounds);
+  });
+}
+
+Artifacts run_erng_opt(sim::SimEngine engine, std::uint32_t jobs) {
+  return capture([engine, jobs]() {
+    auto cfg = small_config(12, 13);
+    cfg.t = 3;
+    cfg.engine = engine;
+    cfg.jobs = jobs;
+    sim::Testbed bed(cfg);
+    arm(bed);
+    bed.build(testutil::erng_opt_factory());
+    bed.start();
+    std::uint32_t rounds =
+        bed.run_rounds(cfg.n, all_honest_done<ErngOptNode>(bed));
+    for (NodeId id : bed.honest_nodes()) {
+      EXPECT_TRUE(bed.enclave_as<ErngOptNode>(id).result().done);
+    }
+    return finish(bed, rounds);
+  });
+}
+
+// Compact copy of the recovery scenario from test_event_engine.cpp: node 1
+// of a 4-member roster crashes, restores from its newest sealed checkpoint,
+// and rejoins; one extra node joins fresh afterwards. Crash/relaunch churn
+// plus serial-context detaches exercise the window-fence path heavily.
+Artifacts run_recovery(sim::SimEngine engine, std::uint32_t jobs) {
+  return capture([engine, jobs]() {
+    const std::uint32_t n = 4;
+    const NodeId victim = 1;
+    const NodeId extra = n;
+    auto cfg = small_config(n + 1, 3);
+    cfg.t = (n - 1) / 2;
+    cfg.mode = protocol::ChannelMode::kAttested;
+    cfg.engine = engine;
+    cfg.jobs = jobs;
+    const std::uint32_t W = cfg.t + 2;
+    const std::uint32_t recover_at = 6 + 4;
+    const std::size_t w_rejoin = (recover_at - 1 + W - 1) / W;
+
+    std::vector<NodeId> roster0;
+    for (NodeId id = 0; id < n; ++id) roster0.push_back(id);
+    std::vector<protocol::JoinPlanEntry> plan(w_rejoin + 3);
+    plan[w_rejoin] = {victim, NodeId{0}, true};
+    plan[w_rejoin + 1] = {victim, NodeId{2}, true};
+    plan[w_rejoin + 2] = {extra, NodeId{0}, false};
+
+    sim::Testbed bed(cfg);
+    arm(bed);
+    sim::Testbed::EnclaveFactory factory =
+        [roster0, plan](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
+                        protocol::PeerConfig pc, const sgx::SimIAS& ias)
+        -> std::unique_ptr<protocol::PeerEnclave> {
+      return std::make_unique<recovery::RecoverableNode>(platform, id, host,
+                                                         pc, ias, roster0,
+                                                         plan);
+    };
+    bed.build(factory);
+
+    recovery::RecoveryPlan rp;
+    rp.victim = victim;
+    rp.crash_round = 6;
+    rp.recover_round = recover_at;
+    rp.checkpoint_interval = 2;
+    recovery::RecoveryCoordinator coord(bed, factory, rp);
+    coord.install();
+
+    bed.start();
+    std::uint32_t rounds =
+        bed.run_rounds(static_cast<std::uint32_t>((w_rejoin + 4) * W));
+    EXPECT_TRUE(coord.rejoin_complete());
+    return finish(bed, rounds);
+  });
+}
+
+// Sharded epoch overlay: the global digest hashes every committee's
+// accepted values, so it transitively pins the election, committee ERB
+// scheduling, CONFIRM gating, and the dissemination tree.
+struct ShardRun {
+  Artifacts a;
+  std::vector<Bytes> digests;
+};
+
+ShardRun run_shard(sim::SimEngine engine, std::uint32_t jobs) {
+  ShardRun out;
+  out.a = capture([&out, engine, jobs]() {
+    sim::TestbedConfig cfg;
+    cfg.n = 24;
+    cfg.seed = 5;
+    cfg.t = 1;  // ShardNode budgets per committee (t_c), not via PeerConfig
+    cfg.net.base_delay = milliseconds(100);
+    cfg.net.max_jitter = milliseconds(100);
+    cfg.engine = engine;
+    cfg.jobs = jobs;
+    sim::Testbed bed(cfg);
+    arm(bed);
+    bed.build(shard::ShardCoordinator::make_factory());
+    bed.start();
+    shard::ShardConfig scfg;
+    scfg.committee_size = 6;
+    scfg.epochs = 2;
+    shard::ShardCoordinator coord(bed, scfg);
+    coord.run_all();
+    EXPECT_TRUE(coord.all_ok());
+    for (const shard::EpochSummary& e : coord.summaries()) {
+      out.digests.push_back(e.global_digest);
+    }
+    return finish(bed, bed.rounds_run());
+  });
+  return out;
+}
+
+void expect_identical(const Artifacts& wheel, const Artifacts& par) {
+  EXPECT_EQ(wheel.rounds, par.rounds);
+  EXPECT_EQ(wheel.messages, par.messages);
+  EXPECT_EQ(wheel.bytes, par.bytes);
+  EXPECT_EQ(wheel.trace, par.trace);
+  EXPECT_EQ(wheel.metrics, par.metrics);
+}
+
+constexpr std::uint32_t kJobCounts[] = {1, 2, 8};
+
+// ---------------------------------------------------------------------------
+// Byte-identity: kParallel vs kWheel, every stack, jobs ∈ {1, 2, 8}.
+
+TEST(ParallelEngine, ErbByteIdentical) {
+  const Artifacts wheel = run_erb(sim::SimEngine::kWheel, 0);
+  EXPECT_EQ(wheel.windows, 0u);
+  for (std::uint32_t jobs : kJobCounts) {
+    const Artifacts par = run_erb(sim::SimEngine::kParallel, jobs);
+    expect_identical(wheel, par);
+    // jobs=1 is the serial fallback by design; real pools must have fanned
+    // out actual windows, otherwise this test proves nothing.
+    if (jobs > 1) {
+      EXPECT_GT(par.windows, 0u) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelEngine, ErngBasicByteIdentical) {
+  const Artifacts wheel = run_erng_basic(sim::SimEngine::kWheel, 0);
+  for (std::uint32_t jobs : kJobCounts) {
+    const Artifacts par = run_erng_basic(sim::SimEngine::kParallel, jobs);
+    expect_identical(wheel, par);
+    if (jobs > 1) {
+      EXPECT_GT(par.windows, 0u) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelEngine, ErngOptByteIdentical) {
+  const Artifacts wheel = run_erng_opt(sim::SimEngine::kWheel, 0);
+  for (std::uint32_t jobs : kJobCounts) {
+    const Artifacts par = run_erng_opt(sim::SimEngine::kParallel, jobs);
+    expect_identical(wheel, par);
+    if (jobs > 1) {
+      EXPECT_GT(par.windows, 0u) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelEngine, RecoveryScenarioByteIdentical) {
+  const Artifacts wheel = run_recovery(sim::SimEngine::kWheel, 0);
+  for (std::uint32_t jobs : kJobCounts) {
+    const Artifacts par = run_recovery(sim::SimEngine::kParallel, jobs);
+    expect_identical(wheel, par);
+    if (jobs > 1) {
+      EXPECT_GT(par.windows, 0u) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelEngine, ShardEpochsByteIdentical) {
+  const ShardRun wheel = run_shard(sim::SimEngine::kWheel, 0);
+  ASSERT_EQ(wheel.digests.size(), 2u);
+  ASSERT_FALSE(wheel.digests[0].empty());
+  for (std::uint32_t jobs : {2u, 8u}) {
+    const ShardRun par = run_shard(sim::SimEngine::kParallel, jobs);
+    EXPECT_EQ(wheel.digests, par.digests) << "jobs=" << jobs;
+    expect_identical(wheel.a, par.a);
+    EXPECT_GT(par.a.windows, 0u) << "jobs=" << jobs;
+  }
+}
+
+// Same engine, same seed, same jobs, run twice → identical. Thread
+// scheduling must never leak into the artifacts.
+TEST(ParallelEngine, SelfDeterministicAcrossRuns) {
+  const Artifacts a = run_erb(sim::SimEngine::kParallel, 8);
+  const Artifacts b = run_erb(sim::SimEngine::kParallel, 8);
+  expect_identical(a, b);
+  EXPECT_GT(a.windows, 0u);
+}
+
+// Worker counts must not be observable either: 2 and 8 lanes partition the
+// same windows differently but merge in the same canonical order.
+TEST(ParallelEngine, JobCountIsUnobservable) {
+  expect_identical(run_erb(sim::SimEngine::kParallel, 2),
+                   run_erb(sim::SimEngine::kParallel, 8));
+}
+
+// cfg.jobs = 0 resolves the SGXP2P_SIM_JOBS env var (the CI tsan job drives
+// the whole suite through it).
+TEST(ParallelEngine, JobsResolvedFromEnvironment) {
+  ::setenv("SGXP2P_SIM_JOBS", "2", 1);
+  const Artifacts par = run_erb(sim::SimEngine::kParallel, 0);
+  ::unsetenv("SGXP2P_SIM_JOBS");
+  EXPECT_GT(par.windows, 0u) << "env jobs=2 should have fanned out windows";
+  expect_identical(run_erb(sim::SimEngine::kWheel, 0), par);
+}
+
+// ---------------------------------------------------------------------------
+// Causal span DAG: a parallel trace must be a sound DAG — every worker-side
+// token resolved to a real span, spans strictly increasing, every deliver
+// caused by its send. (Conservation is the same oracle the fuzzer runs.)
+
+TEST(ParallelEngine, CausalSpanDagIsSound) {
+  const Artifacts par = run_erb(sim::SimEngine::kParallel, 8);
+  ASSERT_GT(par.windows, 0u);
+  std::string error;
+  auto graph = obs::CausalGraph::parse(par.trace, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->check_conservation(), std::vector<std::string>{});
+}
+
+// ---------------------------------------------------------------------------
+// sim.parallel_* stats are explicit-only: absent from the run's snapshot
+// (which must stay byte-identical to kWheel), present after an explicit
+// publish_parallel_stats.
+
+TEST(ParallelEngine, StatsPublishedOnlyOnRequest) {
+  obs::MetricsRegistry reg;
+  obs::MetricsRegistry::ScopedCurrent bind(reg);
+  auto cfg = small_config(25, 7);
+  cfg.engine = sim::SimEngine::kParallel;
+  cfg.jobs = 4;
+  sim::Testbed bed(cfg);
+  arm(bed);
+  bed.build(testutil::erb_factory(0, to_bytes("stats")));
+  bed.start();
+  bed.run_rounds(cfg.effective_t() + 4, all_honest_erb_decided(bed));
+  ASSERT_GT(bed.simulator().parallel_stats().windows, 0u);
+  EXPECT_EQ(reg.to_json().find("sim.parallel_windows"), std::string::npos);
+
+  bed.simulator().publish_parallel_stats(reg);
+  EXPECT_NE(reg.to_json().find("sim.parallel_windows"), std::string::npos);
+  EXPECT_GE(reg.counter("sim.parallel_windows").value(), 1u);
+  EXPECT_GE(reg.counter("sim.parallel_events").value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// An exception thrown on a worker lane must surface from the run() call on
+// the driving thread (after the canonical prefix replays), not crash a pool
+// thread or hang the window barrier.
+
+TEST(ParallelEngine, WorkerExceptionPropagates) {
+  obs::MetricsRegistry reg;
+  obs::MetricsRegistry::ScopedCurrent bind(reg);
+  sim::Simulator simulator(reg, sim::SimEngine::kParallel);
+  simulator.set_jobs(2);
+  simulator.set_parallel_threshold(1);
+  sim::Network net(simulator, sim::NetworkConfig{}, reg);
+  for (NodeId id = 0; id < 8; ++id) {
+    net.attach(id, [id](NodeId, Bytes) {
+      if (id == 3) throw std::runtime_error("worker lane failure");
+    });
+  }
+  for (NodeId from = 0; from < 8; ++from) {
+    for (NodeId to = 0; to < 8; ++to) {
+      if (from != to) net.send(from, to, to_bytes("payload"));
+    }
+  }
+  EXPECT_THROW(simulator.run(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-window detach: Network::detach issued from a worker lane is deferred
+// to the detaching event's canonical merge position. Traffic to the victim
+// scheduled at least one lookahead window later must then drop exactly as
+// the serial engine drops it — byte-identical metrics, no use-after-detach.
+
+TEST(ParallelEngine, MidWindowDetachMatchesSerial) {
+  auto run = [](sim::SimEngine engine, std::uint32_t jobs) {
+    obs::MetricsRegistry reg;
+    obs::MetricsRegistry::ScopedCurrent bind(reg);
+    sim::Simulator simulator(reg, engine);
+    simulator.set_jobs(jobs);
+    simulator.set_parallel_threshold(1);
+    sim::NetworkConfig ncfg;
+    ncfg.base_delay = milliseconds(100);
+    ncfg.max_jitter = 0;  // deterministic arrival instants
+    sim::Network net(simulator, ncfg, reg);
+    const NodeId victim = 5;
+    std::array<int, 6> delivered{};
+    for (NodeId id = 0; id < 6; ++id) {
+      net.attach(id, [&net, &delivered, id, victim](NodeId, Bytes) {
+        ++delivered[id];
+        if (id == 0) net.detach(victim);  // from a worker lane on kParallel
+      });
+    }
+    // t=100: node 0 handles "go" and detaches the victim mid-window.
+    net.send(1, 0, to_bytes("go"));
+    // A full lookahead later: traffic to the victim must drop identically.
+    simulator.schedule(milliseconds(250), [&net, victim] {
+      net.send(2, victim, to_bytes("late"));
+      net.send(victim, 3, to_bytes("from-detached"));
+    });
+    simulator.run();
+    EXPECT_FALSE(net.attached(victim));
+    EXPECT_EQ(delivered[0], 1);
+    EXPECT_EQ(delivered[victim], 0) << "delivery to detached node leaked";
+    EXPECT_EQ(delivered[3], 0) << "send from detached node leaked";
+    return reg.to_json();
+  };
+  const std::string wheel = run(sim::SimEngine::kWheel, 0);
+  EXPECT_EQ(wheel, run(sim::SimEngine::kParallel, 2));
+  EXPECT_EQ(wheel, run(sim::SimEngine::kParallel, 8));
+}
+
+}  // namespace
+}  // namespace sgxp2p

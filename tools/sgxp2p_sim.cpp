@@ -23,8 +23,27 @@
 //   --delta-ms <int>                     one-way delay bound Δ (default 500)
 //   --mode attested|accounted            channel mode (default attested for
 //                                        n ≤ 128, else accounted)
-//   --engine wheel|heap                  simulator event engine (default
-//                                        wheel; heap = reference engine)
+//   --engine wheel|heap|parallel         simulator event engine (default
+//                                        wheel; heap = reference engine;
+//                                        parallel = Δ-lockstep worker pool)
+//   --jobs <int>                         worker count for --engine parallel
+//                                        (default 0 = SGXP2P_SIM_JOBS env or
+//                                        hardware concurrency). An active
+//                                        --adversary pins jobs to 1: replay
+//                                        files and adversarial schedules are
+//                                        byte-stable against the serial
+//                                        execution they were recorded under.
+//   --sgx-costs zero|calibrated|FILE     enclave-transition cost model
+//                                        (default zero). calibrated = the
+//                                        measured preset (≈3.1 µs ECALL,
+//                                        ≈4.0 µs OCALL, EPC paging cliff);
+//                                        FILE = JSON with any of ecall_ms,
+//                                        ocall_ms, ecall_ns, ocall_ns,
+//                                        epc_working_set_kb, epc_resident_kb,
+//                                        epc_fault_ns
+//   --sgx-working-set <MB>               per-enclave EPC working set; beyond
+//                                        the resident EPC every transition
+//                                        pays the paging penalty fraction
 //   --csv                                one machine-readable line
 //   --metrics-out [path]                 write metrics snapshot JSON
 //                                        (default sim_metrics.json)
@@ -85,7 +104,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -93,6 +114,7 @@
 #include "common/log.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "net/testbed.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "protocol/eba.hpp"
@@ -116,6 +138,9 @@ struct Options {
   SimDuration delta_ms = 500;
   std::string mode;
   std::string engine;
+  std::uint32_t jobs = 0;      // 0 = env/hardware default
+  std::string sgx_costs;       // "", "zero", "calibrated", or a JSON path
+  std::uint64_t sgx_working_set_mb = 0;
   bool csv = false;
   std::string metrics_path;  // empty → no snapshot written
   std::string trace_path;    // empty → tracing stays off
@@ -165,6 +190,13 @@ Options parse(int argc, char** argv) {
   }
   if (const char* v = flag_value(argc, argv, "--mode")) o.mode = v;
   if (const char* v = flag_value(argc, argv, "--engine")) o.engine = v;
+  if (const char* v = flag_value(argc, argv, "--jobs")) {
+    o.jobs = std::atoi(v);
+  }
+  if (const char* v = flag_value(argc, argv, "--sgx-costs")) o.sgx_costs = v;
+  if (const char* v = flag_value(argc, argv, "--sgx-working-set")) {
+    o.sgx_working_set_mb = std::strtoull(v, nullptr, 10);
+  }
   if (const char* v = flag_value(argc, argv, "--crash-at")) {
     o.crash_at = std::atoi(v);
   }
@@ -234,6 +266,53 @@ std::unique_ptr<adversary::Strategy> make_strategy(
   }
   std::fprintf(stderr, "unknown adversary '%s'\n", o.adversary.c_str());
   std::exit(2);
+}
+
+/// Resolves --sgx-costs / --sgx-working-set into a TransitionCosts model.
+/// Returns false (with a message on stderr) on an unparsable spec.
+bool resolve_sgx_costs(const Options& o, sgx::TransitionCosts& out) {
+  if (o.sgx_costs.empty() || o.sgx_costs == "zero") {
+    // default-constructed: counting on, charging off
+  } else if (o.sgx_costs == "calibrated") {
+    out = sgx::TransitionCosts::calibrated();
+  } else {
+    std::ifstream in(o.sgx_costs);
+    if (!in) {
+      std::fprintf(stderr, "--sgx-costs: cannot read '%s'\n",
+                   o.sgx_costs.c_str());
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto doc = obs::json_parse(buf.str());
+    if (!doc || !doc->is_object()) {
+      std::fprintf(stderr, "--sgx-costs: '%s' is not a JSON object\n",
+                   o.sgx_costs.c_str());
+      return false;
+    }
+    auto u64 = [&doc](const char* key, std::uint64_t& field) {
+      const obs::JsonValue* v = doc->get(key);
+      if (v != nullptr && v->type == obs::JsonValue::Type::kInt &&
+          v->integer >= 0) {
+        field = static_cast<std::uint64_t>(v->integer);
+      }
+    };
+    std::uint64_t ecall_ms = 0;
+    std::uint64_t ocall_ms = 0;
+    u64("ecall_ms", ecall_ms);
+    u64("ocall_ms", ocall_ms);
+    out.ecall_ms = static_cast<SimDuration>(ecall_ms);
+    out.ocall_ms = static_cast<SimDuration>(ocall_ms);
+    u64("ecall_ns", out.ecall_ns);
+    u64("ocall_ns", out.ocall_ns);
+    u64("epc_working_set_kb", out.epc_working_set_kb);
+    u64("epc_resident_kb", out.epc_resident_kb);
+    u64("epc_fault_ns", out.epc_fault_ns);
+  }
+  if (o.sgx_working_set_mb > 0) {
+    out.epc_working_set_kb = o.sgx_working_set_mb * 1024;
+  }
+  return true;
 }
 
 struct Outcome {
@@ -357,11 +436,21 @@ int main(int argc, char** argv) {
     cfg.engine = sim::SimEngine::kHeap;
   } else if (o.engine == "wheel") {
     cfg.engine = sim::SimEngine::kWheel;
+  } else if (o.engine == "parallel") {
+    cfg.engine = sim::SimEngine::kParallel;
   } else if (!o.engine.empty()) {
-    std::fprintf(stderr, "unknown engine '%s' (wheel|heap)\n",
+    std::fprintf(stderr, "unknown engine '%s' (wheel|heap|parallel)\n",
                  o.engine.c_str());
     return 2;
   }
+  cfg.jobs = o.jobs;
+  if (o.adversary != "none" && o.byz > 0) {
+    // Adversarial runs stay on one worker: strategies and replay stamps were
+    // recorded under serial execution, and jobs=1 keeps them byte-stable
+    // without forbidding --engine parallel (the merge order is identical).
+    cfg.jobs = 1;
+  }
+  if (!resolve_sgx_costs(o, cfg.sgx_costs)) return 2;
   if (o.protocol == "recovery") {
     if (o.n < 4) {
       std::fprintf(stderr, "--protocol recovery needs --n >= 4\n");
