@@ -1,0 +1,296 @@
+#include "fuzz/tcp_runner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "crypto/sha256.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/tcp_shim.hpp"
+#include "net/tcp_testbed.hpp"
+#include "obs/metrics.hpp"
+#include "protocol/erb_node.hpp"
+#include "protocol/erng_basic.hpp"
+
+namespace sgxp2p::fuzz {
+
+namespace {
+
+constexpr const char* kErbPayload = "fuzz erb payload";
+
+std::vector<NodeId> honest_set(const Schedule& s) {
+  std::vector<NodeId> faulted = s.faulted_nodes();
+  std::vector<NodeId> honest;
+  for (NodeId id = 0; id < s.n; ++id) {
+    if (!std::binary_search(faulted.begin(), faulted.end(), id)) {
+      honest.push_back(id);
+    }
+  }
+  return honest;
+}
+
+std::string hex8(const Bytes& b) {
+  return hex_encode(ByteView(b.data(), std::min<std::size_t>(8, b.size())));
+}
+
+bool is_honest(const std::vector<NodeId>& honest, NodeId id) {
+  return std::find(honest.begin(), honest.end(), id) != honest.end();
+}
+
+/// Wall-clock metric values are timing-dependent, so the TCP digest covers
+/// only the honest outcome string — the quantity the paper's theorems pin.
+/// Conservation over the transport counters is still a fair oracle: the bus
+/// can lose frames at teardown but never invent them.
+void finalize_tcp(const obs::MetricsRegistry& registry, RunReport& report) {
+  obs::MetricsSnapshot snap = registry.snapshot();
+  auto value = [&snap](const char* name) -> std::uint64_t {
+    const obs::CounterSample* c = snap.find_counter(name);
+    return c != nullptr ? c->value : 0;
+  };
+  if (value("net.tcp.received") > value("net.tcp.sends")) {
+    report.violations.push_back(
+        {oracle::kMetricsConservation,
+         "net.tcp.received " + std::to_string(value("net.tcp.received")) +
+             " > net.tcp.sends " + std::to_string(value("net.tcp.sends"))});
+  }
+  report.digest = hex_encode(crypto::Sha256::hash_bytes(
+      ByteView(reinterpret_cast<const std::uint8_t*>(report.outcome.data()),
+               report.outcome.size())));
+}
+
+RunReport run_tcp_erb(const Schedule& s, net::TcpTestbed& bed,
+                      const obs::MetricsRegistry& registry) {
+  const Bytes payload = to_bytes(kErbPayload);
+  const NodeId initiator = 0;
+  CHECK_MSG(
+      bed.build([&payload, initiator](
+                    NodeId id, sgx::SgxPlatform& platform,
+                    sgx::EnclaveHostIface& host, protocol::PeerConfig pc,
+                    const sgx::SimIAS& ias)
+                    -> std::unique_ptr<protocol::PeerEnclave> {
+        return std::make_unique<protocol::ErbNode>(
+            platform, id, host, pc, ias, initiator,
+            id == initiator ? payload : Bytes{});
+      }),
+      "run_tcp_schedule: socket mesh failed");
+  bed.start();
+
+  const std::vector<NodeId> honest = honest_set(s);
+  RunReport report;
+  report.rounds = bed.run_rounds(s.max_rounds, [&]() {
+    for (NodeId id : honest) {
+      if (!bed.enclave_as<protocol::ErbNode>(id).result().decided) {
+        return false;
+      }
+    }
+    return true;
+  });
+
+  std::ostringstream outcome;
+  const bool initiator_honest = is_honest(honest, initiator);
+  bed.locked([&] {
+    bool have_ref = false;
+    std::optional<Bytes> ref;
+    for (NodeId id = 0; id < s.n; ++id) {
+      if (!is_honest(honest, id)) {
+        // Faulted nodes' states are timing-dependent over real sockets;
+        // they carry no oracle weight and stay out of the digest input.
+        outcome << id << ":faulted ";
+        continue;
+      }
+      const auto& r = bed.enclave_as<protocol::ErbNode>(id).result();
+      outcome << id
+              << (r.decided ? (r.value ? ":m=" + hex8(*r.value) : ":bot")
+                            : ":undecided")
+              << " ";
+      if (!r.decided) {
+        report.violations.push_back(
+            {oracle::kErbTermination,
+             "honest node " + std::to_string(id) + " undecided after " +
+                 std::to_string(report.rounds) + " rounds"});
+        continue;
+      }
+      if (!have_ref) {
+        ref = r.value;
+        have_ref = true;
+      } else if (r.value != ref) {
+        report.violations.push_back(
+            {oracle::kErbAgreement,
+             "honest node " + std::to_string(id) +
+                 " disagrees with the first honest decision"});
+      }
+      if (initiator_honest && (!r.value || *r.value != payload)) {
+        report.violations.push_back(
+            {oracle::kErbValidity, "initiator honest but node " +
+                                       std::to_string(id) +
+                                       " did not decide m"});
+      }
+    }
+  });
+  report.outcome = outcome.str();
+  finalize_tcp(registry, report);
+  return report;
+}
+
+RunReport run_tcp_erng(const Schedule& s, net::TcpTestbed& bed,
+                       const obs::MetricsRegistry& registry) {
+  CHECK_MSG(
+      bed.build([](NodeId id, sgx::SgxPlatform& platform,
+                   sgx::EnclaveHostIface& host, protocol::PeerConfig pc,
+                   const sgx::SimIAS& ias)
+                    -> std::unique_ptr<protocol::PeerEnclave> {
+        return std::make_unique<protocol::ErngBasicNode>(platform, id, host,
+                                                         pc, ias);
+      }),
+      "run_tcp_schedule: socket mesh failed");
+  bed.start();
+
+  const std::vector<NodeId> honest = honest_set(s);
+  RunReport report;
+  report.rounds = bed.run_rounds(s.max_rounds, [&]() {
+    for (NodeId id : honest) {
+      if (!bed.enclave_as<protocol::ErngBasicNode>(id).result().done) {
+        return false;
+      }
+    }
+    return true;
+  });
+
+  std::ostringstream outcome;
+  bed.locked([&] {
+    bool have_ref = false;
+    bool ref_bottom = false;
+    Bytes ref_value;
+    for (NodeId id = 0; id < s.n; ++id) {
+      if (!is_honest(honest, id)) {
+        outcome << id << ":faulted ";
+        continue;
+      }
+      const auto& r = bed.enclave_as<protocol::ErngBasicNode>(id).result();
+      outcome << id
+              << (r.done ? (r.is_bottom ? ":bot" : ":r=" + hex8(r.value))
+                         : ":pending")
+              << " ";
+      if (!r.done) {
+        report.violations.push_back(
+            {oracle::kErngTermination,
+             "honest node " + std::to_string(id) + " has no output after " +
+                 std::to_string(report.rounds) + " rounds"});
+        continue;
+      }
+      if (!have_ref) {
+        ref_bottom = r.is_bottom;
+        ref_value = r.value;
+        have_ref = true;
+      } else if (r.is_bottom != ref_bottom ||
+                 (!r.is_bottom && r.value != ref_value)) {
+        report.violations.push_back(
+            {oracle::kErngAgreement,
+             "honest node " + std::to_string(id) +
+                 " output differs from the first honest output"});
+      }
+    }
+  });
+  report.outcome = outcome.str();
+  finalize_tcp(registry, report);
+  return report;
+}
+
+}  // namespace
+
+bool tcp_supported(const Schedule& schedule, std::string* why) {
+  if (schedule.target != FuzzTarget::kErb &&
+      schedule.target != FuzzTarget::kErngBasic) {
+    if (why) *why = std::string("target ") + target_name(schedule.target) +
+                    " has no TCP runner";
+    return false;
+  }
+  for (const FaultAction& a : schedule.actions) {
+    if (a.kind == ActionKind::kCrash || a.kind == ActionKind::kRecover ||
+        a.kind == ActionKind::kStaleSeal) {
+      if (why) *why = std::string("action ") + action_kind_name(a.kind) +
+                      " has no socket-level expression";
+      return false;
+    }
+  }
+  return true;
+}
+
+RunReport run_tcp_schedule(const Schedule& schedule,
+                           const TcpRunOptions& options) {
+  std::string error;
+  CHECK_MSG(schedule.validate(&error), "run_tcp_schedule: invalid schedule");
+  CHECK_MSG(tcp_supported(schedule, &error),
+            "run_tcp_schedule: unsupported schedule");
+
+  // Fresh registry per run: the bus resolves its net.tcp.* handles from
+  // current() at construction (inside bed.build), so each run's counters
+  // start at zero regardless of what ran before on this thread.
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry::ScopedCurrent scoped(registry);
+
+  net::TcpTestbedConfig cfg;
+  cfg.n = schedule.n;
+  cfg.t = schedule.t;
+  cfg.round_ms = options.round_ms;
+  cfg.seed = schedule.seed;
+  net::TcpTestbed bed(cfg);
+  TcpFaultShim shim(bed, schedule);
+  shim.install();
+
+  RunReport report = schedule.target == FuzzTarget::kErb
+                         ? run_tcp_erb(schedule, bed, registry)
+                         : run_tcp_erng(schedule, bed, registry);
+  const TcpFaultShim::Stats st = shim.stats();
+  LOG_DEBUG("tcp fuzz: dropped=", st.dropped, " delayed=", st.delayed,
+            " duplicated=", st.duplicated, " corrupted=", st.corrupted,
+            " partition_dropped=", st.partition_dropped);
+  return report;
+}
+
+TcpCampaignResult run_tcp_campaign(const TcpCampaignOptions& options) {
+  TcpCampaignResult result;
+  std::vector<FuzzTarget> targets = options.targets;
+  if (targets.empty()) {
+    targets = {FuzzTarget::kErb, FuzzTarget::kErngBasic};
+  }
+  TcpRunOptions run_opts;
+  run_opts.round_ms = options.round_ms;
+  for (FuzzTarget target : targets) {
+    for (std::uint32_t i = 0; i < options.schedules; ++i) {
+      if (result.failures.size() >= options.max_failures) return result;
+      Schedule s = generate_schedule(target, options.seed, i);
+      std::string why;
+      if (!tcp_supported(s, &why)) {
+        ++result.skipped;
+        continue;
+      }
+      RunReport report = run_tcp_schedule(s, run_opts);
+      ++result.executed;
+      if (options.progress_every != 0 &&
+          (i + 1) % options.progress_every == 0) {
+        LOG_INFO("tcp fuzz: ", target_name(target), " ", i + 1, "/",
+                 options.schedules, " run, ", result.skipped, " skipped, ",
+                 result.failures.size(), " failure(s)");
+      }
+      if (report.passed()) continue;
+      CampaignFailure failure;
+      failure.target = target;
+      failure.index = i;
+      failure.shrunk = s;  // stamped as-is; TCP runs are too slow to shrink
+      failure.shrunk.expect_violations = report.violated_oracles();
+      failure.report = report;
+      std::string path = options.out_dir.empty()
+                             ? std::string()
+                             : options.out_dir + "/";
+      path += std::string("tcp-") + target_name(target) + "-" +
+              std::to_string(i) + ".sched";
+      failure.repro_path = failure.shrunk.write_file(path) ? path : "";
+      result.failures.push_back(std::move(failure));
+    }
+  }
+  return result;
+}
+
+}  // namespace sgxp2p::fuzz

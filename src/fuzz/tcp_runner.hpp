@@ -1,0 +1,72 @@
+// TCP fuzz runner — executes fuzz::Schedules over genuine localhost sockets.
+//
+// The simulator runner (fuzz/runner.hpp) owns determinism: byte-identical
+// digests over metrics + outcomes. Real sockets cannot promise that for
+// timing-dependent quantities, so the TCP runner narrows the claim to what
+// the paper's theorems actually quantify over: the digest covers only the
+// HONEST nodes' protocol outcomes (decisions/values), which must be
+// byte-stable across runs of the same schedule — faulted nodes' states and
+// all wall-clock metrics are reported but excluded. Schedules whose actions
+// have no socket-level expression (crash / recover / stale_seal) are
+// rejected up front by tcp_supported(); everything else — drop, delay,
+// duplicate, corrupt, reorder, partition — is applied by TcpFaultShim on
+// real frames, exercising framing, partial reads, backpressure, and
+// reconnect paths the simulator never sees.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/schedule.hpp"
+
+namespace sgxp2p::fuzz {
+
+struct TcpRunOptions {
+  /// Wall-clock round length. Must comfortably exceed localhost RTT plus
+  /// the largest scheduled delay a frame should survive within its round.
+  SimDuration round_ms = 200;
+};
+
+/// True iff the schedule can run over real sockets: an ERB or basic-ERNG
+/// target with only message-level and partition actions. `why` (optional)
+/// receives the reason for a false verdict.
+[[nodiscard]] bool tcp_supported(const Schedule& schedule,
+                                 std::string* why = nullptr);
+
+/// Runs one schedule over a real TcpBus mesh with the fault shim installed.
+/// CHECK-fails on invalid or unsupported schedules (gate with validate() +
+/// tcp_supported()). The report's digest is sha256 over the honest-node
+/// outcome string only — compare digests across runs to assert byte
+/// stability.
+[[nodiscard]] RunReport run_tcp_schedule(const Schedule& schedule,
+                                         const TcpRunOptions& options = {});
+
+struct TcpCampaignOptions {
+  std::vector<FuzzTarget> targets;  // empty → {erb, erng_basic}
+  std::uint64_t seed = 1;
+  std::uint32_t schedules = 20;  // generated schedules per target
+  std::string out_dir;           // failing replay files land here ("" = cwd)
+  std::uint32_t max_failures = 1;
+  SimDuration round_ms = 200;
+  std::uint32_t progress_every = 0;
+};
+
+struct TcpCampaignResult {
+  std::uint64_t executed = 0;
+  std::uint64_t skipped = 0;  // generated schedules not TCP-expressible
+  std::vector<CampaignFailure> failures;  // repro stamped, never shrunk
+
+  [[nodiscard]] bool clean() const { return failures.empty(); }
+};
+
+/// Campaign over generated schedules, filtered to the TCP-expressible
+/// subset. Failing schedules are stamped with their violated-oracle set and
+/// written as replay files (no shrinking — every TCP run costs wall-clock
+/// seconds, and the simulator shrinker covers the same action space).
+[[nodiscard]] TcpCampaignResult run_tcp_campaign(
+    const TcpCampaignOptions& options);
+
+}  // namespace sgxp2p::fuzz

@@ -1,0 +1,150 @@
+#include "fuzz/tcp_shim.hpp"
+
+#include <chrono>
+
+namespace sgxp2p::fuzz {
+
+namespace {
+// Fallback latencies when an action carries no param: a delay long enough to
+// slip a frame past its round boundary at bench round lengths, and a short
+// duplicate offset so the copy lands in the same round.
+constexpr std::uint64_t kDefaultDelayMs = 150;
+constexpr std::uint64_t kDefaultDuplicateMs = 20;
+}  // namespace
+
+TcpFaultShim::TcpFaultShim(net::TcpTestbed& bed, const Schedule& schedule)
+    : bed_(&bed),
+      rules_(schedule.n),
+      windows_(schedule.n) {
+  for (const FaultAction& a : schedule.actions) {
+    switch (a.kind) {
+      case ActionKind::kDrop:
+      case ActionKind::kDelay:
+      case ActionKind::kDuplicate:
+      case ActionKind::kCorrupt:
+      case ActionKind::kReorder:
+        rules_[a.node].push_back({a.kind, a.round, a.peer, a.param});
+        break;
+      case ActionKind::kPartition:
+        windows_[a.node].push_back(
+            {a.round, a.round + static_cast<std::uint32_t>(a.param)});
+        break;
+      default:
+        break;  // crash/recover/stale_seal: rejected by tcp_supported()
+    }
+  }
+  worker_ = std::thread([this] { worker(); });
+}
+
+TcpFaultShim::~TcpFaultShim() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void TcpFaultShim::install() {
+  bed_->set_send_hook(
+      [this](NodeId from, NodeId to, ByteView blob, std::uint32_t round) {
+        return on_send(from, to, blob, round);
+      });
+}
+
+TcpFaultShim::Stats TcpFaultShim::stats() const {
+  return {dropped_.load(), delayed_.load(), duplicated_.load(),
+          corrupted_.load(), partition_dropped_.load()};
+}
+
+bool TcpFaultShim::partitioned(NodeId node, std::uint32_t round) const {
+  for (const Window& w : windows_[node]) {
+    if (round >= w.begin && round < w.end) return true;
+  }
+  return false;
+}
+
+bool TcpFaultShim::on_send(NodeId from, NodeId to, ByteView blob,
+                           std::uint32_t round) {
+  if (from >= rules_.size() || to >= rules_.size()) return true;
+  // Partitions isolate the victim in both directions for the window.
+  if (partitioned(from, round) || partitioned(to, round)) {
+    partition_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  for (const Rule& r : rules_[from]) {
+    if (r.round != round || (r.peer != kNoNode && r.peer != to)) continue;
+    switch (r.kind) {
+      case ActionKind::kDrop:
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      case ActionKind::kDelay:
+      case ActionKind::kReorder: {
+        delayed_.fetch_add(1, std::memory_order_relaxed);
+        schedule_delivery(from, to, Bytes(blob.begin(), blob.end()),
+                          r.param != 0 ? r.param : kDefaultDelayMs);
+        return false;
+      }
+      case ActionKind::kDuplicate: {
+        duplicated_.fetch_add(1, std::memory_order_relaxed);
+        schedule_delivery(from, to, Bytes(blob.begin(), blob.end()),
+                          r.param != 0 ? r.param : kDefaultDuplicateMs);
+        return true;  // the original still goes out
+      }
+      case ActionKind::kCorrupt: {
+        corrupted_.fetch_add(1, std::memory_order_relaxed);
+        Bytes bad(blob.begin(), blob.end());
+        if (!bad.empty()) {
+          // Deterministic bit damage keyed by the action's param; any flip
+          // breaks the AEAD tag, so the receiver must reject the frame.
+          for (std::size_t i = 0; i < 8; ++i) {
+            bad[(r.param + i * 7) % bad.size()] ^=
+                static_cast<std::uint8_t>(0xA5 + i);
+          }
+        }
+        (void)bed_->bus_send_raw(from, to, std::move(bad));
+        return false;  // the intact original is replaced
+      }
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+void TcpFaultShim::schedule_delivery(NodeId from, NodeId to, Bytes blob,
+                                     std::uint64_t delay_ms) {
+  const auto due = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(delay_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    queue_.emplace(due, Delivery{from, to, std::move(blob)});
+  }
+  cv_.notify_all();
+}
+
+void TcpFaultShim::worker() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const auto due = queue_.begin()->first;
+    if (std::chrono::steady_clock::now() < due) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    Delivery d = std::move(queue_.begin()->second);
+    queue_.erase(queue_.begin());
+    lock.unlock();
+    // Late frames still pass the raw path (not the hook): a delayed message
+    // must not be re-faulted, mirroring the simulator's one-shot semantics.
+    (void)bed_->bus_send_raw(d.from, d.to, std::move(d.blob));
+    lock.lock();
+  }
+}
+
+}  // namespace sgxp2p::fuzz

@@ -1,0 +1,95 @@
+// TcpFaultShim — applies a fuzz::Schedule's adversarial actions to real
+// socket traffic.
+//
+// The deterministic simulator injects faults inside each node's host
+// (adversary::ScheduleStrategy); over genuine TCP there is no such seam, so
+// the shim interposes on TcpTestbed's outbound path instead: build() wires
+// every enclave's transfer() through the testbed, and the shim's send hook
+// decides per frame whether it passes, is dropped, delayed (a worker thread
+// re-injects it after the scheduled latency), duplicated, or corrupted.
+// Partition actions blackhole every frame to or from the victim for the
+// action's round window. Only the schedule's faulted set (≤ t nodes, by
+// Schedule::validate) is ever touched, so the honest-node oracles remain
+// fair assertions over real sockets.
+//
+// Crash/recover/stale-seal actions have no message-level expression here —
+// tcp_supported() (fuzz/tcp_runner.hpp) rejects schedules that use them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fuzz/schedule.hpp"
+#include "net/tcp_testbed.hpp"
+
+namespace sgxp2p::fuzz {
+
+class TcpFaultShim {
+ public:
+  struct Stats {
+    std::uint64_t dropped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t partition_dropped = 0;
+  };
+
+  /// Compiles the schedule's message-level and partition actions. The shim
+  /// must outlive the testbed's traffic; call install() before bed.build().
+  TcpFaultShim(net::TcpTestbed& bed, const Schedule& schedule);
+  ~TcpFaultShim();
+
+  TcpFaultShim(const TcpFaultShim&) = delete;
+  TcpFaultShim& operator=(const TcpFaultShim&) = delete;
+
+  /// Registers the send hook on the testbed.
+  void install();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Rule {
+    ActionKind kind = ActionKind::kDrop;
+    std::uint32_t round = 1;
+    NodeId peer = kNoNode;  // kNoNode = every destination
+    std::uint64_t param = 0;
+  };
+  struct Window {  // partition rounds [begin, end)
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  bool on_send(NodeId from, NodeId to, ByteView blob, std::uint32_t round);
+  [[nodiscard]] bool partitioned(NodeId node, std::uint32_t round) const;
+  void schedule_delivery(NodeId from, NodeId to, Bytes blob,
+                         std::uint64_t delay_ms);
+  void worker();
+
+  net::TcpTestbed* bed_;
+  std::vector<std::vector<Rule>> rules_;      // indexed by sender
+  std::vector<std::vector<Window>> windows_;  // partition windows per node
+
+  struct Delivery {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    Bytes blob;
+  };
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::multimap<std::chrono::steady_clock::time_point, Delivery> queue_;
+  bool stopping_ = false;
+  std::thread worker_;
+
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> delayed_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
+  std::atomic<std::uint64_t> partition_dropped_{0};
+};
+
+}  // namespace sgxp2p::fuzz

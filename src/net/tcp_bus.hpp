@@ -2,23 +2,35 @@
 //
 // The simulated Network (net/network.hpp) gives determinism for tests and
 // benchmarks; this module gives realism — the same protocol enclaves run
-// over genuine TCP connections with length-prefixed frames, a poll(2) event
-// loop, and wall-clock rounds (the role Boost.Asio played in the paper's
-// prototype). One TcpBus hosts all N endpoints of an in-process deployment:
-// each node gets its own listening socket (OS-assigned port) and a full
-// mesh of connections is established pairwise, so moving a node to another
-// process later only changes how the port map is shared.
+// over genuine TCP connections with length-prefixed frames and wall-clock
+// rounds (the role Boost.Asio played in the paper's prototype). One TcpBus
+// hosts all N endpoints of an in-process deployment: each node gets its own
+// listening socket (OS-assigned port) and a full mesh of connections is
+// established pairwise, so moving a node to another process later only
+// changes how the port map is shared.
 //
-// Threading: one background I/O thread owns every fd for reading; writes are
-// serialized per connection with a mutex and are safe from any thread.
+// TcpBus is the production data plane: a nonblocking epoll(7) event loop
+// with edge-triggered reads into persistent per-connection rx buffers,
+// per-connection bounded outbound queues drained with writev(2) coalescing
+// (many small sealed frames per syscall), refcounted serialize-once
+// multicast, explicit backpressure (queue high-watermark → kBackpressure),
+// and reconnect-on-failure with capped exponential backoff. LegacyTcpBus
+// (net/tcp_bus_legacy.hpp) preserves the original poll(2)+mutex loop behind
+// the same interface as the bench_tcp comparison baseline.
+//
+// Threading: one background I/O thread owns every fd; send() only enqueues
+// under a per-connection mutex and kicks the loop through an eventfd.
 // Inbound frames are handed to the receiver callback ON the I/O thread —
 // callers serialize their own node state (TcpTestbed uses one state mutex).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -27,6 +39,12 @@
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "sgx/trusted_time.hpp"
+
+namespace sgxp2p::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace sgxp2p::obs
 
 namespace sgxp2p::net {
 
@@ -41,56 +59,225 @@ class SteadyClock final : public sgx::TrustedClock {
   std::int64_t epoch_ns_;
 };
 
-class TcpBus {
+/// What happened to a frame handed to send()/multicast(). kOk means the
+/// frame was accepted into the connection's outbound queue (delivery is
+/// still best-effort TCP); the error statuses replace the old silent drop.
+enum class SendStatus : std::uint8_t {
+  kOk = 0,
+  kDown = 1,          // no usable connection (failed / reconnecting / bad id)
+  kBackpressure = 2,  // outbound queue above the high-watermark; retry later
+};
+
+[[nodiscard]] const char* send_status_name(SendStatus status);
+
+struct TcpBusOptions {
+  /// Frames with a length prefix above this are a protocol violation: the
+  /// connection is closed and net.tcp.bad_frames incremented.
+  std::size_t max_frame = 16u * 1024 * 1024;
+  /// Per-connection outbound queue bound. Once queued-but-unwritten bytes
+  /// exceed this, send() returns kBackpressure (a single frame larger than
+  /// the watermark is still admitted into an empty queue, so max_frame-sized
+  /// blobs remain sendable).
+  std::size_t tx_high_watermark = 4u * 1024 * 1024;
+  /// Reconnect backoff: first retry after base ms, doubling up to max.
+  std::uint32_t reconnect_base_ms = 25;
+  std::uint32_t reconnect_max_ms = 2000;
+  /// When false a failed connection stays down (tests that want to observe
+  /// the kDown state without racing the redialer).
+  bool reconnect = true;
+};
+
+/// The transport contract shared by the epoll TcpBus and the poll(2)
+/// LegacyTcpBus, so testbeds and benches can run either interchangeably.
+class TcpBusIface {
  public:
-  /// Frame arriving for `to`, sent by `from`.
+  /// Frame arriving for `to`, sent by `from`. Invoked on the I/O thread.
   using Receiver = std::function<void(NodeId to, NodeId from, Bytes blob)>;
 
-  explicit TcpBus(std::uint32_t n);
-  ~TcpBus();
+  virtual ~TcpBusIface() = default;
+
+  virtual void set_receiver(Receiver receiver) = 0;
+
+  /// Binds N listeners, builds the pairwise mesh, starts the I/O thread.
+  /// Returns false if any socket operation fails.
+  virtual bool start() = 0;
+  virtual void stop() = 0;
+
+  /// Sends a frame; thread-safe. Takes the payload by value so callers can
+  /// move pool-backed Bytes straight into the outbound queue (zero-copy).
+  virtual SendStatus send(NodeId from, NodeId to, Bytes blob) = 0;
+  SendStatus send(NodeId from, NodeId to, ByteView blob) {
+    return send(from, to, Bytes(blob.begin(), blob.end()));
+  }
+
+  /// Serialize-once fan-out: the payload is moved into a shared refcounted
+  /// buffer and every connection queue holds a reference — the socket-layer
+  /// mirror of broadcast_val's one-serialization semantics. Returns the
+  /// worst per-destination status (kBackpressure > kDown > kOk).
+  virtual SendStatus multicast(NodeId from, const std::vector<NodeId>& group,
+                               Bytes payload) = 0;
+
+  [[nodiscard]] virtual std::uint64_t messages_sent() const = 0;
+  [[nodiscard]] virtual std::uint64_t bytes_sent() const = 0;
+  [[nodiscard]] virtual std::uint16_t port_of(NodeId id) const = 0;
+};
+
+class TcpBus final : public TcpBusIface {
+ public:
+  using TcpBusIface::send;
+
+  explicit TcpBus(std::uint32_t n, TcpBusOptions options = {});
+  ~TcpBus() override;
 
   TcpBus(const TcpBus&) = delete;
   TcpBus& operator=(const TcpBus&) = delete;
 
-  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+  void set_receiver(Receiver receiver) override {
+    receiver_ = std::move(receiver);
+  }
 
-  /// Binds N listeners, builds the pairwise mesh, starts the I/O thread.
-  /// Returns false if any socket operation fails.
-  bool start();
-  void stop();
+  bool start() override;
+  void stop() override;
 
-  /// Sends a frame; thread-safe. Silently drops when the mesh is down.
-  void send(NodeId from, NodeId to, ByteView blob);
+  SendStatus send(NodeId from, NodeId to, Bytes blob) override;
+  SendStatus multicast(NodeId from, const std::vector<NodeId>& group,
+                       Bytes payload) override;
 
-  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
-  [[nodiscard]] std::uint16_t port_of(NodeId id) const {
+  [[nodiscard]] std::uint64_t messages_sent() const override {
+    return messages_sent_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const override {
+    return bytes_sent_;
+  }
+  [[nodiscard]] std::uint16_t port_of(NodeId id) const override {
     return ports_.at(id);
   }
 
+  // ---- fault-injection hooks (tests and the TCP fuzz shim) ----
+
+  /// Abruptly closes both fds of the (a,b) connection from the I/O thread,
+  /// as if the kernel reported an error mid-stream. Synchronous: returns
+  /// once the break has been applied, so subsequent sends observe kDown
+  /// until the pair heals via the normal backoff path (reconnect enabled).
+  void debug_break(NodeId a, NodeId b);
+
+  /// Queues raw bytes on the (from→to) connection without framing — for
+  /// exercising torn/oversized-frame handling at the receiver.
+  SendStatus debug_send_raw(NodeId from, NodeId to, Bytes raw);
+
  private:
-  struct Connection {
+  /// One directed half of a pair's duplex connection: the fd on `self`'s
+  /// side. Writes from `self` go out here; reads yield frames from `peer`.
+  struct OutFrame {
+    std::array<std::uint8_t, 12> header{};  // u32 len ‖ u32 from ‖ u32 to
+    std::uint8_t header_len = 0;            // 12, or 8 (hello), or 0 (raw)
+    std::shared_ptr<const Bytes> payload;   // null for header-only frames
+    std::size_t offset = 0;                 // bytes already written
+    [[nodiscard]] std::size_t size() const {
+      return header_len + (payload ? payload->size() : 0);
+    }
+  };
+  struct Endpoint {
+    NodeId self = kNoNode;
+    NodeId peer = kNoNode;
+    std::uint32_t sib = 0;  // index of the pair's other endpoint
+    bool is_dialer = false;  // self > peer: this side redials on failure
+
+    // I/O-thread-only state.
     int fd = -1;
-    NodeId a = kNoNode;  // lower endpoint id
-    NodeId b = kNoNode;  // higher endpoint id
-    Bytes rx;            // partial-frame read buffer
-    std::mutex write_mu;
+    Bytes rx;  // persistent read buffer; frames parsed from rx_head
+    std::size_t rx_head = 0;
+    bool connecting = false;      // nonblocking connect() in flight
+    std::uint32_t backoff_ms = 0;  // current retry delay (dialer side)
+    std::int64_t retry_at = -1;    // now_ms() deadline; -1 = none pending
+
+    // Sender-visible state, guarded by mu.
+    std::mutex mu;
+    std::deque<OutFrame> txq;
+    std::size_t tx_bytes = 0;  // queued-but-unwritten bytes
+    bool scheduled = false;    // already on the kick list
+    bool down = false;
+  };
+  struct Pending {  // accepted fd waiting for its 8-byte hello
+    std::array<std::uint8_t, 8> hello{};
+    std::size_t got = 0;
+  };
+  struct Ctl {
+    enum class Op : std::uint8_t { kBreak } op = Op::kBreak;
+    NodeId a = kNoNode;
+    NodeId b = kNoNode;
   };
 
+  static std::uint64_t pair_key(NodeId writer, NodeId peer) {
+    return (static_cast<std::uint64_t>(writer) << 32) | peer;
+  }
+  [[nodiscard]] static std::int64_t now_ms();
+
+  SendStatus enqueue_frame(std::uint32_t idx, OutFrame frame);
+  void kick(std::uint32_t idx);
+
   void io_loop();
-  bool read_ready(Connection& conn);
-  Connection* connection_for(NodeId x, NodeId y);
+  void drain_wake();
+  void process_kicks();
+  void process_controls();
+  void process_retries();
+  [[nodiscard]] int next_timeout_ms() const;
+  void service_tx(std::uint32_t idx);
+  [[nodiscard]] bool drain_tx_locked(Endpoint& e);
+  void on_endpoint_event(std::uint32_t idx, std::uint32_t events);
+  [[nodiscard]] bool on_readable(Endpoint& e);
+  [[nodiscard]] bool drain_rx(Endpoint& e);
+  void on_accept(std::uint32_t listener_node);
+  void on_pending(int fd, std::uint32_t events);
+  void adopt_accepted(int fd, NodeId hi, NodeId lo);
+  void fail_pair(std::uint32_t idx);
+  void attempt_redial(std::uint32_t idx);
+  void redial_failed(Endpoint& d);
+  void finish_redial(std::uint32_t idx);
+  bool register_fd(int fd, std::uint32_t tag, std::uint32_t idx,
+                   std::uint32_t events);
 
   std::uint32_t n_;
+  TcpBusOptions options_;
   Receiver receiver_;
   std::vector<std::uint16_t> ports_;
-  std::vector<std::unique_ptr<Connection>> connections_;
-  std::map<std::uint64_t, Connection*> by_pair_;
+  std::vector<int> listeners_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::map<std::uint64_t, std::uint32_t> by_pair_;  // (writer,peer) → index
+  std::map<int, Pending> pending_;
+
+  int epfd_ = -1;
+  int wake_fd_ = -1;
   std::thread io_thread_;
   std::atomic<bool> running_{false};
-  int wake_pipe_[2] = {-1, -1};
+
+  std::mutex kick_mu_;
+  std::vector<std::uint32_t> kicked_;
+  std::mutex ctl_mu_;
+  std::vector<Ctl> ctl_;
+  std::uint64_t ctl_posted_ = 0;  // under ctl_mu_
+  std::atomic<std::uint64_t> ctl_done_{0};
+
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+
+  // Instrument handles, resolved once from MetricsRegistry::current() on the
+  // constructing thread and touched from the I/O thread as relaxed atomics
+  // (the MeshTransport pattern).
+  obs::Counter* sends_ = nullptr;
+  obs::Counter* sent_bytes_ = nullptr;
+  obs::Counter* received_ = nullptr;
+  obs::Counter* received_bytes_ = nullptr;
+  obs::Counter* send_failures_ = nullptr;
+  obs::Counter* backpressure_events_ = nullptr;
+  obs::Counter* bad_frames_ = nullptr;
+  obs::Counter* reconnects_ = nullptr;
+  obs::Counter* conn_failures_ = nullptr;
+  obs::Counter* writev_calls_ = nullptr;
+  obs::Counter* recv_calls_ = nullptr;
+  obs::Counter* multicasts_ = nullptr;
+  obs::Histogram* writev_batch_ = nullptr;
+  obs::Gauge* tx_queue_peak_ = nullptr;
 };
 
 }  // namespace sgxp2p::net

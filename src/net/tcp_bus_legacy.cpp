@@ -1,0 +1,249 @@
+#include "net/tcp_bus_legacy.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sgxp2p::net {
+
+namespace {
+
+// Frame layout: u32 payload length ‖ u32 from ‖ u32 to ‖ payload.
+constexpr std::size_t kFrameHeader = 12;
+constexpr std::uint32_t kMaxFrame = 16 * 1024 * 1024;
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+LegacyTcpBus::LegacyTcpBus(std::uint32_t n) : n_(n), ports_(n, 0) {}
+
+LegacyTcpBus::~LegacyTcpBus() { stop(); }
+
+bool LegacyTcpBus::start() {
+  std::vector<int> listeners(n_, -1);
+  auto fail = [&]() {
+    for (int fd : listeners) {
+      if (fd >= 0) ::close(fd);
+    }
+    for (auto& c : connections_) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
+    connections_.clear();
+    return false;
+  };
+
+  // One listener per node, OS-assigned port on loopback.
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return fail();
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(fd, static_cast<int>(n_)) < 0) {
+      ::close(fd);
+      return fail();
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    ports_[i] = ntohs(addr.sin_port);
+    listeners[i] = fd;
+  }
+
+  // Mesh: for each pair (lo, hi), hi dials lo's listener and announces the
+  // pair with a hello frame of two u32s.
+  for (std::uint32_t hi = 1; hi < n_; ++hi) {
+    for (std::uint32_t lo = 0; lo < hi; ++lo) {
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) return fail();
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(ports_[lo]);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+        ::close(fd);
+        return fail();
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      std::uint8_t hello[8];
+      store_le32(hello, hi);
+      store_le32(hello + 4, lo);
+      if (!write_all(fd, hello, sizeof hello)) {
+        ::close(fd);
+        return fail();
+      }
+      // Accept on lo's listener and read the hello to identify the pair.
+      int afd = ::accept(listeners[lo], nullptr, nullptr);
+      if (afd < 0) {
+        ::close(fd);
+        return fail();
+      }
+      ::setsockopt(afd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      std::uint8_t hello_in[8];
+      std::size_t got = 0;
+      while (got < sizeof hello_in) {
+        ssize_t r = ::recv(afd, hello_in + got, sizeof hello_in - got, 0);
+        if (r <= 0) {
+          ::close(fd);
+          ::close(afd);
+          return fail();
+        }
+        got += static_cast<std::size_t>(r);
+      }
+      // Both endpoints share one duplex connection: the dialer keeps `fd`,
+      // the acceptor keeps `afd`. We register BOTH fds under the pair; reads
+      // poll both, writes from x use the fd on x's side.
+      auto conn_dial = std::make_unique<Connection>();
+      conn_dial->fd = fd;
+      conn_dial->a = lo;
+      conn_dial->b = hi;
+      auto conn_accept = std::make_unique<Connection>();
+      conn_accept->fd = afd;
+      conn_accept->a = lo;
+      conn_accept->b = hi;
+      // Writer mapping: frames from `hi` go out on the dialer fd; frames
+      // from `lo` go out on the acceptor fd. Key accordingly: (writer, peer).
+      by_pair_[(static_cast<std::uint64_t>(hi) << 32) | lo] = conn_dial.get();
+      by_pair_[(static_cast<std::uint64_t>(lo) << 32) | hi] =
+          conn_accept.get();
+      connections_.push_back(std::move(conn_dial));
+      connections_.push_back(std::move(conn_accept));
+    }
+  }
+  for (int fd : listeners) ::close(fd);  // mesh complete
+
+  if (::pipe(wake_pipe_) < 0) return fail();
+  running_ = true;
+  io_thread_ = std::thread([this] { io_loop(); });
+  return true;
+}
+
+void LegacyTcpBus::stop() {
+  if (!running_.exchange(false)) return;
+  if (wake_pipe_[1] >= 0) {
+    std::uint8_t byte = 1;
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+    conn->fd = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+SendStatus LegacyTcpBus::send(NodeId from, NodeId to, Bytes blob) {
+  if (!running_ || from == to || to >= n_) return SendStatus::kDown;
+  auto it = by_pair_.find((static_cast<std::uint64_t>(from) << 32) | to);
+  if (it == by_pair_.end()) return SendStatus::kDown;
+  Connection* conn = it->second;
+  Bytes frame(kFrameHeader + blob.size());
+  store_le32(frame.data(), static_cast<std::uint32_t>(blob.size()));
+  store_le32(frame.data() + 4, from);
+  store_le32(frame.data() + 8, to);
+  std::memcpy(frame.data() + kFrameHeader, blob.data(), blob.size());
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->fd < 0 ||
+      !write_all(conn->fd, frame.data(), frame.size())) {
+    return SendStatus::kDown;
+  }
+  ++messages_sent_;
+  bytes_sent_ += blob.size();
+  return SendStatus::kOk;
+}
+
+SendStatus LegacyTcpBus::multicast(NodeId from,
+                                   const std::vector<NodeId>& group,
+                                   Bytes payload) {
+  // No shared-buffer path here: the legacy bus re-frames (and re-copies)
+  // the payload per destination, which is exactly the cost the epoll bus's
+  // refcounted fan-out removes.
+  SendStatus worst = SendStatus::kOk;
+  for (NodeId to : group) {
+    if (to == from) continue;
+    SendStatus st = send(from, to, ByteView(payload));
+    if (static_cast<int>(st) > static_cast<int>(worst)) worst = st;
+  }
+  return worst;
+}
+
+bool LegacyTcpBus::read_ready(Connection& conn) {
+  std::uint8_t buf[64 * 1024];
+  ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+  if (n <= 0) return n == -1 && (errno == EAGAIN || errno == EINTR);
+  // (A false return below closes the connection in io_loop.)
+  conn.rx.insert(conn.rx.end(), buf, buf + n);
+  // Drain complete frames.
+  while (conn.rx.size() >= kFrameHeader) {
+    std::uint32_t len = load_le32(conn.rx.data());
+    if (len > kMaxFrame) return false;  // protocol violation: drop conn
+    if (conn.rx.size() < kFrameHeader + len) break;
+    NodeId from = load_le32(conn.rx.data() + 4);
+    NodeId to = load_le32(conn.rx.data() + 8);
+    Bytes payload(conn.rx.begin() + kFrameHeader,
+                  conn.rx.begin() + kFrameHeader + len);
+    conn.rx.erase(conn.rx.begin(),
+                  conn.rx.begin() + kFrameHeader + len);
+    // Transport-level sender binding: a frame arriving on this connection
+    // can only legitimately come from one of its two endpoints.
+    if ((from == conn.a || from == conn.b) && receiver_) {
+      receiver_(to, from, std::move(payload));
+    }
+  }
+  return true;
+}
+
+void LegacyTcpBus::io_loop() {
+  std::vector<pollfd> fds;
+  while (running_) {
+    fds.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    for (auto& conn : connections_) {
+      fds.push_back(pollfd{conn->fd, POLLIN, 0});
+    }
+    int ready = ::poll(fds.data(), fds.size(), 100);
+    if (ready <= 0) continue;
+    if (fds[0].revents & POLLIN) {
+      std::uint8_t drain[16];
+      (void)!::read(wake_pipe_[0], drain, sizeof drain);
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        if (!read_ready(*connections_[i - 1])) {
+          // Peer gone or protocol violation: retire the fd so poll() stops
+          // signaling it (negative fds are ignored by poll).
+          std::lock_guard<std::mutex> lock(connections_[i - 1]->write_mu);
+          ::close(connections_[i - 1]->fd);
+          connections_[i - 1]->fd = -1;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sgxp2p::net

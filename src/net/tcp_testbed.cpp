@@ -4,7 +4,9 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/serde.hpp"
+#include "net/tcp_bus_legacy.hpp"
 
 namespace sgxp2p::net {
 
@@ -22,14 +24,51 @@ TcpTestbed::TcpTestbed(TcpTestbedConfig config)
   ias_ = std::make_unique<sgx::SimIAS>(platform_);
   if (cfg_.t == 0) cfg_.t = (cfg_.n - 1) / 2;
   CHECK_MSG(2 * cfg_.t < cfg_.n, "TcpTestbed: t < N/2 required");
+  send_warned_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(cfg_.n) * cfg_.n);
 }
 
 TcpTestbed::~TcpTestbed() {
   if (bus_) bus_->stop();
 }
 
+std::uint32_t TcpTestbed::current_round() const {
+  const SimTime t0 = t0_.load(std::memory_order_acquire);
+  if (t0 == 0) return 0;
+  const SimTime now = clock_.now();
+  if (now < t0) return 0;
+  return 1 + static_cast<std::uint32_t>((now - t0) / cfg_.round_ms);
+}
+
+SendStatus TcpTestbed::bus_send_raw(NodeId from, NodeId to, Bytes blob) {
+  const std::size_t len = blob.size();
+  SendStatus st = bus_->send(from, to, std::move(blob));
+  if (st != SendStatus::kOk && from < cfg_.n && to < cfg_.n) {
+    std::atomic<bool>& warned =
+        send_warned_[static_cast<std::size_t>(from) * cfg_.n + to];
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      LOG_WARN("tcp_testbed: send ", from, "->", to, " failed (",
+               send_status_name(st), ", ", len,
+               " bytes); further failures on this connection are silent");
+    }
+  }
+  return st;
+}
+
+void TcpTestbed::host_transfer(NodeId from, NodeId to, Bytes blob) {
+  if (send_hook_ &&
+      !send_hook_(from, to, ByteView(blob), current_round())) {
+    return;  // the shim swallowed (or rescheduled) the frame
+  }
+  bus_send_raw(from, to, std::move(blob));
+}
+
 bool TcpTestbed::build(const EnclaveFactory& make_enclave) {
-  bus_ = std::make_unique<TcpBus>(cfg_.n);
+  if (cfg_.bus_kind == TcpBusKind::kLegacyPoll) {
+    bus_ = std::make_unique<LegacyTcpBus>(cfg_.n);
+  } else {
+    bus_ = std::make_unique<TcpBus>(cfg_.n, cfg_.bus_options);
+  }
 
   protocol::PeerConfig pc;
   pc.n = cfg_.n;
@@ -37,7 +76,7 @@ bool TcpTestbed::build(const EnclaveFactory& make_enclave) {
   pc.round_ms = cfg_.round_ms;
   pc.mode = protocol::ChannelMode::kAttested;
   for (NodeId id = 0; id < cfg_.n; ++id) {
-    hosts_.push_back(std::make_unique<BusHost>(id, *bus_));
+    hosts_.push_back(std::make_unique<BusHost>(id, *this));
     pc.self = id;
     enclaves_.push_back(
         make_enclave(id, platform_, *hosts_[id], pc, *ias_));
@@ -74,7 +113,7 @@ bool TcpTestbed::build(const EnclaveFactory& make_enclave) {
 
 void TcpTestbed::start() {
   std::lock_guard<std::mutex> lock(state_mu_);
-  t0_ = clock_.now() + cfg_.round_ms;
+  t0_.store(clock_.now() + cfg_.round_ms, std::memory_order_release);
   for (auto& enclave : enclaves_) enclave->start_protocol(t0_);
 }
 

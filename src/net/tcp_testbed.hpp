@@ -6,11 +6,13 @@
 // as the enclaves' trusted time, and real sleeping between round boundaries.
 // All node state is serialized under one mutex: inbound frames arrive on the
 // bus I/O thread, ticks on the caller thread. Intended for the localhost
-// deployment example and the TCP integration tests (honest nodes; the
-// byzantine machinery lives in the deterministic simulator where its effects
-// are measurable).
+// deployment example, the TCP integration tests, bench_tcp (which selects
+// the bus implementation via TcpTestbedConfig::bus_kind), and the TCP fuzz
+// runner (which injects a send hook to fault outbound traffic — see
+// fuzz/tcp_shim.hpp).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -23,11 +25,17 @@
 
 namespace sgxp2p::net {
 
+/// Which data plane carries the frames: the epoll event loop (production)
+/// or the preserved poll(2)+mutex loop (bench comparison baseline).
+enum class TcpBusKind : std::uint8_t { kEpoll, kLegacyPoll };
+
 struct TcpTestbedConfig {
   std::uint32_t n = 4;
   std::uint32_t t = 0;              // 0 → ⌊(n−1)/2⌋
   SimDuration round_ms = 250;       // wall-clock round (2Δ); localhost Δ≈125ms
   std::uint64_t seed = 1;
+  TcpBusKind bus_kind = TcpBusKind::kEpoll;
+  TcpBusOptions bus_options;        // epoll bus only
 };
 
 class TcpTestbed {
@@ -36,8 +44,19 @@ class TcpTestbed {
       NodeId id, sgx::SgxPlatform& platform, sgx::EnclaveHostIface& host,
       protocol::PeerConfig cfg, const sgx::SimIAS& ias)>;
 
+  /// Outbound-frame interposer (the TCP fuzz shim): return false to
+  /// suppress the frame, true to let it through. `round` is the current
+  /// wall-clock round (0 before start()). Runs on whichever thread the
+  /// enclave sent from; must not call back into the testbed lock.
+  using SendHook =
+      std::function<bool(NodeId from, NodeId to, ByteView blob,
+                         std::uint32_t round)>;
+
   explicit TcpTestbed(TcpTestbedConfig config);
   ~TcpTestbed();
+
+  /// Installs the outbound interposer. Call before build().
+  void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
 
   /// Builds nodes, runs the attested setup, and starts the socket mesh.
   /// Returns false if the mesh could not be established.
@@ -70,6 +89,15 @@ class TcpTestbed {
     return fn();
   }
 
+  /// The wall-clock round in progress: 0 before T0, 1 during [T0, T0+round),
+  /// … Safe from any thread (the fuzz shim's delay worker uses it).
+  [[nodiscard]] std::uint32_t current_round() const;
+
+  /// Sends a frame on the raw bus, bypassing the send hook — the shim's
+  /// delayed/duplicated deliveries re-enter here. Failures are logged once
+  /// per connection and counted by the bus.
+  SendStatus bus_send_raw(NodeId from, NodeId to, Bytes blob);
+
   [[nodiscard]] protocol::PeerEnclave& enclave(NodeId id) {
     return *enclaves_.at(id);
   }
@@ -77,32 +105,38 @@ class TcpTestbed {
   [[nodiscard]] T& enclave_as(NodeId id) {
     return dynamic_cast<T&>(*enclaves_.at(id));
   }
-  [[nodiscard]] TcpBus& bus() { return *bus_; }
+  [[nodiscard]] TcpBusIface& bus() { return *bus_; }
   [[nodiscard]] const TcpTestbedConfig& config() const { return cfg_; }
 
  private:
   // The host of a TCP node: transfers blobs over the socket mesh.
   class BusHost final : public sgx::EnclaveHostIface {
    public:
-    BusHost(NodeId self, TcpBus& bus) : self_(self), bus_(&bus) {}
+    BusHost(NodeId self, TcpTestbed& bed) : self_(self), bed_(&bed) {}
     void transfer(NodeId to, Bytes blob) override {
-      bus_->send(self_, to, blob);
+      bed_->host_transfer(self_, to, std::move(blob));
     }
 
    private:
     NodeId self_;
-    TcpBus* bus_;
+    TcpTestbed* bed_;
   };
+
+  void host_transfer(NodeId from, NodeId to, Bytes blob);
 
   TcpTestbedConfig cfg_;
   SteadyClock clock_;
-  std::unique_ptr<TcpBus> bus_;
+  std::unique_ptr<TcpBusIface> bus_;
   sgx::SgxPlatform platform_;
   std::unique_ptr<sgx::SimIAS> ias_;
   std::vector<std::unique_ptr<BusHost>> hosts_;
   std::vector<std::unique_ptr<protocol::PeerEnclave>> enclaves_;
+  SendHook send_hook_;
+  // One warn per connection on the first failed send (satellite of the
+  // status-enum change: failures used to vanish silently).
+  std::unique_ptr<std::atomic<bool>[]> send_warned_;
   std::mutex state_mu_;
-  SimTime t0_ = 0;
+  std::atomic<SimTime> t0_{0};
   std::uint32_t rounds_run_ = 0;
 };
 

@@ -95,6 +95,18 @@
 //   --replay-schedule <file>             re-execute a replay file and check
 //                                        its expect_violation/expect_digest
 //                                        stamps byte-identically
+//   --transport sim|tcp                  fuzz/replay data plane (default
+//                                        sim). tcp runs each schedule over
+//                                        real localhost sockets through
+//                                        TcpFaultShim; only erb/erng
+//                                        schedules without crash/recover/
+//                                        stale_seal are expressible — the
+//                                        campaign skips the rest. Replay
+//                                        over tcp checks the violated-oracle
+//                                        set (wall-clock runs have no
+//                                        metrics digest to compare).
+//   --tcp-round-ms <int>                 wall-clock round length for
+//                                        --transport tcp (default 200)
 //
 // Exit status: fuzz mode exits 1 when a failure was found, replay mode
 // exits 1 on any mismatch — both are CI gates.
@@ -113,6 +125,8 @@
 #include "adversary/strategies.hpp"
 #include "common/log.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "fuzz/schedule.hpp"
+#include "fuzz/tcp_runner.hpp"
 #include "net/testbed.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -161,6 +175,8 @@ struct Options {
   std::uint32_t fuzz_max_failures = 1;
   bool fuzz_canary = false;
   std::string replay_schedule;  // replay mode when non-empty
+  std::string transport = "sim";  // fuzz/replay data plane: sim | tcp
+  SimDuration tcp_round_ms = 200;
 };
 
 const char* flag_value(int argc, char** argv, const char* name) {
@@ -227,6 +243,10 @@ Options parse(int argc, char** argv) {
   o.fuzz_canary = flag_present(argc, argv, "--fuzz-canary");
   if (const char* v = flag_value(argc, argv, "--replay-schedule")) {
     o.replay_schedule = v;
+  }
+  if (const char* v = flag_value(argc, argv, "--transport")) o.transport = v;
+  if (const char* v = flag_value(argc, argv, "--tcp-round-ms")) {
+    o.tcp_round_ms = std::atoi(v);
   }
   o.csv = flag_present(argc, argv, "--csv");
   if (flag_present(argc, argv, "--metrics-out")) {
@@ -346,6 +366,77 @@ Outcome drive(sim::Testbed& bed, std::uint32_t max_rounds, DoneFn done,
 
 }  // namespace
 
+/// Replays one schedule over real sockets. The simulator's digest covers
+/// metrics and is meaningless here, so the check is the violated-oracle set
+/// against the schedule's expect_violations stamp (empty = must pass).
+int run_tcp_replay_mode(const Options& o) {
+  std::string error;
+  auto schedule = fuzz::Schedule::load_file(o.replay_schedule, &error);
+  if (!schedule) {
+    std::printf("replay %s: %s\n", o.replay_schedule.c_str(), error.c_str());
+    return 1;
+  }
+  if (!schedule->validate(&error) || !fuzz::tcp_supported(*schedule, &error)) {
+    std::printf("replay %s: %s\n", o.replay_schedule.c_str(), error.c_str());
+    return 1;
+  }
+  fuzz::TcpRunOptions run_opts;
+  run_opts.round_ms = o.tcp_round_ms;
+  fuzz::RunReport report = fuzz::run_tcp_schedule(*schedule, run_opts);
+  std::vector<std::string> actual = report.violated_oracles();
+  const bool ok = actual == schedule->expect_violations;
+  std::printf("replay %s over tcp: %s\n", o.replay_schedule.c_str(),
+              ok ? "violated-oracle set matches" : "MISMATCH");
+  std::printf("rounds  : %u\ndigest  : %s (honest outcomes only)\n"
+              "outcome : %s\n",
+              report.rounds, report.digest.c_str(), report.outcome.c_str());
+  for (const auto& v : report.violations) {
+    std::printf("violated: %s — %s\n", v.oracle.c_str(), v.detail.c_str());
+  }
+  return ok ? 0 : 1;
+}
+
+int run_tcp_fuzz_mode(const Options& o) {
+  fuzz::TcpCampaignOptions opts;
+  if (o.protocol == "erb") {
+    opts.targets = {fuzz::FuzzTarget::kErb};
+  } else if (o.protocol == "erng") {
+    opts.targets = {fuzz::FuzzTarget::kErngBasic};
+  } else if (o.protocol != "all") {
+    std::fprintf(stderr,
+                 "--transport tcp fuzzing supports --protocol erb|erng|all, "
+                 "not '%s'\n",
+                 o.protocol.c_str());
+    return 2;
+  }
+  opts.seed = o.fuzz_seed;
+  opts.schedules = o.fuzz;
+  opts.out_dir = o.fuzz_out;
+  opts.max_failures = o.fuzz_max_failures;
+  opts.round_ms = o.tcp_round_ms;
+  opts.progress_every = o.fuzz >= 20 ? 10 : 0;
+
+  fuzz::TcpCampaignResult result = fuzz::run_tcp_campaign(opts);
+  std::printf("tcp fuzz: %llu schedule(s) executed over real sockets, "
+              "%llu skipped (not socket-expressible), %zu failure(s)\n",
+              static_cast<unsigned long long>(result.executed),
+              static_cast<unsigned long long>(result.skipped),
+              result.failures.size());
+  for (const auto& f : result.failures) {
+    std::printf("FAIL %s schedule %u\n", fuzz::target_name(f.target), f.index);
+    for (const auto& v : f.report.violations) {
+      std::printf("  violated: %s — %s\n", v.oracle.c_str(),
+                  v.detail.c_str());
+    }
+    if (!f.repro_path.empty()) {
+      std::printf("  reproducer: %s (replay with --replay-schedule ... "
+                  "--transport tcp)\n",
+                  f.repro_path.c_str());
+    }
+  }
+  return result.clean() ? 0 : 1;
+}
+
 int run_replay_mode(const Options& o) {
   fuzz::ReplayResult r = fuzz::replay_schedule_file(o.replay_schedule);
   std::printf("replay %s: %s\n", o.replay_schedule.c_str(),
@@ -407,8 +498,22 @@ int run_fuzz_mode(const Options& o) {
 int main(int argc, char** argv) {
   Logger::instance().init_from_env();
   Options o = parse(argc, argv);
-  if (!o.replay_schedule.empty()) return run_replay_mode(o);
-  if (o.fuzz > 0) return run_fuzz_mode(o);
+  if (o.transport != "sim" && o.transport != "tcp") {
+    std::fprintf(stderr, "--transport must be sim or tcp, not '%s'\n",
+                 o.transport.c_str());
+    return 2;
+  }
+  if (o.transport == "tcp" && o.replay_schedule.empty() && o.fuzz == 0) {
+    std::fprintf(stderr,
+                 "--transport tcp applies to --fuzz and --replay-schedule\n");
+    return 2;
+  }
+  if (!o.replay_schedule.empty()) {
+    return o.transport == "tcp" ? run_tcp_replay_mode(o) : run_replay_mode(o);
+  }
+  if (o.fuzz > 0) {
+    return o.transport == "tcp" ? run_tcp_fuzz_mode(o) : run_fuzz_mode(o);
+  }
   if (!o.trace_path.empty()) {
     obs::TraceRecorder::global().enable(o.trace_capacity);
   }
