@@ -1,0 +1,305 @@
+#include "fuzz/coverage.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace sgxp2p::fuzz {
+
+namespace {
+
+constexpr const char* kMagic = "sgxp2p-coverage-v1";
+
+/// Every oracle the runner can judge, used to emit the clean branch of each
+/// target-applicable oracle (a run that PASSES erb.agreement reaches a
+/// different oracle branch than a run where the oracle never applied).
+const char* const kOraclesByTarget[][5] = {
+    // kErb
+    {"erb.termination", "erb.agreement", "erb.validity",
+     "metrics.conservation", nullptr},
+    // kErngBasic
+    {"erng.termination", "erng.agreement", "metrics.conservation", nullptr,
+     nullptr},
+    // kErngOpt
+    {"erng.termination", "erng.agreement", "metrics.conservation", nullptr,
+     nullptr},
+    // kRecovery
+    {"recovery.liveness", "recovery.restore", "recovery.stale_detect",
+     "metrics.conservation", nullptr},
+    // kShard
+    {"shard.termination", "shard.agreement", "shard.validity",
+     "metrics.conservation", nullptr},
+};
+
+bool is_hex_digit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+/// Collapses every run of 5+ hex digits to '#': outcome tokens embed value
+/// digests ("3:m=9f8a11bc…") that vary with the payload, but the protocol
+/// STATE ("decided some m") is the coverage-relevant part. Short digit runs
+/// (roster sizes, decide counts) survive — they are states, not values.
+std::string normalize_state(std::string_view state) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < state.size()) {
+    std::size_t j = i;
+    while (j < state.size() && is_hex_digit(state[j])) ++j;
+    if (j - i >= 5) {
+      out += '#';
+    } else {
+      out.append(state.substr(i, j - i));
+    }
+    if (j < state.size()) out += state[j];
+    i = j + 1;
+  }
+  return out;
+}
+
+/// log2-style magnitude bucket: 0, 1, 2, … ~64. Counter values are exact
+/// and deterministic, but hashing them raw would make every run "novel";
+/// the bucket keeps order-of-magnitude protocol activity as the feature.
+unsigned bucket(std::uint64_t v) {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+/// Round phase 1/2/3 (early/mid/late) relative to the schedule's budget —
+/// the "round phase" axis of the fault-interaction pairs.
+unsigned round_phase(std::uint32_t round, std::uint32_t max_rounds) {
+  if (max_rounds <= 1) return 1;
+  return 1 + std::min<std::uint32_t>(2, (round - 1) * 3 / max_rounds);
+}
+
+/// Coarse class of a fault parameter: the interesting boundaries are
+/// zero / small / beyond-a-round (delay), not individual values.
+unsigned param_class(ActionKind kind, std::uint64_t param) {
+  switch (kind) {
+    case ActionKind::kDelay:
+      return param < 200 ? 0 : param < 500 ? 1 : 2;
+    case ActionKind::kPartition:
+      return param <= 1 ? 0 : param <= 2 ? 1 : 2;
+    case ActionKind::kDuplicate:
+      return param == 0 ? 0 : param < 200 ? 1 : 2;
+    default:
+      return 0;
+  }
+}
+
+void append_feature_bits(const Schedule& s, std::vector<std::size_t>& bits) {
+  auto hit = [&bits](const std::string& feature) {
+    bits.push_back(CoverageMap::feature_bit(feature));
+  };
+  const std::string t = std::string("t=") + target_name(s.target) + ":";
+  std::vector<const char*> kinds_present;
+  for (const FaultAction& a : s.actions) {
+    const char* kind = action_kind_name(a.kind);
+    const unsigned phase = round_phase(a.round, s.max_rounds);
+    hit(t + "fault:" + kind + ":phase" + std::to_string(phase));
+    hit(t + "fault:" + kind + ":peer=" + (a.peer == kNoNode ? "all" : "one"));
+    hit(t + "fault:" + kind +
+        ":victim=" + (a.node == 0 ? "initiator" : "other"));
+    hit(t + "fault:" + kind + ":param" +
+        std::to_string(param_class(a.kind, a.param)));
+    kinds_present.push_back(kind);
+  }
+  if (s.actions.empty()) hit(t + "fault:none");
+  std::sort(kinds_present.begin(), kinds_present.end(),
+            [](const char* a, const char* b) { return std::strcmp(a, b) < 0; });
+  kinds_present.erase(std::unique(kinds_present.begin(), kinds_present.end(),
+                                  [](const char* a, const char* b) {
+                                    return std::strcmp(a, b) == 0;
+                                  }),
+                      kinds_present.end());
+  for (std::size_t i = 0; i < kinds_present.size(); ++i) {
+    for (std::size_t j = i + 1; j < kinds_present.size(); ++j) {
+      hit(t + "faultpair:" + kinds_present[i] + ":" + kinds_present[j]);
+    }
+  }
+  hit(t + "faulted=" + std::to_string(s.faulted_nodes().size()));
+}
+
+}  // namespace
+
+std::size_t CoverageMap::feature_bit(std::string_view feature) {
+  // FNV-1a 64: stable across platforms and standard-library versions (the
+  // map is committed to baselines, so std::hash's ABI freedom is not OK).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : feature) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h % kBits);
+}
+
+std::size_t CoverageMap::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+std::size_t CoverageMap::merge(const CoverageMap& other) {
+  std::size_t gained = 0;
+  for (std::size_t i = 0; i < kWords; ++i) {
+    gained += std::popcount(other.words_[i] & ~words_[i]);
+    words_[i] |= other.words_[i];
+  }
+  return gained;
+}
+
+std::size_t CoverageMap::novel_bits(const CoverageMap& other) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kWords; ++i) {
+    n += std::popcount(other.words_[i] & ~words_[i]);
+  }
+  return n;
+}
+
+bool CoverageMap::covers(const CoverageMap& other) const {
+  for (std::size_t i = 0; i < kWords; ++i) {
+    if ((other.words_[i] & ~words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::string CoverageMap::to_text() const {
+  std::ostringstream out;
+  out << kMagic << "\nbits";
+  char buf[17];
+  for (std::uint64_t w : words_) {
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(w));
+    out << ' ' << buf;
+  }
+  out << "\nend\n";
+  return out.str();
+}
+
+std::optional<CoverageMap> CoverageMap::from_text(const std::string& text,
+                                                  std::string* error) {
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return fail("missing sgxp2p-coverage-v1 header");
+  }
+  CoverageMap map;
+  bool saw_bits = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    }
+    if (key != "bits") return fail("unknown line '" + line + "'");
+    for (std::size_t i = 0; i < kWords; ++i) {
+      std::string word;
+      if (!(ls >> word) || word.size() != 16) {
+        return fail("bits line needs " + std::to_string(kWords) +
+                    " 16-hex-digit words");
+      }
+      map.words_[i] = std::strtoull(word.c_str(), nullptr, 16);
+    }
+    saw_bits = true;
+  }
+  if (!saw_bits) return fail("missing bits line");
+  if (!saw_end) return fail("missing 'end' terminator");
+  return map;
+}
+
+bool CoverageMap::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << to_text();
+  return static_cast<bool>(out);
+}
+
+std::optional<CoverageMap> CoverageMap::load_file(const std::string& path,
+                                                  std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_text(buf.str(), error);
+}
+
+CoverageMap compute_coverage(const Schedule& schedule,
+                             const std::vector<std::string>& violated_oracles,
+                             const std::string& outcome, std::uint32_t rounds,
+                             const obs::MetricsSnapshot& snapshot) {
+  CoverageMap map;
+  const std::string t = std::string("t=") + target_name(schedule.target) + ":";
+
+  // Oracle branches: the fired branch of every violated oracle plus the
+  // clean branch of every target-applicable one that held.
+  for (const std::string& oracle : violated_oracles) {
+    map.hit(t + "oracle:" + oracle + ":fail");
+  }
+  const auto& applicable =
+      kOraclesByTarget[static_cast<std::size_t>(schedule.target)];
+  for (const char* const* o = applicable; *o != nullptr; ++o) {
+    if (std::find(violated_oracles.begin(), violated_oracles.end(), *o) ==
+        violated_oracles.end()) {
+      map.hit(t + "oracle:" + *o + ":ok");
+    }
+  }
+
+  // Per-node protocol end states, from the runner's outcome summary. Tokens
+  // are "<node>:<state>" (ERB: m=…/bot/undecided/dead; recovery:
+  // member/r<k> vs out/r<k> plus the rejoin=/fallback= flags; shard:
+  // e<epoch>:<digest>/<decided>of<honest>). Value digests are collapsed so
+  // the state, not the payload, is the feature.
+  std::istringstream tokens(outcome);
+  std::string token;
+  while (tokens >> token) {
+    const std::size_t colon = token.find(':');
+    std::string node = colon == std::string::npos ? std::string("-")
+                                                  : token.substr(0, colon);
+    std::string state = normalize_state(
+        colon == std::string::npos ? token : token.substr(colon + 1));
+    map.hit(t + "state:" + node + ":" + state);
+    map.hit(t + "state:*:" + state);  // node-independent aggregate
+  }
+  map.hit(t + "rounds=" + std::to_string(rounds));
+
+  // Bucketed instruments: which counters exist and their order of
+  // magnitude. This is where the per-phase protocol activity lives —
+  // erb.send{ECHO}, recovery restore counters, shard confirm/record/global
+  // traffic — without making every distinct count a fresh feature.
+  for (const obs::CounterSample& c : snapshot.counters) {
+    map.hit(t + "metric:" + c.name + ":" + std::to_string(bucket(c.value)));
+  }
+
+  // Fault-interaction features, shared with schedule_feature_bits so the
+  // mutator's pre-run scoring agrees with the post-run map.
+  std::vector<std::size_t> bits;
+  append_feature_bits(schedule, bits);
+  for (std::size_t bit : bits) map.set(bit);
+  return map;
+}
+
+std::vector<std::size_t> schedule_feature_bits(const Schedule& schedule) {
+  std::vector<std::size_t> bits;
+  append_feature_bits(schedule, bits);
+  std::sort(bits.begin(), bits.end());
+  bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+  return bits;
+}
+
+}  // namespace sgxp2p::fuzz

@@ -10,15 +10,62 @@ namespace sgxp2p::fuzz {
 
 namespace {
 
+std::string in_dir(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  std::string out = dir;
+  if (out.back() != '/') out += '/';
+  return out + name;
+}
+
 std::string repro_filename(const CampaignOptions& options, FuzzTarget target,
                            std::uint32_t index) {
-  std::string name = "fuzz-" + std::string(target_name(target)) + "-seed" +
-                     std::to_string(options.seed) + "-" +
-                     std::to_string(index) + ".sched";
-  if (options.out_dir.empty()) return name;
-  std::string dir = options.out_dir;
-  if (dir.back() != '/') dir += '/';
-  return dir + name;
+  return in_dir(options.out_dir,
+                "fuzz-" + std::string(target_name(target)) + "-seed" +
+                    std::to_string(options.seed) + "-" +
+                    std::to_string(index) + ".sched");
+}
+
+std::string corpus_filename(const CampaignOptions& options, FuzzTarget target,
+                            std::uint32_t index) {
+  return in_dir(options.corpus_dir,
+                "corpus-" + std::string(target_name(target)) + "-seed" +
+                    std::to_string(options.seed) + "-" +
+                    std::to_string(index) + ".sched");
+}
+
+/// How many of `schedule`'s statically-known feature bits the campaign has
+/// not observed yet — the guided mutator's pre-run score (running every
+/// candidate to score it would triple the campaign cost).
+std::size_t unseen_score(const Schedule& schedule, const CoverageMap& seen) {
+  std::size_t score = 0;
+  for (std::size_t bit : schedule_feature_bits(schedule)) {
+    if (!seen.test(bit)) ++score;
+  }
+  return score;
+}
+
+/// Picks the next schedule for (target, index): fresh-random always in
+/// plain mode, and in guided mode for every 4th index or while the corpus
+/// is empty; otherwise best-of-4 mutants of a random corpus parent.
+Schedule next_schedule(const CampaignOptions& options, FuzzTarget target,
+                       std::uint32_t index,
+                       const std::vector<Schedule>& corpus,
+                       const CoverageMap& seen, Rng& mrng) {
+  if (!options.coverage_guided || corpus.empty() || index % 4 == 0) {
+    return generate_schedule(target, options.seed, index);
+  }
+  const Schedule& parent = corpus[mrng.next_below(corpus.size())];
+  Schedule best = mutate_schedule(parent, mrng);
+  std::size_t best_score = unseen_score(best, seen);
+  for (int k = 1; k < 4; ++k) {
+    Schedule candidate = mutate_schedule(parent, mrng);
+    std::size_t score = unseen_score(candidate, seen);
+    if (score > best_score) {
+      best = std::move(candidate);
+      best_score = score;
+    }
+  }
+  return best;
 }
 
 }  // namespace
@@ -41,16 +88,36 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   obs::Counter& c_violations = campaign_reg.counter("fuzz.violations");
   obs::Counter& c_failures = campaign_reg.counter("fuzz.failures");
   obs::Counter& c_shrink_runs = campaign_reg.counter("fuzz.shrink_runs");
+  obs::Gauge& g_coverage_bits = campaign_reg.gauge("fuzz.coverage_bits");
+  obs::Gauge& g_corpus_size = campaign_reg.gauge("fuzz.corpus_size");
 
   CampaignResult result;
   for (FuzzTarget target : targets) {
+    // Per-target corpus + mutation stream; seeding from (seed, target) alone
+    // keeps a guided campaign bit-for-bit reproducible.
+    std::vector<Schedule> corpus;
+    Rng mrng(options.seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee +
+             static_cast<std::uint64_t>(target));
     for (std::uint32_t index = 0; index < options.schedules; ++index) {
       if (result.failures.size() >= options.max_failures) return result;
-      Schedule schedule = generate_schedule(target, options.seed, index);
+      Schedule schedule = next_schedule(options, target, index, corpus,
+                                        result.coverage, mrng);
       RunReport report = run_schedule(schedule, run_options);
       ++result.executed;
       c_schedules.inc();
       c_violations.inc(report.violations.size());
+      const std::size_t gained = result.coverage.merge(report.coverage);
+      g_coverage_bits.set(static_cast<std::int64_t>(result.coverage.count()));
+      if (options.coverage_guided && gained > 0) {
+        corpus.push_back(schedule);
+        ++result.corpus_size;
+        g_corpus_size.set(static_cast<std::int64_t>(result.corpus_size));
+        if (!options.corpus_dir.empty() &&
+            !schedule.write_file(corpus_filename(options, target, index))) {
+          LOG_ERROR("fuzz: cannot write corpus schedule to ",
+                    corpus_filename(options, target, index));
+        }
+      }
       if (options.progress_every != 0 &&
           (index + 1) % options.progress_every == 0) {
         std::fprintf(stderr, "fuzz[%s] %u/%u schedules, %zu failure(s)\n",

@@ -36,6 +36,18 @@ struct CampaignOptions {
   std::uint32_t shrink_budget = 256;  // runs the shrinker may spend
   /// Progress line every `progress_every` schedules (0 = silent).
   std::uint32_t progress_every = 0;
+  /// Coverage-guided mode: schedules whose run lights new bits in the
+  /// campaign's aggregate CoverageMap join a per-target corpus; subsequent
+  /// indices mutate a corpus parent (best-of-K candidates scored by how
+  /// many of their schedule-derived feature bits the aggregate map has not
+  /// seen) instead of generating fresh-random, with every 4th index kept
+  /// fresh so the search never inbreeds. Fully deterministic: the mutation
+  /// stream is seeded from (seed, target) alone.
+  bool coverage_guided = false;
+  /// Persist every corpus-retained schedule here as
+  /// corpus-<target>-seed<S>-<index>.sched ("" = keep the corpus in memory
+  /// only). Feeds the nightly distillation pass (tools/sgxp2p-corpus).
+  std::string corpus_dir;
 };
 
 struct CampaignFailure {
@@ -50,6 +62,12 @@ struct CampaignFailure {
 struct CampaignResult {
   std::uint64_t executed = 0;  // schedules run (not counting shrinking)
   std::vector<CampaignFailure> failures;
+  /// Aggregate protocol-state coverage over every executed run (guided or
+  /// not) — count() is the "coverage bits" number CI and the guided-vs-
+  /// random test compare.
+  CoverageMap coverage;
+  /// Schedules retained as coverage-novel (0 unless coverage_guided).
+  std::uint64_t corpus_size = 0;
 
   [[nodiscard]] bool clean() const { return failures.empty(); }
 };

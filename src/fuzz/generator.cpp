@@ -213,4 +213,146 @@ Schedule generate_schedule(FuzzTarget target, std::uint64_t campaign_seed,
   return s;
 }
 
+namespace {
+
+bool is_message_kind(ActionKind k) {
+  switch (k) {
+    case ActionKind::kDrop:
+    case ActionKind::kDelay:
+    case ActionKind::kDuplicate:
+    case ActionKind::kCorrupt:
+    case ActionKind::kReorder:
+    case ActionKind::kPartition:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Indices of parent actions a generic mutation may touch. The recovery
+/// pivots (crash/recover/stale_seal) are excluded: they must stay mutually
+/// consistent (same victim, ordered rounds), so blind per-field edits on
+/// them mostly burn retry attempts.
+std::vector<std::size_t> mutable_actions(const Schedule& s) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < s.actions.size(); ++i) {
+    if (s.target != FuzzTarget::kRecovery || is_message_kind(s.actions[i].kind)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+void reset_param_for_kind(FaultAction& a, Rng& rng) {
+  switch (a.kind) {
+    case ActionKind::kCorrupt:
+      a.param = rng.next_u64();
+      break;
+    case ActionKind::kDelay:
+      a.param = 50 + rng.next_below(1451);  // wider than the generator's menu
+      break;
+    case ActionKind::kDuplicate:
+      a.param = rng.next_below(301);
+      break;
+    case ActionKind::kPartition:
+      a.param = 1 + rng.next_below(3);  // generator never isolates 3 rounds
+      break;
+    default:
+      a.param = 0;
+      break;
+  }
+}
+
+/// Applies one mutation operator in place; returns false when the operator
+/// has nothing to act on (empty action list, no mutable action, …) so the
+/// caller rolls another.
+bool apply_mutation(Schedule& s, Rng& rng) {
+  const std::vector<std::size_t> idx = mutable_actions(s);
+  switch (rng.next_below(7)) {
+    case 0: {  // testbed reseed — same faults, different delivery jitter
+      s.seed = 1 + rng.next_below(1u << 20);
+      return true;
+    }
+    case 1: {  // round shift, over the FULL budget (not just the hot window)
+      if (idx.empty()) return false;
+      FaultAction& a = s.actions[idx[rng.next_below(idx.size())]];
+      a.round = 1 + static_cast<std::uint32_t>(rng.next_below(s.max_rounds));
+      return true;
+    }
+    case 2: {  // victim swap
+      if (idx.empty()) return false;
+      FaultAction& a = s.actions[idx[rng.next_below(idx.size())]];
+      a.node = static_cast<NodeId>(rng.next_below(s.n));
+      return true;
+    }
+    case 3: {  // fault-type flip (message-level kinds only)
+      if (idx.empty()) return false;
+      FaultAction& a = s.actions[idx[rng.next_below(idx.size())]];
+      if (!is_message_kind(a.kind)) return false;
+      constexpr ActionKind kMenu[] = {
+          ActionKind::kDrop,      ActionKind::kDelay,
+          ActionKind::kDuplicate, ActionKind::kCorrupt,
+          ActionKind::kReorder,   ActionKind::kPartition,
+      };
+      ActionKind next = kMenu[rng.next_below(std::size(kMenu))];
+      if (next == a.kind) return false;
+      a.kind = next;
+      if (a.kind == ActionKind::kPartition) a.peer = kNoNode;
+      reset_param_for_kind(a, rng);
+      return true;
+    }
+    case 4: {  // action splice: extra fault on an ALREADY-faulted node, so
+               // the byzantine budget is unchanged
+      std::vector<NodeId> faulted = s.faulted_nodes();
+      if (faulted.empty() || s.actions.size() >= 256) return false;
+      NodeId node = faulted[rng.next_below(faulted.size())];
+      s.actions.push_back(sample_action(rng, node, s.n, s.max_rounds,
+                                        /*allow_crash=*/false));
+      return true;
+    }
+    case 5: {  // peer flip: broadcast fault ↔ selective single-peer fault
+      if (idx.empty()) return false;
+      FaultAction& a = s.actions[idx[rng.next_below(idx.size())]];
+      if (a.kind != ActionKind::kDrop && a.kind != ActionKind::kCorrupt) {
+        return false;
+      }
+      if (a.peer == kNoNode) {
+        NodeId peer = static_cast<NodeId>(rng.next_below(s.n));
+        if (peer == a.node) return false;
+        a.peer = peer;
+      } else {
+        a.peer = kNoNode;
+      }
+      return true;
+    }
+    default: {  // param widen / re-roll
+      if (idx.empty()) return false;
+      FaultAction& a = s.actions[idx[rng.next_below(idx.size())]];
+      reset_param_for_kind(a, rng);
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+Schedule mutate_schedule(const Schedule& parent, Rng& rng) {
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    Schedule s = parent;
+    s.expect_violations.clear();  // mutants carry no replay stamps
+    s.expect_digest.clear();
+    if (!apply_mutation(s, rng)) continue;
+    if (s.validate(nullptr)) return s;
+  }
+  // Every operator kept failing (e.g. a pivot-only recovery schedule at the
+  // edge of its budget): fall back to a reseed, valid whenever parent is.
+  Schedule s = parent;
+  s.expect_violations.clear();
+  s.expect_digest.clear();
+  s.seed = 1 + rng.next_below(1u << 20);
+  std::string error;
+  CHECK_MSG(s.validate(&error), "mutate_schedule fallback unsound");
+  return s;
+}
+
 }  // namespace sgxp2p::fuzz

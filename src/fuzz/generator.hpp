@@ -12,6 +12,7 @@
 // protocols require (t < N/2, erng_opt in the fallback-cluster regime).
 #pragma once
 
+#include "common/rng.hpp"
 #include "fuzz/schedule.hpp"
 
 namespace sgxp2p::fuzz {
@@ -19,5 +20,17 @@ namespace sgxp2p::fuzz {
 [[nodiscard]] Schedule generate_schedule(FuzzTarget target,
                                          std::uint64_t campaign_seed,
                                          std::uint32_t index);
+
+/// One mutation step for the coverage-guided loop: copies `parent`, applies
+/// a single randomly chosen operator — action splice, round shift, victim
+/// swap, fault-type flip, peer flip, param widen, action drop, or testbed
+/// reseed — and returns the first candidate that passes Schedule::validate
+/// (falling back to a pure reseed, which is valid whenever the parent is).
+/// Deliberately reaches regions generate_schedule never samples: rounds in
+/// the cold (t+2, max_rounds] tail, partition lengths of 3, and fault-kind
+/// pairs the per-node sampler cannot co-locate — that surplus is what makes
+/// a guided campaign strictly out-cover a fresh-random one at equal budget
+/// (test_coverage.cpp asserts this).
+[[nodiscard]] Schedule mutate_schedule(const Schedule& parent, Rng& rng);
 
 }  // namespace sgxp2p::fuzz

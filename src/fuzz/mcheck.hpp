@@ -1,0 +1,89 @@
+// Exhaustive small-scope model checker (Guardian-style).
+//
+// Random fuzzing finds deep bugs; exhaustive small-scope search proves
+// their absence where it is tractable. check_model walks EVERY
+// host-controlled fault combination a tiny deployment admits — the same
+// adversary surface Guardian explores on the enclave interface — and
+// judges each one with the same oracles, runner, and shrinker the fuzzer
+// uses, so a violation falls out as a replayable `.sched` reproducer.
+//
+// Search space: a quantized fault alphabet (each entry one FaultAction —
+// kind × victim × round within the `rounds` horizon, message params pinned
+// to one representative per param class) enumerated as subsets of size ≤
+// `bound` via DFS in increasing alphabet order, on top of a fixed base
+// deployment for the target at size n. Two prunes keep it honest AND
+// cheap:
+//
+//  * Validity pruning. A subset failing Schedule::validate cuts its whole
+//    subtree. Sound because the alphabet is ordered crash < recover <
+//    stale_seal < message faults: DFS only ever extends a subset with
+//    higher-indexed entries, and with recovers below everything that could
+//    need them no invalid subset can become valid again by extension
+//    (budget overruns only grow; a recover-without-crash can never gain
+//    its crash later).
+//
+//  * Symmetry pruning. Interchangeable nodes (ERB non-initiators, the
+//    whole ERNG-basic roster, erng_opt's cluster/non-cluster halves,
+//    recovery's two plain members) induce schedule classes that exercise
+//    the same protocol behavior. Each subset is canonicalized — minimum
+//    over within-class node permutations of its sorted action list — and
+//    only canonical-new states are run; the rest count as states_pruned.
+//    Exhaustiveness is therefore modulo node symmetry: exact at the
+//    protocol level, while per-link delivery jitter (an artifact of the
+//    simulated network, not of the protocol) may differ between symmetric
+//    twins.
+//
+// `rounds` bounds where fault actions may land (the adversary's horizon);
+// the schedule's max_rounds stays at the target's liveness floor so the
+// termination oracles remain fair assertions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/schedule.hpp"
+
+namespace sgxp2p::fuzz {
+
+struct ModelCheckOptions {
+  FuzzTarget target = FuzzTarget::kErb;
+  /// Deployment size. Targets with structural floors clamp upward:
+  /// recovery needs n ≥ 5 (roster + joiner), shard n ≥ 4 (one committee).
+  std::uint32_t n = 3;
+  /// Fault-action horizon: alphabet entries land in rounds 1..rounds.
+  std::uint32_t rounds = 2;
+  /// Maximum simultaneous fault actions per explored schedule.
+  std::uint32_t bound = 2;
+  std::uint64_t seed = 1;  // testbed seed of the base deployment
+  bool canary = false;     // arm the test-only canary.no_bottom oracle
+  std::string out_dir;     // reproducers land here ("" = cwd)
+  std::uint32_t shrink_budget = 256;
+  /// Stop after this many DISTINCT violation sets have been shrunk and
+  /// emitted (every hit still counts in violations_found).
+  std::uint32_t max_emitted = 8;
+  /// Safety valve: abort (exhausted=false) after this many runs; 0 = off.
+  std::uint64_t max_states = 0;
+};
+
+struct ModelCheckViolation {
+  Schedule shrunk;          // minimal reproducer (with expect_* stamps)
+  RunReport report;         // the shrunk schedule's run
+  std::uint32_t shrink_runs = 0;
+  std::string repro_path;   // written replay file ("" if write failed)
+};
+
+struct ModelCheckResult {
+  std::uint64_t states_explored = 0;  // canonical-new valid schedules run
+  std::uint64_t states_pruned = 0;    // symmetry twins + invalid subtrees
+  std::uint64_t violations_found = 0; // runs with ≥ 1 oracle violation
+  std::vector<ModelCheckViolation> violations;  // one per distinct set
+  CoverageMap coverage;               // aggregate over every explored run
+  bool exhausted = true;              // false iff max_states tripped
+
+  [[nodiscard]] bool clean() const { return violations_found == 0; }
+};
+
+[[nodiscard]] ModelCheckResult check_model(const ModelCheckOptions& options);
+
+}  // namespace sgxp2p::fuzz

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "fuzz/coverage.hpp"
 #include "fuzz/schedule.hpp"
 
 namespace sgxp2p::fuzz {
@@ -71,6 +72,7 @@ struct RunReport {
   std::vector<Violation> violations;
   std::string outcome;           // per-node outcome summary (digest input)
   std::string digest;            // sha256 hex over (metrics, outcome, rounds)
+  CoverageMap coverage;          // protocol-state feature bitmap of this run
 
   [[nodiscard]] bool passed() const { return violations.empty(); }
 

@@ -116,8 +116,9 @@ struct RunContext {
   // Pending partition heals: round → cut pairs to release.
   std::map<std::uint32_t, std::vector<std::pair<NodeId, NodeId>>> heal_at;
 
-  explicit RunContext(const Schedule& s, obs::MetricsRegistry& registry)
-      : bed(make_config(s, registry)),
+  RunContext(const Schedule& s, const RunOptions& opts,
+             obs::MetricsRegistry& registry)
+      : bed(make_config(s, opts, registry)),
         clock(std::make_shared<adversary::ScheduleClock>()),
         compiled(compile(s)) {
     // No round is "active" during the setup handshakes.
@@ -125,6 +126,7 @@ struct RunContext {
   }
 
   static sim::TestbedConfig make_config(const Schedule& s,
+                                        const RunOptions& opts,
                                         obs::MetricsRegistry& registry) {
     sim::TestbedConfig cfg;
     cfg.n = s.n;
@@ -133,10 +135,13 @@ struct RunContext {
     cfg.net.base_delay = milliseconds(100);
     cfg.net.max_jitter = milliseconds(100);
     cfg.registry = &registry;
-    // Replay files stamp expect_digest against serial execution; one worker
-    // keeps every schedule byte-stable regardless of the ambient
-    // SGXP2P_SIM_JOBS / engine configuration the process runs under.
-    cfg.jobs = 1;
+    cfg.engine = opts.engine;
+    // Replay files stamp expect_digest against canonical-order execution;
+    // jobs comes from RunOptions (default 1) rather than the ambient
+    // SGXP2P_SIM_JOBS, so a schedule is byte-stable regardless of the
+    // process environment. The parallel engine's canonical-order merge
+    // makes any explicit jobs > 1 equally byte-stable.
+    cfg.jobs = std::max(1u, opts.jobs);
     return cfg;
   }
 
@@ -212,7 +217,8 @@ void check_metrics_conservation(const obs::MetricsSnapshot& snap,
   }
 }
 
-void finalize(const obs::MetricsRegistry& registry, RunReport& report) {
+void finalize(const Schedule& schedule, const obs::MetricsRegistry& registry,
+              RunReport& report) {
   obs::MetricsSnapshot snap = registry.snapshot();
   check_metrics_conservation(snap, report);
   std::string material = snap.to_json() + "\n" + report.outcome + "\n" +
@@ -220,13 +226,18 @@ void finalize(const obs::MetricsRegistry& registry, RunReport& report) {
   report.digest = hex_encode(crypto::Sha256::hash_bytes(
       ByteView(reinterpret_cast<const std::uint8_t*>(material.data()),
                material.size())));
+  // Every coverage input (snapshot, violations, outcome, rounds) is part of
+  // — or derived the same way as — the digest material, so the map inherits
+  // the digest's same-seed and cross-engine byte-identity.
+  report.coverage = compute_coverage(schedule, report.violated_oracles(),
+                                     report.outcome, report.rounds, snap);
 }
 
 // ----- ERB ---------------------------------------------------------------
 
 RunReport run_erb(const Schedule& s, const RunOptions& opts,
                   obs::MetricsRegistry& registry) {
-  RunContext ctx(s, registry);
+  RunContext ctx(s, opts, registry);
   const Bytes payload = to_bytes(kErbPayload);
   const NodeId initiator = 0;
   ctx.bed.build(
@@ -300,16 +311,17 @@ RunReport run_erb(const Schedule& s, const RunOptions& opts,
     }
   }
   report.outcome = outcome.str();
-  finalize(registry, report);
+  finalize(s, registry, report);
   return report;
 }
 
 // ----- ERNG (basic + opt share the oracle shape) -------------------------
 
 template <typename NodeT>
-RunReport run_erng(const Schedule& s, obs::MetricsRegistry& registry,
+RunReport run_erng(const Schedule& s, const RunOptions& opts,
+                   obs::MetricsRegistry& registry,
                    const sim::Testbed::EnclaveFactory& factory) {
-  RunContext ctx(s, registry);
+  RunContext ctx(s, opts, registry);
   ctx.bed.build(factory, ctx.strategy_factory());
   ctx.install_fault_hook(s.n);
   ctx.start();
@@ -363,14 +375,15 @@ RunReport run_erng(const Schedule& s, obs::MetricsRegistry& registry,
     }
   }
   report.outcome = outcome.str();
-  finalize(registry, report);
+  finalize(s, registry, report);
   return report;
 }
 
 // ----- Recovery ----------------------------------------------------------
 
-RunReport run_recovery(const Schedule& s, obs::MetricsRegistry& registry) {
-  RunContext ctx(s, registry);
+RunReport run_recovery(const Schedule& s, const RunOptions& opts,
+                       obs::MetricsRegistry& registry) {
+  RunContext ctx(s, opts, registry);
   const std::uint32_t roster_n = s.n - 1;
   const NodeId extra = s.n - 1;  // joins fresh — the liveness proof
   const bool recovers = ctx.compiled.recover_round != 0;
@@ -475,14 +488,15 @@ RunReport run_recovery(const Schedule& s, obs::MetricsRegistry& registry) {
       }
     }
   }
-  finalize(registry, report);
+  finalize(s, registry, report);
   return report;
 }
 
 // ----- Shard -------------------------------------------------------------
 
-RunReport run_shard(const Schedule& s, obs::MetricsRegistry& registry) {
-  RunContext ctx(s, registry);
+RunReport run_shard(const Schedule& s, const RunOptions& opts,
+                    obs::MetricsRegistry& registry) {
+  RunContext ctx(s, opts, registry);
   ctx.bed.build(shard::ShardCoordinator::make_factory(),
                 ctx.strategy_factory());
   ctx.install_fault_hook(s.n);
@@ -524,7 +538,7 @@ RunReport run_shard(const Schedule& s, obs::MetricsRegistry& registry) {
     }
   }
   report.outcome = outcome.str();
-  finalize(registry, report);
+  finalize(s, registry, report);
   return report;
 }
 
@@ -569,7 +583,7 @@ RunReport run_schedule(const Schedule& schedule, const RunOptions& options) {
       break;
     case FuzzTarget::kErngBasic:
       report = run_erng<protocol::ErngBasicNode>(
-          schedule, registry,
+          schedule, options, registry,
           [](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
              protocol::PeerConfig pc, const sgx::SimIAS& ias)
               -> std::unique_ptr<protocol::PeerEnclave> {
@@ -579,7 +593,7 @@ RunReport run_schedule(const Schedule& schedule, const RunOptions& options) {
       break;
     case FuzzTarget::kErngOpt:
       report = run_erng<protocol::ErngOptNode>(
-          schedule, registry,
+          schedule, options, registry,
           [](NodeId id, sgx::SgxPlatform& platform, net::Host& host,
              protocol::PeerConfig pc, const sgx::SimIAS& ias)
               -> std::unique_ptr<protocol::PeerEnclave> {
@@ -588,10 +602,10 @@ RunReport run_schedule(const Schedule& schedule, const RunOptions& options) {
           });
       break;
     case FuzzTarget::kRecovery:
-      report = run_recovery(schedule, registry);
+      report = run_recovery(schedule, options, registry);
       break;
     case FuzzTarget::kShard:
-      report = run_shard(schedule, registry);
+      report = run_shard(schedule, options, registry);
       break;
     default:
       CHECK_MSG(false, "run_schedule: unknown target");

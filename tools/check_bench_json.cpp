@@ -71,6 +71,18 @@ std::optional<JsonValue> load_json(const char* path) {
   return json_parse(buf.str());
 }
 
+/// Appends one markdown line per failing counter to $GITHUB_STEP_SUMMARY
+/// (when CI sets it), so a red release-perf job names the drifted key on
+/// the run's summary page instead of burying it in the log.
+void summarize_failures(const std::vector<std::string>& lines) {
+  const char* path = std::getenv("GITHUB_STEP_SUMMARY");
+  if (path == nullptr || lines.empty()) return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  out << "### check_bench_json: counter regression\n";
+  for (const std::string& line : lines) out << "- " << line << "\n";
+}
+
 /// Diffs current counters against the baseline's. Returns the number of
 /// counters outside tolerance (0 = gate passes).
 int compare_counters(const JsonValue& current, const JsonValue& baseline,
@@ -78,6 +90,7 @@ int compare_counters(const JsonValue& current, const JsonValue& baseline,
                      double tolerance) {
   int bad = 0;
   int compared = 0;
+  std::vector<std::string> failures;
   for (const auto& [name, base_v] : baseline.object) {
     if (base_v.type != JsonValue::Type::kInt) continue;
     if (!prefixes.empty()) {
@@ -97,6 +110,7 @@ int compare_counters(const JsonValue& current, const JsonValue& baseline,
                    "check_bench_json: counter %s in baseline but missing "
                    "from the current run\n",
                    name.c_str());
+      failures.push_back("`" + name + "` missing from the current run");
       ++bad;
       continue;
     }
@@ -109,11 +123,15 @@ int compare_counters(const JsonValue& current, const JsonValue& baseline,
                    "current %lld, tolerance %.3f\n",
                    name.c_str(), static_cast<long long>(base_v.integer),
                    static_cast<long long>(cur_v->integer), tolerance);
+      failures.push_back("`" + name + "` baseline " +
+                         std::to_string(base_v.integer) + ", current " +
+                         std::to_string(cur_v->integer));
       ++bad;
     }
   }
   std::printf("compare: %d counter(s) checked, %d outside tolerance\n",
               compared, bad);
+  summarize_failures(failures);
   return bad;
 }
 

@@ -1,0 +1,254 @@
+// sgxp2p-corpus — offline coverage-map and corpus maintenance.
+//
+// The fuzzer's coverage maps (src/fuzz/coverage.hpp) are pure functions of
+// their schedules, so everything here works from `.sched` files alone: each
+// schedule is re-run deterministically and its bitmap recomputed, which is
+// exactly how the nightly job distills a 10k-campaign corpus down to the
+// handful of schedules that still light every bit.
+//
+//   sgxp2p-corpus cover   <dir|file.sched ...> [--map out.map]
+//       Run every schedule, print per-schedule novelty against the running
+//       aggregate, and the final aggregate bit count. --map writes the
+//       aggregate for later diffing.
+//
+//   sgxp2p-corpus diff    <a.map> <b.map>
+//       Compare two coverage maps. Prints shared / only-a / only-b bit
+//       counts. Exit 0 iff identical, 1 otherwise (so CI can use it as a
+//       drift check).
+//
+//   sgxp2p-corpus distill <dir> --out <out-dir> [--map campaign.map]
+//       Greedy set-cover: walk the directory's schedules in deterministic
+//       (sorted-path) order, keep each one whose map adds bits the kept set
+//       lacks, and copy the keepers into --out together with a
+//       `distilled.map` of their union. With --map, additionally verify the
+//       keepers still cover the campaign's recorded aggregate (bits only a
+//       since-fixed run produced are reported, not fatal: coverage from
+//       crashing/violating runs is not reproducible from the corpus alone).
+//
+// Exit status: 0 ok, 1 mismatch/violation of the requested property,
+// 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/coverage.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/schedule.hpp"
+
+namespace fs = std::filesystem;
+using namespace sgxp2p::fuzz;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sgxp2p-corpus cover   <dir|file.sched ...> [--map out.map]\n"
+               "       sgxp2p-corpus diff    <a.map> <b.map>\n"
+               "       sgxp2p-corpus distill <dir> --out <out-dir> "
+               "[--map campaign.map]\n");
+  return 2;
+}
+
+/// Expands arguments into a sorted list of .sched paths. Directories are
+/// scanned one level deep; explicit files are taken as-is. Sorting keeps
+/// `cover` and `distill` output independent of directory iteration order.
+std::vector<std::string> collect_schedules(
+    const std::vector<std::string>& inputs) {
+  std::vector<std::string> paths;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (const auto& entry : fs::directory_iterator(input, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".sched") {
+          paths.push_back(entry.path().string());
+        }
+      }
+    } else {
+      paths.push_back(input);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+struct LoadedSchedule {
+  std::string path;
+  Schedule schedule;
+  CoverageMap map;
+};
+
+/// Loads and re-runs every schedule, recomputing its coverage map. Parse
+/// failures are fatal (a corpus with broken files should not silently
+/// shrink); the run itself cannot fail — violating schedules still produce
+/// a report and a map.
+bool load_and_run(const std::vector<std::string>& paths,
+                  std::vector<LoadedSchedule>& out) {
+  for (const std::string& path : paths) {
+    std::string error;
+    auto schedule = Schedule::load_file(path, &error);
+    if (!schedule) {
+      std::fprintf(stderr, "sgxp2p-corpus: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return false;
+    }
+    RunReport report = run_schedule(*schedule);
+    out.push_back({path, std::move(*schedule), report.coverage});
+  }
+  return true;
+}
+
+int cmd_cover(const std::vector<std::string>& inputs,
+              const std::string& map_out) {
+  const std::vector<std::string> paths = collect_schedules(inputs);
+  if (paths.empty()) {
+    std::fprintf(stderr, "sgxp2p-corpus: no .sched files found\n");
+    return 2;
+  }
+  std::vector<LoadedSchedule> runs;
+  if (!load_and_run(paths, runs)) return 2;
+  CoverageMap aggregate;
+  for (const LoadedSchedule& run : runs) {
+    const std::size_t gained = aggregate.merge(run.map);
+    std::printf("%s: %zu bit(s), +%zu new\n", run.path.c_str(),
+                run.map.count(), gained);
+  }
+  std::printf("aggregate: %zu schedule(s), %zu bit(s) lit\n", runs.size(),
+              aggregate.count());
+  if (!map_out.empty()) {
+    if (!aggregate.write_file(map_out)) {
+      std::fprintf(stderr, "sgxp2p-corpus: cannot write %s\n",
+                   map_out.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", map_out.c_str());
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& a_path, const std::string& b_path) {
+  std::string error;
+  auto a = CoverageMap::load_file(a_path, &error);
+  if (!a) {
+    std::fprintf(stderr, "sgxp2p-corpus: %s: %s\n", a_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  auto b = CoverageMap::load_file(b_path, &error);
+  if (!b) {
+    std::fprintf(stderr, "sgxp2p-corpus: %s: %s\n", b_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const std::size_t only_a = b->novel_bits(*a);  // set in a, missing from b
+  const std::size_t only_b = a->novel_bits(*b);
+  const std::size_t shared = a->count() - only_a;
+  std::printf("shared %zu | only %s %zu | only %s %zu\n", shared,
+              a_path.c_str(), only_a, b_path.c_str(), only_b);
+  if (*a == *b) {
+    std::printf("maps identical\n");
+    return 0;
+  }
+  return 1;
+}
+
+int cmd_distill(const std::string& dir, const std::string& out_dir,
+                const std::string& campaign_map_path) {
+  const std::vector<std::string> paths = collect_schedules({dir});
+  if (paths.empty()) {
+    std::fprintf(stderr, "sgxp2p-corpus: no .sched files in %s\n",
+                 dir.c_str());
+    return 2;
+  }
+  std::vector<LoadedSchedule> runs;
+  if (!load_and_run(paths, runs)) return 2;
+
+  // Greedy pass in deterministic order: a schedule survives iff it lights
+  // a bit the kept set has not. Order-greedy (not max-gain-first) keeps the
+  // pass O(corpus) and reproducible; the corpus was itself built by the
+  // same novelty rule, so the result is already near-minimal.
+  CoverageMap kept_union;
+  std::vector<const LoadedSchedule*> kept;
+  for (const LoadedSchedule& run : runs) {
+    if (kept_union.merge(run.map) > 0) kept.push_back(&run);
+  }
+
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  for (const LoadedSchedule* run : kept) {
+    const std::string dest =
+        (fs::path(out_dir) / fs::path(run->path).filename()).string();
+    if (!run->schedule.write_file(dest)) {
+      std::fprintf(stderr, "sgxp2p-corpus: cannot write %s\n", dest.c_str());
+      return 2;
+    }
+  }
+  const std::string map_path = (fs::path(out_dir) / "distilled.map").string();
+  if (!kept_union.write_file(map_path)) {
+    std::fprintf(stderr, "sgxp2p-corpus: cannot write %s\n", map_path.c_str());
+    return 2;
+  }
+  std::printf("distilled %zu → %zu schedule(s), %zu bit(s) preserved\n",
+              runs.size(), kept.size(), kept_union.count());
+
+  if (!campaign_map_path.empty()) {
+    std::string error;
+    auto campaign = CoverageMap::load_file(campaign_map_path, &error);
+    if (!campaign) {
+      std::fprintf(stderr, "sgxp2p-corpus: %s: %s\n",
+                   campaign_map_path.c_str(), error.c_str());
+      return 2;
+    }
+    const std::size_t missing = kept_union.novel_bits(*campaign);
+    if (kept_union.covers(*campaign)) {
+      std::printf("campaign map fully covered\n");
+    } else {
+      // Not fatal: the campaign aggregate includes bits from runs whose
+      // schedules the corpus never kept (novelty is judged against the
+      // evolving aggregate, so a later duplicate contributes nothing but an
+      // earlier one may have carried unique oracle/metric bits).
+      std::printf("campaign map: %zu bit(s) not reproducible from corpus\n",
+                  missing);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  std::vector<std::string> positional;
+  std::string map_arg;
+  std::string out_arg;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--map") == 0 && i + 1 < argc) {
+      map_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_arg = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "sgxp2p-corpus: unknown option %s\n", argv[i]);
+      return usage();
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+
+  if (cmd == "cover") {
+    if (positional.empty()) return usage();
+    return cmd_cover(positional, map_arg);
+  }
+  if (cmd == "diff") {
+    if (positional.size() != 2) return usage();
+    return cmd_diff(positional[0], positional[1]);
+  }
+  if (cmd == "distill") {
+    if (positional.size() != 1 || out_arg.empty()) return usage();
+    return cmd_distill(positional[0], out_arg, map_arg);
+  }
+  return usage();
+}

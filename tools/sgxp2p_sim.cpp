@@ -92,9 +92,37 @@
 //                                        failures (default 1)
 //   --fuzz-canary                        arm the test-only canary oracle
 //                                        (proves the find→shrink→replay loop)
+//   --fuzz-coverage <file>               coverage-guided campaign: keep a
+//                                        corpus of coverage-novel schedules,
+//                                        mutate them toward untouched bitmap
+//                                        regions, and write the aggregate
+//                                        protocol-state CoverageMap to <file>
+//                                        (inspect with sgxp2p-corpus)
+//   --fuzz-corpus-out <dir>              persist every corpus-retained
+//                                        schedule to <dir> (feeds the nightly
+//                                        distillation pass)
 //   --replay-schedule <file>             re-execute a replay file and check
 //                                        its expect_violation/expect_digest
 //                                        stamps byte-identically
+//
+// exhaustive small-scope model checking (src/fuzz/mcheck.hpp):
+//   sgxp2p-sim --mcheck --protocol erb --mcheck-n 3 --mcheck-rounds 2
+//   sgxp2p-sim --mcheck --protocol all --mcheck-bound 2 --fuzz-out repros/
+//
+//   --mcheck                             walk EVERY fault combination the
+//                                        bounds below admit (DFS, validity +
+//                                        symmetry pruning), judge each with
+//                                        the fuzz oracles, and shrink any
+//                                        violation to a replayable .sched.
+//                                        --protocol picks the target(s);
+//                                        --seed seeds the base deployment;
+//                                        --fuzz-canary / --fuzz-out apply
+//   --mcheck-n <int>                     deployment size (default 3;
+//                                        recovery clamps to ≥ 5, shard ≥ 4)
+//   --mcheck-rounds <int>                fault-action round horizon
+//                                        (default 2)
+//   --mcheck-bound <int>                 max simultaneous fault actions per
+//                                        explored schedule (default 2)
 //   --transport sim|tcp                  fuzz/replay data plane (default
 //                                        sim). tcp runs each schedule over
 //                                        real localhost sockets through
@@ -125,6 +153,7 @@
 #include "adversary/strategies.hpp"
 #include "common/log.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "fuzz/mcheck.hpp"
 #include "fuzz/schedule.hpp"
 #include "fuzz/tcp_runner.hpp"
 #include "net/testbed.hpp"
@@ -174,6 +203,13 @@ struct Options {
   std::string fuzz_out;
   std::uint32_t fuzz_max_failures = 1;
   bool fuzz_canary = false;
+  std::string fuzz_coverage;    // aggregate CoverageMap path; enables guided
+  std::string fuzz_corpus_out;  // directory for corpus-retained schedules
+  // model checking
+  bool mcheck = false;
+  std::uint32_t mcheck_n = 3;
+  std::uint32_t mcheck_rounds = 2;
+  std::uint32_t mcheck_bound = 2;
   std::string replay_schedule;  // replay mode when non-empty
   std::string transport = "sim";  // fuzz/replay data plane: sim | tcp
   SimDuration tcp_round_ms = 200;
@@ -241,6 +277,22 @@ Options parse(int argc, char** argv) {
     o.fuzz_max_failures = std::atoi(v);
   }
   o.fuzz_canary = flag_present(argc, argv, "--fuzz-canary");
+  if (const char* v = flag_value(argc, argv, "--fuzz-coverage")) {
+    o.fuzz_coverage = v;
+  }
+  if (const char* v = flag_value(argc, argv, "--fuzz-corpus-out")) {
+    o.fuzz_corpus_out = v;
+  }
+  o.mcheck = flag_present(argc, argv, "--mcheck");
+  if (const char* v = flag_value(argc, argv, "--mcheck-n")) {
+    o.mcheck_n = std::atoi(v);
+  }
+  if (const char* v = flag_value(argc, argv, "--mcheck-rounds")) {
+    o.mcheck_rounds = std::atoi(v);
+  }
+  if (const char* v = flag_value(argc, argv, "--mcheck-bound")) {
+    o.mcheck_bound = std::atoi(v);
+  }
   if (const char* v = flag_value(argc, argv, "--replay-schedule")) {
     o.replay_schedule = v;
   }
@@ -451,34 +503,98 @@ int run_replay_mode(const Options& o) {
   return r.ok ? 0 : 1;
 }
 
+/// Maps --protocol to fuzz/mcheck targets ("all" → empty = every target).
+bool parse_fuzz_targets(const std::string& protocol, const char* mode,
+                        std::vector<fuzz::FuzzTarget>& targets) {
+  if (protocol == "erb") {
+    targets = {fuzz::FuzzTarget::kErb};
+  } else if (protocol == "erng") {
+    targets = {fuzz::FuzzTarget::kErngBasic};
+  } else if (protocol == "erng-opt") {
+    targets = {fuzz::FuzzTarget::kErngOpt};
+  } else if (protocol == "recovery") {
+    targets = {fuzz::FuzzTarget::kRecovery};
+  } else if (protocol == "shard") {
+    targets = {fuzz::FuzzTarget::kShard};
+  } else if (protocol != "all") {
+    std::fprintf(stderr, "%s supports --protocol erb|erng|erng-opt|"
+                 "recovery|shard|all, not '%s'\n", mode, protocol.c_str());
+    return false;
+  }
+  return true;
+}
+
+int run_mcheck_mode(const Options& o) {
+  std::vector<fuzz::FuzzTarget> targets;
+  if (!parse_fuzz_targets(o.protocol, "--mcheck", targets)) return 2;
+  if (targets.empty()) {
+    targets = {fuzz::FuzzTarget::kErb, fuzz::FuzzTarget::kErngBasic,
+               fuzz::FuzzTarget::kErngOpt, fuzz::FuzzTarget::kRecovery,
+               fuzz::FuzzTarget::kShard};
+  }
+  bool clean = true;
+  for (fuzz::FuzzTarget target : targets) {
+    fuzz::ModelCheckOptions opts;
+    opts.target = target;
+    opts.n = o.mcheck_n;
+    opts.rounds = o.mcheck_rounds;
+    opts.bound = o.mcheck_bound;
+    opts.seed = o.seed;
+    opts.canary = o.fuzz_canary;
+    opts.out_dir = o.fuzz_out;
+    fuzz::ModelCheckResult result = fuzz::check_model(opts);
+    std::printf(
+        "mcheck[%s]: %llu state(s) explored, %llu pruned, %llu "
+        "violation(s)%s\n",
+        fuzz::target_name(target),
+        static_cast<unsigned long long>(result.states_explored),
+        static_cast<unsigned long long>(result.states_pruned),
+        static_cast<unsigned long long>(result.violations_found),
+        result.exhausted ? "" : " [NOT exhausted: max-states tripped]");
+    for (const auto& v : result.violations) {
+      std::printf("FAIL %s → shrunk to %zu action(s) in %u runs\n",
+                  fuzz::target_name(target), v.shrunk.actions.size(),
+                  v.shrink_runs);
+      for (const auto& viol : v.report.violations) {
+        std::printf("  violated: %s — %s\n", viol.oracle.c_str(),
+                    viol.detail.c_str());
+      }
+      if (!v.repro_path.empty()) {
+        std::printf("  reproducer: %s (replay with --replay-schedule)\n",
+                    v.repro_path.c_str());
+      }
+    }
+    clean = clean && result.clean();
+  }
+  return clean ? 0 : 1;
+}
+
 int run_fuzz_mode(const Options& o) {
   fuzz::CampaignOptions opts;
-  if (o.protocol == "erb") {
-    opts.targets = {fuzz::FuzzTarget::kErb};
-  } else if (o.protocol == "erng") {
-    opts.targets = {fuzz::FuzzTarget::kErngBasic};
-  } else if (o.protocol == "erng-opt") {
-    opts.targets = {fuzz::FuzzTarget::kErngOpt};
-  } else if (o.protocol == "recovery") {
-    opts.targets = {fuzz::FuzzTarget::kRecovery};
-  } else if (o.protocol == "shard") {
-    opts.targets = {fuzz::FuzzTarget::kShard};
-  } else if (o.protocol != "all") {
-    std::fprintf(stderr, "--fuzz supports --protocol erb|erng|erng-opt|"
-                 "recovery|shard|all, not '%s'\n", o.protocol.c_str());
-    return 2;
-  }
+  if (!parse_fuzz_targets(o.protocol, "--fuzz", opts.targets)) return 2;
   opts.seed = o.fuzz_seed;
   opts.schedules = o.fuzz;
   opts.canary = o.fuzz_canary;
   opts.out_dir = o.fuzz_out;
   opts.max_failures = o.fuzz_max_failures;
   opts.progress_every = o.fuzz >= 1000 ? 500 : 0;
+  opts.coverage_guided = !o.fuzz_coverage.empty();
+  opts.corpus_dir = o.fuzz_corpus_out;
 
   fuzz::CampaignResult result = fuzz::run_campaign(opts);
   std::printf("fuzz: %llu schedule(s) executed, %zu failure(s)\n",
               static_cast<unsigned long long>(result.executed),
               result.failures.size());
+  if (opts.coverage_guided) {
+    std::printf("coverage: %zu bit(s) lit, corpus of %llu novel schedule(s)\n",
+                result.coverage.count(),
+                static_cast<unsigned long long>(result.corpus_size));
+    if (!result.coverage.write_file(o.fuzz_coverage)) {
+      std::fprintf(stderr, "cannot write coverage map to %s\n",
+                   o.fuzz_coverage.c_str());
+      return 2;
+    }
+  }
   for (const auto& f : result.failures) {
     std::printf("FAIL %s schedule %u → shrunk to %zu action(s) in %u runs\n",
                 fuzz::target_name(f.target), f.index,
@@ -510,6 +626,13 @@ int main(int argc, char** argv) {
   }
   if (!o.replay_schedule.empty()) {
     return o.transport == "tcp" ? run_tcp_replay_mode(o) : run_replay_mode(o);
+  }
+  if (o.mcheck) {
+    if (o.transport == "tcp") {
+      std::fprintf(stderr, "--mcheck runs on the simulator only\n");
+      return 2;
+    }
+    return run_mcheck_mode(o);
   }
   if (o.fuzz > 0) {
     return o.transport == "tcp" ? run_tcp_fuzz_mode(o) : run_fuzz_mode(o);
